@@ -1,0 +1,65 @@
+// Ablation: the paper's Section 8 choice to benchmark the *non-collapsed*
+// LDA sampler. We compare three chains on the same planted-topic corpus:
+//   1. collapsed, exact sequential sweeps (the "standard" sampler);
+//   2. collapsed, approximate parallel sweeps (the concurrent-update
+//      shortcut of distributed collapsed samplers the paper distrusts);
+//   3. non-collapsed (what the paper benchmarks).
+// Printed: token log-likelihood per sweep. The collapsed chain mixes
+// fastest; the non-collapsed chain is slower per sweep but exactly
+// parallelizable -- the trade-off the paper's footnote describes.
+
+#include <cstdio>
+#include <vector>
+
+#include "models/collapsed_lda.h"
+#include "stats/rng.h"
+
+int main() {
+  using namespace mlbench;
+  using namespace mlbench::models;
+
+  LdaHyper hyper{4, 40, 0.5, 0.1};
+  stats::Rng gen(42);
+  std::vector<LdaDocument> corpus(120);
+  for (std::size_t j = 0; j < corpus.size(); ++j) {
+    int topic = static_cast<int>(j % 4);
+    for (int w = 0; w < 60; ++w) {
+      corpus[j].words.push_back(
+          static_cast<std::uint32_t>(topic * 10 + gen.NextBounded(10)));
+    }
+  }
+
+  CollapsedLda exact(hyper, corpus, 7);
+  CollapsedLda approx(hyper, corpus, 7);
+
+  stats::Rng nc_rng(7);
+  auto nc_docs = corpus;
+  for (auto& d : nc_docs) InitLdaDocument(nc_rng, hyper, &d);
+  LdaParams nc_params = SampleLdaPrior(nc_rng, hyper);
+
+  std::printf("%-7s %-18s %-22s %s\n", "sweep", "collapsed exact",
+              "collapsed approx-par", "non-collapsed");
+  for (int sweep = 1; sweep <= 20; ++sweep) {
+    exact.Sweep();
+    approx.ApproximateParallelSweep();
+    LdaCounts counts(hyper.topics, hyper.vocab);
+    for (auto& d : nc_docs) {
+      ResampleLdaDocument(nc_rng, hyper, nc_params, &d, &counts);
+    }
+    nc_params = SampleLdaPosterior(nc_rng, hyper, counts);
+    double nc_ll = 0;
+    for (const auto& d : nc_docs) nc_ll += LdaDocLogLikelihood(d, nc_params);
+    if (sweep <= 5 || sweep % 5 == 0) {
+      std::printf("%-7d %-18.0f %-22.0f %.0f\n", sweep,
+                  exact.TokenLogLikelihood(), approx.TokenLogLikelihood(),
+                  nc_ll);
+    }
+  }
+  std::printf(
+      "\nThe exact collapsed chain reaches the high-likelihood region\n"
+      "first; the approximate-parallel variant tracks it closely on this\n"
+      "easy corpus (its bias is the correctness concern the paper cites\n"
+      "for excluding it); the non-collapsed chain -- the one the paper\n"
+      "benchmarks because it parallelizes exactly -- arrives last.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Microbenchmarks for the four platform engines (google-benchmark): the
+// per-operation host cost of the simulated-platform primitives -- an RDD
+// map+reduceByKey round, a relational join+GROUP BY, a BSP superstep with
+// combining, and a GAS sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "bsp/engine.h"
+#include "dataflow/rdd.h"
+#include "gas/engine.h"
+#include "reldb/database.h"
+#include "reldb/rel.h"
+#include "sim/cluster_sim.h"
+
+namespace {
+
+using namespace mlbench;
+
+void BM_RddMapReduceByKey(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
+    dataflow::ContextOptions opts;
+    opts.scale = 1e4;
+    dataflow::Context ctx(&sim, opts);
+    auto data = dataflow::Generate<long long>(
+        ctx, state.range(0), [](int p, long long i) { return p + i; }, 8);
+    auto pairs = data.Map([](const long long& x) {
+      return std::pair<int, long long>(static_cast<int>(x % 16), 1);
+    });
+    auto counts = dataflow::ReduceByKey(
+        pairs, [](const long long& a, const long long& b) { return a + b; });
+    auto rows = counts.Collect();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_RddMapReduceByKey)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RelJoinGroupBy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
+    reldb::Database db(&sim);
+    reldb::Table left(reldb::Schema{"id", "v"}, 1e4);
+    reldb::Table right(reldb::Schema{"id", "grp"}, 1e4);
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      left.Append(reldb::Tuple{i, static_cast<double>(i)});
+      right.Append(reldb::Tuple{i, i % 16});
+    }
+    db.Put("left", std::move(left));
+    db.Put("right", std::move(right));
+    db.BeginQuery("bench");
+    auto out = reldb::Rel::Scan(db, "left")
+                   .HashJoin(reldb::Rel::Scan(db, "right"), {"id"}, {"id"},
+                             1e4)
+                   .GroupBy({"grp"}, {{reldb::AggOp::kSum, "v", "s"}}, 1.0);
+    db.EndQuery();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RelJoinGroupBy)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BspSuperstep(benchmark::State& state) {
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
+  bsp::BspEngine<int, double> engine(&sim);
+  engine.AddVertex(0, 0, 1.0, 64);
+  for (long long i = 1; i <= state.range(0); ++i) {
+    engine.AddVertex(i, 0, 1.0, 64);
+  }
+  engine.SetCombiner([](const double& a, const double& b) { return a + b; });
+  if (!engine.Boot().ok()) state.SkipWithError("boot failed");
+  auto compute = [](bsp::BspEngine<int, double>::Vertex& v,
+                    const std::vector<double>&,
+                    bsp::BspEngine<int, double>::Context& ctx) {
+    if (v.id != 0) ctx.Send(0, 1.0, 8);
+  };
+  for (auto _ : state) {
+    auto st = engine.RunSuperstep(compute, {});
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BspSuperstep)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+struct GasData {
+  double value = 0;
+};
+
+class SumProgram : public gas::GasProgram<GasData, double> {
+ public:
+  double Gather(const gas::Graph<GasData>::Vertex&,
+                const gas::Graph<GasData>::Vertex& nbr) override {
+    return nbr.data.value;
+  }
+  double Merge(double a, const double& b) override { return a + b; }
+  void Apply(gas::Graph<GasData>::Vertex& v, const double& total) override {
+    v.data.value = total * 0.5;
+  }
+};
+
+void BM_GasSweep(benchmark::State& state) {
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
+  gas::Graph<GasData> graph;
+  std::size_t hub = graph.AddVertex(0, GasData{1.0}, 1.0, 64, 64);
+  for (long long i = 1; i <= state.range(0); ++i) {
+    std::size_t v = graph.AddVertex(i, GasData{1.0}, 1.0, 64, 64);
+    graph.AddEdge(hub, v);
+  }
+  gas::GasEngine<GasData> engine(&sim, &graph);
+  if (!engine.Boot().ok()) state.SkipWithError("boot failed");
+  SumProgram prog;
+  for (auto _ : state) {
+    auto st = engine.RunSweep<double>(prog);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GasSweep)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

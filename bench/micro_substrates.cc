@@ -1,0 +1,122 @@
+// Microbenchmarks for the numerical substrates (google-benchmark): the
+// samplers and dense-linalg kernels every MCMC implementation calls in its
+// inner loop. These measure *host* performance, complementing the figure
+// benches which report *simulated-cluster* time.
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/matrix.h"
+#include "models/gmm.h"
+#include "stats/distributions.h"
+
+namespace {
+
+using mlbench::linalg::Matrix;
+using mlbench::linalg::Vector;
+
+Matrix RandomSpd(std::size_t n, std::uint64_t seed) {
+  mlbench::stats::Rng rng(seed);
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.NextDouble() - 0.5;
+  }
+  Matrix spd = MatMul(b, b.Transposed());
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+void BM_RngU64(benchmark::State& state) {
+  mlbench::stats::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextU64());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_StandardNormal(benchmark::State& state) {
+  mlbench::stats::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlbench::stats::SampleStandardNormal(rng));
+  }
+}
+BENCHMARK(BM_StandardNormal);
+
+void BM_Gamma(benchmark::State& state) {
+  mlbench::stats::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlbench::stats::SampleGamma(rng, 2.5, 1.0));
+  }
+}
+BENCHMARK(BM_Gamma);
+
+void BM_Dirichlet(benchmark::State& state) {
+  mlbench::stats::Rng rng(4);
+  Vector alpha(static_cast<std::size_t>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlbench::stats::SampleDirichlet(rng, alpha));
+  }
+}
+BENCHMARK(BM_Dirichlet)->Arg(20)->Arg(100)->Arg(10000);
+
+void BM_Categorical(benchmark::State& state) {
+  mlbench::stats::Rng rng(5);
+  Vector w(static_cast<std::size_t>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlbench::stats::SampleCategorical(rng, w));
+  }
+}
+BENCHMARK(BM_Categorical)->Arg(20)->Arg(100);
+
+void BM_AliasTable(benchmark::State& state) {
+  mlbench::stats::Rng rng(6);
+  mlbench::stats::AliasTable table(
+      mlbench::stats::ZipfWeights(10000, 1.0));
+  for (auto _ : state) benchmark::DoNotOptimize(table.Sample(rng));
+}
+BENCHMARK(BM_AliasTable);
+
+void BM_Cholesky(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = RandomSpd(n, 7);
+  for (auto _ : state) {
+    auto l = mlbench::linalg::Cholesky(a);
+    benchmark::DoNotOptimize(l);
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_InverseWishart(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  mlbench::stats::Rng rng(8);
+  Matrix scale = RandomSpd(n, 9);
+  for (auto _ : state) {
+    auto w = mlbench::stats::SampleInverseWishart(
+        rng, static_cast<double>(n) + 2.0, scale);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_InverseWishart)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GmmMembership(benchmark::State& state) {
+  auto d = static_cast<std::size_t>(state.range(0));
+  mlbench::stats::Rng rng(10);
+  mlbench::models::GmmParams params;
+  params.pi = Vector(10, 0.1);
+  for (int c = 0; c < 10; ++c) {
+    Vector mu(d);
+    for (auto& v : mu) v = rng.NextDouble();
+    params.mu.push_back(std::move(mu));
+    params.sigma.push_back(RandomSpd(d, 11 + c));
+  }
+  auto sampler = mlbench::models::GmmMembershipSampler::Build(params);
+  Vector x(d, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Sample(rng, x));
+  }
+}
+BENCHMARK(BM_GmmMembership)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

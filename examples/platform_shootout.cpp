@@ -1,0 +1,67 @@
+// Platform shootout: one model (the 10-d GMM at full paper scale), all
+// four platforms, one table -- the fastest way to see the benchmark's
+// central finding. Equivalent to one column of Figure 1(a)/(c).
+//
+//   $ ./build/examples/platform_shootout [machines]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_format.h"
+#include "core/gmm_bsp.h"
+#include "core/gmm_dataflow.h"
+#include "core/gmm_gas.h"
+#include "core/gmm_reldb.h"
+
+int main(int argc, char** argv) {
+  using namespace mlbench;
+  using namespace mlbench::core;
+  int machines = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  auto make = [&](bool super, sim::Language lang) {
+    GmmExperiment exp;
+    exp.config.machines = machines;
+    exp.config.iterations = 3;
+    exp.super_vertex = super;
+    exp.language = lang;
+    exp.config.data.logical_per_machine = 10e6;
+    exp.config.data.actual_per_machine = machines >= 50 ? 500 : 2000;
+    return exp;
+  };
+
+  std::printf("GMM, 10 dimensions, %d machines, 10M points/machine:\n\n",
+              machines);
+  std::printf("%-36s %-18s %s\n", "implementation", "per iteration",
+              "init");
+  struct Row {
+    const char* name;
+    RunResult (*runner)(const GmmExperiment&, models::GmmParams*);
+    bool super;
+    sim::Language lang;
+  };
+  for (Row row :
+       {Row{"Spark (Python)", &RunGmmDataflow, false,
+            sim::Language::kPython},
+        Row{"Spark (Java)", &RunGmmDataflow, false, sim::Language::kJava},
+        Row{"SimSQL", &RunGmmRelDb, false, sim::Language::kJava},
+        Row{"SimSQL (super vertex)", &RunGmmRelDb, true,
+            sim::Language::kJava},
+        Row{"GraphLab (naive -- paper: Fail)", &RunGmmGas, false,
+            sim::Language::kCpp},
+        Row{"GraphLab (super vertex)", &RunGmmGas, true,
+            sim::Language::kCpp},
+        Row{"Giraph", &RunGmmBsp, false, sim::Language::kJava},
+        Row{"Giraph (super vertex)", &RunGmmBsp, true,
+            sim::Language::kJava}}) {
+    RunResult r = row.runner(make(row.super, row.lang), nullptr);
+    if (r.ok()) {
+      std::printf("%-36s %-18s %s\n", row.name,
+                  FormatDuration(r.avg_iteration_seconds()).c_str(),
+                  FormatDuration(r.init_seconds).c_str());
+    } else {
+      std::printf("%-36s Fail (%s)\n", row.name,
+                  StatusCodeName(r.status.code()));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Bayesian Lasso regression across all four platforms: the same Gibbs
+// chain (tau, beta, sigma^2) orchestrated by the dataflow, relational,
+// GAS, and BSP engines. Prints each platform's recovered coefficients for
+// the non-zero signal entries and its simulated cluster cost -- a compact
+// version of the paper's Figure 2 story.
+//
+//   $ ./build/examples/regression_lasso
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/str_format.h"
+#include "core/lasso_bsp.h"
+#include "core/lasso_dataflow.h"
+#include "core/lasso_gas.h"
+#include "core/lasso_reldb.h"
+#include "core/workloads.h"
+
+int main() {
+  using namespace mlbench;
+  using namespace mlbench::core;
+
+  LassoExperiment exp;
+  exp.config.machines = 5;
+  exp.config.iterations = 30;
+  exp.p = 10;  // small p so the output is readable
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 150;
+  exp.supers_per_machine = 10;
+
+  LassoDataGen gen(exp.config.seed, exp.p);
+  std::printf("true beta: ");
+  for (std::size_t j = 0; j < exp.p; ++j) {
+    std::printf("%6.2f", gen.true_beta()[j]);
+  }
+  std::printf("\n\n");
+
+  struct Row {
+    const char* name;
+    RunResult (*runner)(const LassoExperiment&, models::LassoState*);
+    bool super;
+  };
+  for (Row row : {Row{"Spark (dataflow)", &RunLassoDataflow, false},
+                  Row{"SimSQL (relational)", &RunLassoRelDb, false},
+                  Row{"GraphLab (GAS)", &RunLassoGas, true},
+                  Row{"Giraph (BSP)", &RunLassoBsp, true}}) {
+    LassoExperiment cfg = exp;
+    cfg.super_vertex = row.super;
+    models::LassoState state;
+    RunResult r = row.runner(cfg, &state);
+    if (!r.ok()) {
+      std::printf("%-20s FAILED: %s\n", row.name,
+                  r.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%-20s beta_hat: ", row.name);
+    for (std::size_t j = 0; j < cfg.p; ++j) {
+      std::printf("%6.2f", state.beta[j]);
+    }
+    std::printf("   [init %s, %s/iter]\n",
+                FormatDuration(r.init_seconds).c_str(),
+                FormatDuration(r.avg_iteration_seconds()).c_str());
+  }
+  std::printf(
+      "\nEvery platform runs the same chain; the simulated costs differ\n"
+      "the way Figure 2 of the paper reports (SimSQL pays hours of\n"
+      "initialization for its tuple-at-a-time Gram matrix).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "common/loc_counter.h"
+
+#include <fstream>
+
+namespace mlbench {
+
+namespace {
+
+bool IsCodeLine(const std::string& line) {
+  std::size_t i = line.find_first_not_of(" \t\r");
+  if (i == std::string::npos) return false;
+  if (line.compare(i, 2, "//") == 0) return false;
+  if (line[i] == '*' || line.compare(i, 2, "/*") == 0) return false;
+  return true;
+}
+
+}  // namespace
+
+int CountLinesOfCode(const std::vector<std::string>& relative_paths) {
+#ifdef MLBENCH_SOURCE_DIR
+  const std::string root = MLBENCH_SOURCE_DIR;
+#else
+  const std::string root = ".";
+#endif
+  int total = 0;
+  for (const auto& rel : relative_paths) {
+    std::ifstream in(root + "/" + rel);
+    if (!in) continue;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (IsCodeLine(line)) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace mlbench

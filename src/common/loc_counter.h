@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file loc_counter.h
+/// Counts lines of code in repository source files, used to regenerate the
+/// "lines of code" columns of the paper's tables for *our* implementations.
+
+namespace mlbench {
+
+/// Counts non-blank, non-comment-only lines across the given files.
+///
+/// Paths are relative to the repository root (compiled in via
+/// MLBENCH_SOURCE_DIR). Missing files count as zero so benches degrade
+/// gracefully when run from an installed tree.
+int CountLinesOfCode(const std::vector<std::string>& relative_paths);
+
+}  // namespace mlbench

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file logging.h
+/// Minimal check macros. MLBENCH_CHECK is for programmer errors (invariant
+/// violations); recoverable conditions go through Status instead.
+
+#define MLBENCH_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define MLBENCH_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)

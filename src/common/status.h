@@ -1,0 +1,131 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Error handling primitives for the mlbench libraries.
+///
+/// Library code reports recoverable failures through Status / Result<T>
+/// rather than exceptions, following the Arrow/RocksDB idiom. A failed
+/// engine run (e.g. a simulated out-of-memory) is an expected outcome of a
+/// benchmark and must propagate as a value, never as a crash.
+
+namespace mlbench {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,        ///< simulated cluster exhausted per-machine RAM
+  kFailedPrecondition,
+  kNotFound,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OutOfMemory", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-Status sum type, analogous to arrow::Result.
+///
+/// Accessing the value of a failed Result aborts; callers must check ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from non-OK status (failure). An OK status is a logic error.
+  Result(Status st) : v_(std::move(st)) {}   // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace mlbench
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define MLBENCH_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::mlbench::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its Status.
+#define MLBENCH_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto MLBENCH_CONCAT_(_res, __LINE__) = (expr);   \
+  if (!MLBENCH_CONCAT_(_res, __LINE__).ok())       \
+    return MLBENCH_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(MLBENCH_CONCAT_(_res, __LINE__)).value()
+
+#define MLBENCH_CONCAT_(a, b) MLBENCH_CONCAT_IMPL_(a, b)
+#define MLBENCH_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,95 @@
+#include "common/str_format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mlbench {
+
+std::string FormatDuration(double seconds) {
+  if (seconds < 0 || !std::isfinite(seconds)) return "-";
+  auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  std::uint64_t h = total / 3600;
+  std::uint64_t m = (total % 3600) / 60;
+  std::uint64_t s = total % 60;
+  char buf[32];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%llu:%02llu:%02llu",
+                  static_cast<unsigned long long>(h),
+                  static_cast<unsigned long long>(m),
+                  static_cast<unsigned long long>(s));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu:%02llu",
+                  static_cast<unsigned long long>(m),
+                  static_cast<unsigned long long>(s));
+  }
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, kUnits[unit]);
+  return buf;
+}
+
+std::string FormatCount(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int since_sep = static_cast<int>(digits.size()) % 3;
+  if (since_sep == 0) since_sep = 3;
+  for (char c : digits) {
+    if (since_sep == 0) {
+      out += ',';
+      since_sep = 3;
+    }
+    out += c;
+    --since_sep;
+  }
+  return out;
+}
+
+std::string PadLeft(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += (c == 0 ? "" : "  ");
+      out += c == 0 ? PadRight(cell, widths[c]) : PadLeft(cell, widths[c]);
+    }
+    out += '\n';
+  };
+  emit_row(header);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& row : rows) emit_row(row);
+  return out;
+}
+
+}  // namespace mlbench

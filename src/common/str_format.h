@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file str_format.h
+/// Small formatting helpers used by benchmark reporting.
+
+namespace mlbench {
+
+/// Formats a duration in seconds as the paper's table format:
+/// "MM:SS" when under an hour, "HH:MM:SS" otherwise (e.g. 27:55, 1:51:12).
+/// Negative durations format as "-".
+std::string FormatDuration(double seconds);
+
+/// Formats a byte count with a binary-unit suffix, e.g. "68.0 GiB".
+std::string FormatBytes(double bytes);
+
+/// Formats a count with thousands separators, e.g. "1,000,000,000".
+std::string FormatCount(std::uint64_t n);
+
+/// Left- or right-pads `s` with spaces to at least `width` characters.
+std::string PadLeft(const std::string& s, std::size_t width);
+std::string PadRight(const std::string& s, std::size_t width);
+
+/// Renders rows as a fixed-width ASCII table with a header underline.
+/// Every row must have the same number of cells as `header`.
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mlbench

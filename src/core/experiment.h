@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cluster_sim.h"
+#include "sim/cost_profile.h"
+#include "sim/machine.h"
+
+/// \file experiment.h
+/// Common experiment plumbing shared by every platform x model benchmark
+/// implementation: cluster/scale configuration and the timing result the
+/// paper's tables report (initialization time + average per-iteration time
+/// over the first five iterations, or "Fail").
+
+namespace mlbench::core {
+
+/// Scale configuration: how many logical records the paper's run used per
+/// machine and how many actual records this process executes per machine.
+struct ScaleSpec {
+  double logical_per_machine = 10e6;
+  long long actual_per_machine = 2000;
+
+  double scale() const {
+    return logical_per_machine / static_cast<double>(actual_per_machine);
+  }
+};
+
+/// One benchmark run's configuration.
+struct ExperimentConfig {
+  int machines = 5;
+  ScaleSpec data;
+  int iterations = 3;  ///< the paper averages the first five; 3 suffices
+  std::uint64_t seed = 2014;
+  /// EC2 day-to-day variance (Section 3.4): when noise_seed != 0, phase
+  /// times get multiplicative noise of this relative magnitude.
+  double noise_fraction = 0.08;
+  std::uint64_t noise_seed = 0;
+
+  sim::ClusterSpec cluster() const {
+    return sim::Ec2M2XLargeCluster(machines);
+  }
+
+  /// Applies the configured run-to-run noise to a simulator.
+  void ApplyNoise(sim::ClusterSim* sim) const {
+    if (noise_seed != 0) sim->SetNoise(noise_fraction, noise_seed);
+  }
+};
+
+/// Outcome of one run, in the shape of the paper's table cells.
+struct RunResult {
+  Status status;  ///< OK, or the failure that produced a "Fail" cell
+  double init_seconds = -1;
+  std::vector<double> iteration_seconds;
+  /// Highest simulated per-machine residency observed during the run.
+  double peak_machine_bytes = 0;
+
+  bool ok() const { return status.ok(); }
+
+  double avg_iteration_seconds() const {
+    if (iteration_seconds.empty()) return -1;
+    double s = 0;
+    for (double t : iteration_seconds) s += t;
+    return s / static_cast<double>(iteration_seconds.size());
+  }
+
+  /// A failed run with the failure recorded.
+  static RunResult Fail(Status st, double init_seconds = -1) {
+    RunResult r;
+    r.status = std::move(st);
+    r.init_seconds = init_seconds;
+    return r;
+  }
+};
+
+/// Converts linalg-call overhead into flop-equivalents at C++ (GSL) cost,
+/// for cost hooks that only take a FLOP count (VG functions, GAS programs).
+inline double CppCallEquivalentFlops(double calls) {
+  sim::LanguageModel cpp = sim::CppModel();
+  return calls * cpp.linalg_call_s / cpp.flop_s;
+}
+
+}  // namespace mlbench::core

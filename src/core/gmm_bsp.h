@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/gmm_experiment.h"
+#include "models/gmm.h"
+
+/// \file gmm_bsp.h
+/// The Giraph GMM implementation of paper Section 5.4: cluster vertices
+/// broadcast the model to the data vertices each iteration (out-of-core
+/// messaging keeps the naive code alive at the price of disk passes), data
+/// vertices sample memberships and send combined sufficient statistics
+/// back, and the mixture-proportion vertex re-draws pi. The naive code's
+/// Mallet temporaries kill it by allocation churn at 100 dimensions; at
+/// 100 machines the per-peer buffers push the heap over.
+
+namespace mlbench::core {
+
+RunResult RunGmmBsp(const GmmExperiment& exp,
+                    models::GmmParams* final_model = nullptr);
+
+}  // namespace mlbench::core

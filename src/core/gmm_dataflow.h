@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/gmm_experiment.h"
+#include "models/gmm.h"
+
+/// \file gmm_dataflow.h
+/// The Spark GMM implementation of paper Section 5.1: a cached point RDD,
+/// one reduceByKey job computing per-component sufficient statistics, a
+/// driver-side model update, and a collectAsMap'd model shipped back in
+/// task closures. Runs in Python or Java mode (Fig. 1(a) vs 1(b)); the
+/// super-vertex variant (Fig. 1(c)) batches points into chunked records.
+
+namespace mlbench::core {
+
+/// Runs the experiment; fills `final_model` (if given) with the last
+/// model draw for validation.
+RunResult RunGmmDataflow(const GmmExperiment& exp,
+                         models::GmmParams* final_model = nullptr);
+
+}  // namespace mlbench::core

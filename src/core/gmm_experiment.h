@@ -1,0 +1,96 @@
+#pragma once
+
+#include "core/experiment.h"
+#include "models/gmm.h"
+#include "sim/cost_profile.h"
+
+/// \file gmm_experiment.h
+/// Configuration shared by the four GMM benchmark implementations
+/// (paper Section 5) and the per-point cost declarations of the paper's
+/// actual codes.
+
+namespace mlbench::core {
+
+struct GmmExperiment {
+  ExperimentConfig config;
+  std::size_t dim = 10;
+  std::size_t k = 10;
+  /// Groups data points into super vertices / chunked records (Fig. 1(c)).
+  bool super_vertex = false;
+  /// Dataflow implementation language (Fig. 1(a) Python vs. 1(b) Java).
+  sim::Language language = sim::Language::kPython;
+  /// Logical super vertices per machine (the paper used 8,000 over 100
+  /// machines for GraphLab).
+  double supers_per_machine = 80;
+  /// Gaussian imputation mode (paper Section 9): each point's censored
+  /// coordinates are re-drawn from its cluster's conditional normal every
+  /// iteration, so the data set itself changes between iterations.
+  bool imputation = false;
+};
+
+/// Per-point FLOPs of the conditional-normal imputation step.
+inline double PaperImputeFlops(std::size_t dim) {
+  double d = static_cast<double>(dim);
+  return 2.0 * d * d * d + 6.0 * d * d;
+}
+
+/// Extra linalg calls of the imputation step (block partition, inverse,
+/// conditional draw). The Python code's fancy-indexing slices cost many
+/// more kernel invocations than the C++/Java versions.
+inline double PaperImputeCalls(sim::Language lang = sim::Language::kCpp) {
+  switch (lang) {
+    case sim::Language::kPython:
+      return 25.0;
+    case sim::Language::kJava:
+      return 6.0;
+    case sim::Language::kCpp:
+      return 8.0;
+  }
+  return 8.0;
+}
+inline double PaperImputeElements(std::size_t dim) {
+  return 6.0 * static_cast<double>(dim) * static_cast<double>(dim);
+}
+
+/// Per-point FLOPs of the paper's membership codes, which re-derive each
+/// component's inverse covariance per point (sample_mem calls PyGSL /
+/// Mallet density routines on the raw covariance).
+inline double PaperMembershipFlops(std::size_t k, std::size_t dim) {
+  double d = static_cast<double>(dim);
+  return static_cast<double>(k) * (d * d * d + 3.0 * d * d);
+}
+
+/// Per-point language-boundary elements (operands + temporaries).
+inline double PaperMembershipElements(std::size_t k, std::size_t dim) {
+  double d = static_cast<double>(dim);
+  return static_cast<double>(k) * (d * d + d) * 2.0;
+}
+
+/// Per-point linalg kernel invocations (density + sampling helpers).
+inline double PaperMembershipCalls(std::size_t k) {
+  return 3.0 * static_cast<double>(k) + 2.0;
+}
+
+/// Per-point flop-equivalents of the paper's naive per-point density code
+/// at C++ cost (inversion per component + GSL call overhead).
+inline double PaperMembershipCppFlops(std::size_t k, std::size_t dim) {
+  return PaperMembershipFlops(k, dim) +
+         CppCallEquivalentFlops(PaperMembershipCalls(k));
+}
+
+/// Per-point flop-equivalents of a hand-optimized C++ membership step
+/// (cached Cholesky factors, one categorical draw).
+inline double CachedMembershipCppFlops(std::size_t k, std::size_t dim) {
+  double d = static_cast<double>(dim);
+  return static_cast<double>(k) * 2.0 * d * d + CppCallEquivalentFlops(1.0);
+}
+
+/// Serialized bytes of the full GMM model (pi, mu, Sigma), with a
+/// per-entry representation overhead factor.
+inline double GmmModelBytes(std::size_t k, std::size_t dim,
+                            double bytes_per_entry = 8.0) {
+  double d = static_cast<double>(dim);
+  return static_cast<double>(k) * (d * d + d + 1.0) * bytes_per_entry;
+}
+
+}  // namespace mlbench::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/gmm_experiment.h"
+#include "models/gmm.h"
+
+/// \file gmm_gas.h
+/// The GraphLab GMM implementation of paper Section 5.3: data vertices,
+/// cluster vertices, and a mixture-proportion vertex forming a complete
+/// bipartite graph, updated by gather-apply-scatter. The naive code
+/// materializes one model view per (logical) data vertex during gather and
+/// dies exactly as the paper describes; the super-vertex code (Section 5.6
+/// "GraphLab, Giraph and Super Vertex Codes") groups hundreds of thousands
+/// of points per vertex and runs fast.
+
+namespace mlbench::core {
+
+RunResult RunGmmGas(const GmmExperiment& exp,
+                    models::GmmParams* final_model = nullptr);
+
+}  // namespace mlbench::core

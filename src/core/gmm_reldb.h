@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/gmm_experiment.h"
+#include "models/gmm.h"
+
+/// \file gmm_reldb.h
+/// The SimSQL GMM implementation of paper Section 5.2: iteration-versioned
+/// random tables (clus_means[i], clus_covas[i], clus_prob[i],
+/// membership[i]) updated by recursive queries over the tuple-shredded
+/// data table, with VG functions doing the sampling. The covariance
+/// aggregation pushes one tuple per (point, dim1, dim2) through GROUP BY —
+/// the cost the paper singles out at 100 dimensions. The super-vertex
+/// variant packs points into group payloads whose VG invocation
+/// pre-aggregates in C++ (the fastest GMM in Fig. 1(c)).
+
+namespace mlbench::core {
+
+RunResult RunGmmRelDb(const GmmExperiment& exp,
+                      models::GmmParams* final_model = nullptr);
+
+}  // namespace mlbench::core

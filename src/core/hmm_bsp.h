@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/hmm_experiment.h"
+#include "models/hmm.h"
+
+/// \file hmm_bsp.h
+/// The Giraph HMM of paper Section 7.4. Word-based: one vertex per word
+/// position, messaging neighbors its state -- the per-machine vertex store
+/// plus neighbor-state message buffers exceed worker RAM, so it fails as
+/// in the paper. Document-based and super-vertex: data vertices re-sample
+/// whole documents; per-state count messages combine on the way to the
+/// state vertices, and the model returns through worker-level broadcast.
+
+namespace mlbench::core {
+
+RunResult RunHmmBsp(const HmmExperiment& exp,
+                    models::HmmParams* final_model = nullptr);
+
+}  // namespace mlbench::core

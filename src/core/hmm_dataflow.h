@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/hmm_experiment.h"
+#include "models/hmm.h"
+
+/// \file hmm_dataflow.h
+/// The Spark HMM of paper Section 7.1. The document-based code keeps a
+/// cached RDD of (doc, words+states), runs two aggregation jobs per
+/// iteration (transition counts h and emission counts f/g) and one
+/// self-transformation re-sampling the states. The word-based variant
+/// needs a self-join of the state-assignment set with itself, which the
+/// paper "could not get Spark to perform without failing" -- our engine
+/// fails it in the join's cogroup buffers.
+
+namespace mlbench::core {
+
+RunResult RunHmmDataflow(const HmmExperiment& exp,
+                         models::HmmParams* final_model = nullptr);
+
+}  // namespace mlbench::core

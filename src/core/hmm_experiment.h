@@ -1,0 +1,73 @@
+#pragma once
+
+#include "core/experiment.h"
+#include "models/hmm.h"
+#include "sim/cost_profile.h"
+
+/// \file hmm_experiment.h
+/// Configuration shared by the HMM implementations (paper Section 7:
+/// 2.5 M documents per machine, ~210 words each, 10,000-word dictionary,
+/// K = 20 hidden states) and their per-word cost declarations.
+
+namespace mlbench::core {
+
+/// Which entity the platform manages individually (paper Section 7.5).
+enum class TextGranularity { kWord, kDocument, kSuperVertex };
+
+struct HmmExperiment {
+  ExperimentConfig config;
+  std::size_t states = 20;
+  std::size_t vocab = 10000;
+  std::size_t mean_doc_len = 210;
+  TextGranularity granularity = TextGranularity::kDocument;
+  sim::Language language = sim::Language::kPython;
+  /// The paper groups "hundreds of thousands of data points" (words) per
+  /// super vertex: ~6,250 documents, i.e. 400 supers per machine.
+  double supers_per_machine = 400;
+
+  HmmExperiment() {
+    config.data.logical_per_machine = 2.5e6;  // documents
+    config.data.actual_per_machine = 40;
+  }
+
+  double logical_words_per_machine() const {
+    return config.data.logical_per_machine *
+           static_cast<double>(mean_doc_len);
+  }
+};
+
+/// Per-word state-resampling cost declarations, reflecting the paper's
+/// codes (see EXPERIMENTS.md "cost declarations"):
+///  - Python (Spark): a pure-Python loop over K states per word.
+///  - Java naive (Giraph doc-based): Mallet-style per-word allocation.
+///  - Java super (Giraph super): hand-coded with preallocated tables.
+///  - C++ GraphLab: natural gsl_ran_discrete-per-word style.
+///  - C++ SimSQL VG: one library call per word.
+struct WordCost {
+  double flops = 0;
+  double calls = 0;
+  double elements = 0;
+};
+
+inline WordCost HmmWordCost(sim::Language lang, TextGranularity gran,
+                            std::size_t states) {
+  double k = static_cast<double>(states);
+  WordCost c;
+  c.flops = 6.0 * k;
+  switch (lang) {
+    case sim::Language::kPython:
+      // ~K interpreted loop bodies of ~120 operations each.
+      c.elements = 120.0 * k;
+      break;
+    case sim::Language::kJava:
+      c.calls = gran == TextGranularity::kSuperVertex ? 0.1 : 0.45;
+      c.elements = 3.0 * k;
+      break;
+    case sim::Language::kCpp:
+      c.calls = gran == TextGranularity::kSuperVertex ? 2.0 : 1.0;
+      break;
+  }
+  return c;
+}
+
+}  // namespace mlbench::core

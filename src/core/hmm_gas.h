@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/hmm_experiment.h"
+#include "models/hmm.h"
+
+/// \file hmm_gas.h
+/// The GraphLab HMM of paper Section 7.3: data (super) vertices hold many
+/// documents; each of the K state vertices holds (Psi_s, delta_s). The
+/// graph is complete bipartite. Each super vertex exports its partial
+/// f/g/h counts (~10 MB, as the paper measures); the state vertices'
+/// simultaneous gather of those views is what killed the 20- and
+/// 100-machine runs (Section 7.6).
+
+namespace mlbench::core {
+
+RunResult RunHmmGas(const HmmExperiment& exp,
+                    models::HmmParams* final_model = nullptr);
+
+}  // namespace mlbench::core

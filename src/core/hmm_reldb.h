@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/hmm_experiment.h"
+#include "models/hmm.h"
+
+/// \file hmm_reldb.h
+/// The SimSQL HMM of paper Section 7.2. The word-based code stores one
+/// tuple per word position in states[i] and re-parameterizes the
+/// Categorical VG function through a six-table join per iteration (the
+/// paper's 8+ hours). The document-based code hands each document's rows
+/// to one VG invocation; the super-vertex code hands a group of documents
+/// to one invocation -- but in all variants every sampled state comes back
+/// as a tuple that must be aggregated with GROUP BYs (Section 7.6).
+
+namespace mlbench::core {
+
+RunResult RunHmmRelDb(const HmmExperiment& exp,
+                      models::HmmParams* final_model = nullptr);
+
+}  // namespace mlbench::core

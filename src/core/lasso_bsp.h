@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/lasso_experiment.h"
+#include "models/lasso.h"
+
+/// \file lasso_bsp.h
+/// The Giraph Bayesian Lasso of paper Section 6.4: data vertices,
+/// dimensional vertices (one per regressor, collecting rows of the Gram
+/// matrix), and a model vertex holding (beta, sigma^2, tau). The naive
+/// code materializes an 8 MB x^T x message per data vertex during
+/// initialization -- hundreds of GB of JVM garbage per machine -- and
+/// could not be run at any cluster size (Fig. 2); the super-vertex code
+/// computes block partials in place and runs comfortably.
+
+namespace mlbench::core {
+
+RunResult RunLassoBsp(const LassoExperiment& exp,
+                      models::LassoState* final_state = nullptr);
+
+}  // namespace mlbench::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/lasso_experiment.h"
+#include "models/lasso.h"
+
+/// \file lasso_dataflow.h
+/// The Spark Bayesian Lasso of paper Section 6.1: the Gram matrix X^T X
+/// and X^T y are computed once by flatMap + reduceByKey over per-point
+/// pair contributions (the dominant initialization cost), then each
+/// iteration runs one MapReduce job computing sum (y - beta.x)^2 while the
+/// rest of the Gibbs loop runs on the driver.
+
+namespace mlbench::core {
+
+RunResult RunLassoDataflow(const LassoExperiment& exp,
+                           models::LassoState* final_state = nullptr);
+
+}  // namespace mlbench::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/experiment.h"
+#include "models/lasso.h"
+#include "sim/cost_profile.h"
+
+/// \file lasso_experiment.h
+/// Configuration shared by the Bayesian Lasso implementations (paper
+/// Section 6: p = 1000 regressors, 10^5 points per machine).
+
+namespace mlbench::core {
+
+struct LassoExperiment {
+  ExperimentConfig config;
+  std::size_t p = 1000;
+  /// Giraph ran only with the super-vertex construction (Fig. 2).
+  bool super_vertex = false;
+  sim::Language language = sim::Language::kPython;
+  double supers_per_machine = 160;
+
+  LassoExperiment() {
+    config.data.logical_per_machine = 1e5;
+    config.data.actual_per_machine = 300;
+  }
+};
+
+/// Serialized bytes of the model state (beta + tau + sigma).
+inline double LassoModelBytes(std::size_t p, double bytes_per_entry = 8.0) {
+  return (2.0 * static_cast<double>(p) + 1.0) * bytes_per_entry;
+}
+
+}  // namespace mlbench::core

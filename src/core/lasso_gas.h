@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/lasso_experiment.h"
+#include "models/lasso.h"
+
+/// \file lasso_gas.h
+/// The GraphLab Bayesian Lasso of paper Section 6.3 (super-vertex based,
+/// as published): data super vertices hold (X_i, y_i) blocks, model
+/// vertices hold 1/tau_j^2, and a center vertex holds (beta, sigma^2).
+/// Invariant statistics (Gram matrix, X^T y) come from two
+/// map_reduce_vertices passes before the chain starts.
+
+namespace mlbench::core {
+
+RunResult RunLassoGas(const LassoExperiment& exp,
+                      models::LassoState* final_state = nullptr);
+
+}  // namespace mlbench::core

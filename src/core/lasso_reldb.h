@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/lasso_experiment.h"
+#include "models/lasso.h"
+
+/// \file lasso_reldb.h
+/// The SimSQL Bayesian Lasso of paper Section 6.2: three materialized
+/// views (Gram matrix, centered response, moment vector) computed once --
+/// the Gram matrix as an aggregate-GROUP BY with one group per matrix
+/// entry, which is why initialization takes hours -- and three random
+/// tables (beta[i], sigma[i], tau[i]) updated per iteration.
+
+namespace mlbench::core {
+
+RunResult RunLassoRelDb(const LassoExperiment& exp,
+                        models::LassoState* final_state = nullptr);
+
+}  // namespace mlbench::core

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/lda_experiment.h"
+#include "models/lda.h"
+
+/// \file lda_bsp.h
+/// The Giraph LDA of paper Section 8: document or super-vertex data
+/// vertices plus 100 topic vertices; the model returns through worker
+/// aggregators and the count partials combine toward the topic vertices.
+/// The five-fold larger model statistics (vs. the HMM) push the
+/// 100-machine configuration's heap over -- Giraph LDA "failed to run at
+/// all on 100 machines".
+
+namespace mlbench::core {
+
+RunResult RunLdaBsp(const LdaExperiment& exp,
+                    models::LdaParams* final_model = nullptr);
+
+}  // namespace mlbench::core

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/lda_experiment.h"
+#include "models/lda.h"
+
+/// \file lda_dataflow.h
+/// The Spark LDA of paper Section 8 (document-based and super-vertex,
+/// Python or Java -- Fig. 4 and Fig. 6). One aggregation job per iteration
+/// collects the per-topic word counts g(t, w); theta_j updates ride along
+/// in the per-document transformation. The Java code ships phi in nested
+/// boxed maps inside task closures, whose cached copies accumulate --
+/// the paper's Java run "failed on 20 machines after 18 iterations".
+
+namespace mlbench::core {
+
+RunResult RunLdaDataflow(const LdaExperiment& exp,
+                         models::LdaParams* final_model = nullptr);
+
+}  // namespace mlbench::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include "core/experiment.h"
+#include "core/hmm_experiment.h"
+#include "models/lda.h"
+
+/// \file lda_experiment.h
+/// Configuration shared by the LDA implementations (paper Section 8: the
+/// HMM corpus -- 2.5 M documents/machine, ~210 words, 10,000-word
+/// dictionary -- with T = 100 topics; the model and its statistics are
+/// ~5x the HMM's, which is what pushes the non-SimSQL platforms over at
+/// 100 machines).
+
+namespace mlbench::core {
+
+struct LdaExperiment {
+  ExperimentConfig config;
+  std::size_t topics = 100;
+  std::size_t vocab = 10000;
+  std::size_t mean_doc_len = 210;
+  TextGranularity granularity = TextGranularity::kDocument;
+  sim::Language language = sim::Language::kPython;
+  double supers_per_machine = 160;
+
+  LdaExperiment() {
+    config.data.logical_per_machine = 2.5e6;  // documents
+    config.data.actual_per_machine = 40;
+  }
+
+  double logical_words_per_machine() const {
+    return config.data.logical_per_machine *
+           static_cast<double>(mean_doc_len);
+  }
+};
+
+/// Per-word topic-resampling cost (a T-way categorical per word).
+inline WordCost LdaWordCost(sim::Language lang, TextGranularity gran,
+                            std::size_t topics) {
+  double t = static_cast<double>(topics);
+  WordCost c;
+  c.flops = 4.0 * t;
+  switch (lang) {
+    case sim::Language::kPython:
+      // Document-at-a-time code is a pure-Python loop over T topics per
+      // word; the super-vertex code batches words through NumPy and is
+      // ~4x cheaper per word (the paper's 15:45 vs 3:56 hours).
+      c.elements =
+          (gran == TextGranularity::kSuperVertex ? 22.0 : 86.0) * t;
+      break;
+    case sim::Language::kJava:
+      c.calls = gran == TextGranularity::kSuperVertex ? 0.1 : 0.45;
+      c.elements = 3.0 * t;
+      break;
+    case sim::Language::kCpp:
+      c.calls = gran == TextGranularity::kSuperVertex ? 2.0 : 1.0;
+      break;
+  }
+  return c;
+}
+
+/// Serialized bytes of phi in each runtime's natural representation: raw
+/// doubles for C++, a dict of NumPy rows for Python, nested boxed maps for
+/// the Java (Mallet-style) code.
+inline double LdaModelBytesFor(sim::Language lang, std::size_t topics,
+                               std::size_t vocab) {
+  double entries = static_cast<double>(topics) * vocab;
+  switch (lang) {
+    case sim::Language::kCpp:
+      return entries * 8.0 + 4096;
+    case sim::Language::kPython:
+      return entries * 8.0 + topics * 300.0;  // dict of NumPy rows
+    case sim::Language::kJava:
+      return entries * 224.0;  // nested boxed HashMaps
+  }
+  return entries * 8.0;
+}
+
+}  // namespace mlbench::core

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "core/lda_experiment.h"
+#include "models/lda.h"
+
+/// \file lda_gas.h
+/// The GraphLab LDA of paper Section 8 (super-vertex): like the HMM graph
+/// but with 100 topic vertices and ~5x larger exported count views -- it
+/// ran only at 5 machines (39:27) and failed at 20 and 100.
+
+namespace mlbench::core {
+
+RunResult RunLdaGas(const LdaExperiment& exp,
+                    models::LdaParams* final_model = nullptr);
+
+}  // namespace mlbench::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/lda_experiment.h"
+#include "models/lda.h"
+
+/// \file lda_reldb.h
+/// The SimSQL LDA of paper Section 8: the only platform that ran every
+/// LDA configuration. Word-based, document-based, and super-vertex
+/// variants mirror the HMM structure; in all of them the sampled topic
+/// assignments come back as word-level tuples aggregated by GROUP BY, and
+/// the 100-topic model tables are five times the HMM's.
+
+namespace mlbench::core {
+
+RunResult RunLdaRelDb(const LdaExperiment& exp,
+                      models::LdaParams* final_model = nullptr);
+
+}  // namespace mlbench::core

@@ -1,0 +1,56 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "common/loc_counter.h"
+#include "common/str_format.h"
+
+namespace mlbench::core {
+
+std::string FormatCell(const RunResult& r) {
+  if (!r.ok()) {
+    if (r.iteration_seconds.empty()) return "Fail";
+    // Ran for a while, then died (e.g. the paper's Java LDA failing after
+    // 18 iterations): show the average it achieved plus the failure point.
+    return FormatDuration(r.avg_iteration_seconds()) + " Fail@iter" +
+           std::to_string(r.iteration_seconds.size() + 1);
+  }
+  std::string s = FormatDuration(r.avg_iteration_seconds());
+  if (r.init_seconds >= 0) {
+    s += " (" + FormatDuration(r.init_seconds) + ")";
+  }
+  return s;
+}
+
+void PrintFigure(const std::string& title,
+                 const std::vector<std::string>& columns,
+                 const std::vector<ReportRow>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> header = {"implementation", "loc", "series"};
+  for (const auto& c : columns) header.push_back(c);
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& row : rows) {
+    std::vector<std::string> paper_row = {
+        row.name, row.lines_of_code > 0 ? std::to_string(row.lines_of_code)
+                                        : "-",
+        "paper"};
+    for (const auto& p : row.paper) paper_row.push_back(p);
+    cells.push_back(std::move(paper_row));
+    std::vector<std::string> ours = {"", "", "ours"};
+    for (const auto& m : row.measured) ours.push_back(FormatCell(m));
+    cells.push_back(std::move(ours));
+  }
+  std::fputs(RenderTable(header, cells).c_str(), stdout);
+  for (const auto& row : rows) {
+    if (!row.note.empty()) {
+      std::printf("  note [%s]: %s\n", row.name.c_str(), row.note.c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+int ImplementationLoc(const std::vector<std::string>& repo_relative_paths) {
+  return CountLinesOfCode(repo_relative_paths);
+}
+
+}  // namespace mlbench::core

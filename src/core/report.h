@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+/// \file report.h
+/// Table rendering for the benchmark binaries: each bench prints the
+/// paper's figure next to our simulated reproduction, cell by cell, in the
+/// paper's "MM:SS (init)" format with "Fail" entries.
+
+namespace mlbench::core {
+
+/// Formats a run the way the paper's tables do: "27:55 (13:55)", or
+/// "Fail" with the failure class.
+std::string FormatCell(const RunResult& r);
+
+/// Formats the paper's published value for a cell (pass "Fail" or "NA"
+/// through verbatim).
+inline std::string PaperCell(const std::string& s) { return s; }
+
+/// One row of a comparison table: an implementation plus its measured and
+/// published cells, interleaved by the printer.
+struct ReportRow {
+  std::string name;
+  int lines_of_code = 0;  ///< of our implementation (0 = not shown)
+  std::vector<std::string> paper;     ///< published cells
+  std::vector<RunResult> measured;    ///< our runs, same order
+  std::string note;                   ///< footnote marker text
+};
+
+/// Prints a figure reproduction: header, then one paper row and one
+/// measured row per implementation.
+void PrintFigure(const std::string& title,
+                 const std::vector<std::string>& columns,
+                 const std::vector<ReportRow>& rows);
+
+/// Counts non-blank non-comment lines of our implementation sources (for
+/// the paper's lines-of-code column).
+int ImplementationLoc(const std::vector<std::string>& repo_relative_paths);
+
+}  // namespace mlbench::core

@@ -1,0 +1,89 @@
+#include "core/workloads.h"
+
+#include <cmath>
+
+namespace mlbench::core {
+
+namespace {
+
+/// Stable stream for (seed, partition, index).
+stats::Rng StreamFor(std::uint64_t seed, int partition, long long j) {
+  return stats::Rng(seed)
+      .Split(static_cast<std::uint64_t>(partition) + 1)
+      .Split(static_cast<std::uint64_t>(j) + 1);
+}
+
+}  // namespace
+
+GmmDataGen::GmmDataGen(std::uint64_t seed, std::size_t k, std::size_t dim)
+    : seed_(seed), k_(k), dim_(dim) {
+  stats::Rng rng = stats::Rng(seed).Split(0xC1);
+  for (std::size_t c = 0; c < k; ++c) {
+    Vector mu(dim);
+    for (auto& v : mu) v = stats::SampleNormal(rng, 0.0, 8.0);
+    means_.push_back(std::move(mu));
+  }
+}
+
+Vector GmmDataGen::Point(int partition, long long j) const {
+  stats::Rng rng = StreamFor(seed_, partition, j);
+  std::size_t c = rng.NextBounded(k_);
+  Vector x(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    x[d] = stats::SampleNormal(rng, means_[c][d], 1.0);
+  }
+  return x;
+}
+
+LassoDataGen::LassoDataGen(std::uint64_t seed, std::size_t p,
+                           std::size_t nonzeros)
+    : seed_(seed), p_(p), beta_(p) {
+  stats::Rng rng = stats::Rng(seed).Split(0xB2);
+  for (std::size_t i = 0; i < nonzeros; ++i) {
+    std::size_t idx = rng.NextBounded(p);
+    beta_[idx] = stats::SampleNormal(rng, 0.0, 3.0);
+  }
+}
+
+std::pair<Vector, double> LassoDataGen::Sample(int partition,
+                                               long long j) const {
+  stats::Rng rng = StreamFor(seed_, partition, j);
+  Vector x(p_);
+  double dot = 0;
+  for (std::size_t i = 0; i < p_; ++i) {
+    x[i] = stats::SampleNormal(rng, 0.0, 1.0);
+    dot += x[i] * beta_[i];
+  }
+  return {std::move(x), stats::SampleNormal(rng, dot, 1.0)};
+}
+
+CorpusGen::CorpusGen(std::uint64_t seed, std::size_t vocab,
+                     std::size_t mean_doc_len, double zipf_s)
+    : seed_(seed), vocab_(vocab), mean_doc_len_(mean_doc_len) {
+  alias_ = std::make_shared<stats::AliasTable>(
+      stats::ZipfWeights(vocab, zipf_s));
+}
+
+std::vector<std::uint32_t> CorpusGen::Document(int partition,
+                                               long long j) const {
+  stats::Rng rng = StreamFor(seed_, partition, j);
+  // Length: two concatenated "posts" of ~105 words each, +-20%.
+  std::size_t len = static_cast<std::size_t>(
+      static_cast<double>(mean_doc_len_) *
+      (0.8 + 0.4 * rng.NextDouble()));
+  std::vector<std::uint32_t> words;
+  words.reserve(len);
+  for (std::size_t w = 0; w < len; ++w) {
+    words.push_back(static_cast<std::uint32_t>(alias_->Sample(rng)));
+  }
+  return words;
+}
+
+models::CensoredPoint CensorPoint(std::uint64_t seed, int partition,
+                                  long long j, const Vector& x) {
+  stats::Rng rng = StreamFor(seed ^ 0xCE25, partition, j);
+  double p = stats::SampleBeta(rng, 1.0, 1.0);
+  return models::Censor(rng, x, p, 0.0);
+}
+
+}  // namespace mlbench::core

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "models/imputation.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+/// \file workloads.h
+/// Synthetic workload generators for the five benchmark tasks (paper
+/// Sections 5-9). Generation is *indexed*: point j of partition p is a pure
+/// function of (seed, p, j), so every platform implementation sees exactly
+/// the same data without materializing the full paper-scale set.
+///
+/// Substitution note (DESIGN.md): the paper's text corpus concatenates
+/// 20-newsgroups posts; we generate documents from a Zipf(1.0) unigram
+/// distribution over the same 10,000-word dictionary with the same ~210
+/// words/document. The benchmark treats documents as token soup with a
+/// fixed dictionary, so the identical code paths are exercised.
+
+namespace mlbench::core {
+
+using linalg::Vector;
+
+/// Ground-truth mixture used to synthesize GMM data (paper Section 5.5:
+/// "a synthetic data set ... generated using a mixture of ten Gaussians").
+class GmmDataGen {
+ public:
+  GmmDataGen(std::uint64_t seed, std::size_t k, std::size_t dim);
+
+  /// The j-th point of partition p (deterministic).
+  Vector Point(int partition, long long j) const;
+
+  const std::vector<Vector>& true_means() const { return means_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t k() const { return k_; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t k_, dim_;
+  std::vector<Vector> means_;
+};
+
+/// Sparse linear-regression data for the Bayesian Lasso (Section 6.5:
+/// "10^3 regressor dimensions and a one-dimensional response").
+class LassoDataGen {
+ public:
+  LassoDataGen(std::uint64_t seed, std::size_t p, std::size_t nonzeros = 20);
+
+  /// The j-th (x, y) pair of partition p.
+  std::pair<Vector, double> Sample(int partition, long long j) const;
+
+  const Vector& true_beta() const { return beta_; }
+  std::size_t p() const { return p_; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t p_;
+  Vector beta_;
+};
+
+/// Synthetic text corpus (Sections 7.5 / 8.1: 10,000-word dictionary,
+/// average document length 210).
+class CorpusGen {
+ public:
+  CorpusGen(std::uint64_t seed, std::size_t vocab = 10000,
+            std::size_t mean_doc_len = 210, double zipf_s = 1.0);
+
+  /// Word ids of document j of partition p.
+  std::vector<std::uint32_t> Document(int partition, long long j) const;
+
+  std::size_t vocab() const { return vocab_; }
+  std::size_t mean_doc_len() const { return mean_doc_len_; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t vocab_, mean_doc_len_;
+  std::shared_ptr<stats::AliasTable> alias_;
+};
+
+/// Per-point censoring for the imputation task (Section 9.1: censor rate
+/// p ~ Beta(1,1) per point, ~50% of values overall).
+models::CensoredPoint CensorPoint(std::uint64_t seed, int partition,
+                                  long long j, const Vector& x);
+
+}  // namespace mlbench::core

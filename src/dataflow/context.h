@@ -1,0 +1,179 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cluster_sim.h"
+#include "sim/cost_profile.h"
+
+/// \file context.h
+/// Execution context of the Spark-like dataflow engine (paper Section 4.1).
+///
+/// A Context pairs a simulated cluster with a language profile (the paper
+/// benchmarks both PySpark and Spark-Java) and a scale factor: each actual
+/// record processed stands for `scale` logical records on the 2013 fleet.
+
+namespace mlbench::dataflow {
+
+struct ContextOptions {
+  /// Language of the driver + closures (Python via Py4J, or JVM).
+  sim::Language language = sim::Language::kPython;
+  /// Framework cost constants.
+  sim::DataflowCosts costs;
+  /// Logical records represented by one actual data record.
+  double scale = 1.0;
+  /// Base seed for per-partition random streams.
+  std::uint64_t seed = 1;
+};
+
+/// Per-record cost annotation for user closures. The engine charges
+/// framework record-handling automatically; closures doing real numerical
+/// work declare it here so the simulated time reflects paper-scale FLOPs.
+struct OpCost {
+  /// Dense-linalg FLOPs performed per record.
+  double flops_per_record = 0;
+  /// Number of linalg kernel invocations per record (NumPy-call overhead).
+  double linalg_calls_per_record = 0;
+  /// Dimensionality of the linalg operands (drives the Java cache penalty).
+  std::size_t dim = 1;
+  /// Scalars crossing the runtime boundary per record (Python object
+  /// conversion / Java boxing).
+  double elements_per_record = 0;
+};
+
+class Context {
+ public:
+  Context(sim::ClusterSim* sim, ContextOptions opts)
+      : sim_(sim),
+        opts_(std::move(opts)),
+        lang_(sim::GetLanguageModel(opts_.language)) {}
+
+  sim::ClusterSim& sim() { return *sim_; }
+  const ContextOptions& options() const { return opts_; }
+  const sim::LanguageModel& lang() const { return lang_; }
+  int machines() const { return sim_->machines(); }
+
+  /// Machine hosting partition `p` (block placement).
+  int MachineOf(int partition, int num_partitions) const {
+    int per = (num_partitions + machines() - 1) / machines();
+    return std::min(partition / per, machines() - 1);
+  }
+
+  /// Charges the CPU cost of pushing `actual_records` (each standing for
+  /// `scale` logical records) through a user closure on `machine`, spread
+  /// over the machine's cores.
+  void ChargeClosureScaled(int machine, double actual_records, double scale,
+                           const OpCost& cost) {
+    double logical = actual_records * scale;
+    double s = logical * lang_.per_record_s +
+               lang_.LinalgSeconds(logical * cost.flops_per_record,
+                                   logical * cost.linalg_calls_per_record,
+                                   cost.dim,
+                                   logical * cost.elements_per_record);
+    sim_->ChargeParallelCpuOnMachine(machine, s);
+  }
+
+  /// Charges serialization of `bytes` logical bytes on `machine` (closure
+  /// and shuffle boundaries in Python pay pickle + Py4J per byte).
+  void ChargeSerializeBytes(int machine, double bytes) {
+    sim_->ChargeParallelCpuOnMachine(machine,
+                                     bytes * lang_.per_serialized_byte_s);
+  }
+
+  /// Logical bytes represented by `actual_records` of `record_bytes` each,
+  /// at an RDD-specific scale.
+  double LogicalBytes(double actual_records, double record_bytes) const {
+    return actual_records * record_bytes;
+  }
+
+  /// Allocates job-scoped memory (shuffle buffers, driver collect buffers);
+  /// released automatically by EndJob.
+  Status AllocateTransient(int machine, double bytes, std::string_view what) {
+    MLBENCH_RETURN_NOT_OK(sim_->Allocate(machine, bytes, what));
+    transients_.emplace_back(machine, bytes);
+    return Status::OK();
+  }
+
+  /// Starts a job phase (scheduler launch + one task wave per machine).
+  /// The first job of an application also pins per-peer shuffle-fetch
+  /// buffers for the context's lifetime.
+  void BeginJob(const std::string& name, int num_partitions) {
+    sim_->BeginPhase("dataflow:" + name);
+    sim_->ChargeFixed(opts_.costs.job_launch_s +
+                      opts_.costs.per_task_s *
+                          (static_cast<double>(num_partitions) /
+                           std::max(1, sim_->machines())));
+    if (!peers_allocated_) {
+      peers_allocated_ = true;
+      peer_bytes_ = opts_.costs.peer_buffer_bytes * (machines() - 1);
+      peer_status_ = sim_->AllocateEverywhere(peer_bytes_, "shuffle peer buffers");
+    }
+  }
+
+  /// Status of the lifetime allocations (peer buffers, closure residuals);
+  /// a failed allocation here fails the whole application.
+  const Status& lifetime_status() const { return peer_status_; }
+
+  /// Models shipping a task closure of `bytes` (e.g. the collected model)
+  /// to every task of a job: one transient copy per running task per
+  /// machine, plus a resident fraction that is never released before the
+  /// application ends (Spark 0.7/0.8 closure caching).
+  Status BroadcastClosure(double bytes) {
+    double per_machine_live =
+        bytes * spec_cores();  // one copy per concurrently running task
+    MLBENCH_RETURN_NOT_OK(
+        AllocateTransient_AllMachines(per_machine_live, "task closures"));
+    double residual =
+        bytes * spec_cores() * opts_.costs.closure_residual_fraction;
+    MLBENCH_RETURN_NOT_OK(
+        sim_->AllocateEverywhere(residual, "closure residuals"));
+    residual_bytes_ += residual;
+    // Shipping cost: serialize once per task, cross the network.
+    ChargeSerializeBytes(0, bytes * spec_cores() * machines());
+    sim_->ChargeNetwork(0, bytes * spec_cores() * (machines() - 1));
+    return Status::OK();
+  }
+
+  /// Releases application-lifetime state (context shutdown).
+  void ReleaseLifetimeState() {
+    if (peers_allocated_ && peer_status_.ok()) {
+      sim_->FreeEverywhere(peer_bytes_);
+      peers_allocated_ = false;
+    }
+    sim_->FreeEverywhere(residual_bytes_);
+    residual_bytes_ = 0;
+  }
+
+  /// Ends the job phase, freeing transient buffers; returns wall time.
+  double EndJob() {
+    double t = sim_->EndPhase();
+    for (auto& [machine, bytes] : transients_) sim_->Free(machine, bytes);
+    transients_.clear();
+    return t;
+  }
+
+ private:
+  int spec_cores() const { return sim_->spec().machine.cores; }
+
+  Status AllocateTransient_AllMachines(double bytes, std::string_view what) {
+    for (int m = 0; m < machines(); ++m) {
+      MLBENCH_RETURN_NOT_OK(AllocateTransient(m, bytes, what));
+    }
+    return Status::OK();
+  }
+
+  sim::ClusterSim* sim_;
+  ContextOptions opts_;
+  sim::LanguageModel lang_;
+  std::vector<std::pair<int, double>> transients_;
+  bool peers_allocated_ = false;
+  double peer_bytes_ = 0;
+  double residual_bytes_ = 0;
+  Status peer_status_;
+};
+
+}  // namespace mlbench::dataflow

@@ -1,0 +1,626 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/context.h"
+
+/// \file rdd.h
+/// A lazy, lineage-tracked Resilient Distributed Dataset (paper Section 4.1).
+///
+/// Semantics follow Spark: transformations (Map, FlatMap, Filter,
+/// ReduceByKey, ...) build a lineage graph; actions (Collect, Reduce, Count,
+/// CollectAsMap) run a *job* that evaluates the graph. Narrow chains stream
+/// with O(1) simulated memory; shuffles and caches materialize and are
+/// charged against the simulated cluster's per-machine RAM at logical scale.
+///
+/// Each RDD carries a `scale` (logical records per actual record) and a
+/// `record_bytes` estimate; together they convert the laptop-scale execution
+/// into 2013-fleet costs.
+
+namespace mlbench::dataflow {
+
+namespace detail {
+
+/// Hash-combine for pair keys used in shuffles.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t h1 = std::hash<A>{}(p.first);
+    std::size_t h2 = std::hash<B>{}(p.second);
+    return h1 ^ (h2 + 0x9E3779B97F4A7C15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+template <typename K>
+struct IsPair : std::false_type {};
+template <typename A, typename B>
+struct IsPair<std::pair<A, B>> : std::true_type {};
+
+template <typename K>
+using HashOf = std::conditional_t<IsPair<K>::value, PairHash, std::hash<K>>;
+
+template <typename T>
+struct RddNode {
+  Context* ctx = nullptr;
+  int num_partitions = 0;
+  double record_bytes = 8;
+  double scale = 1.0;
+
+  /// Computes one partition, charging simulated costs as it goes.
+  std::function<Result<std::vector<T>>(int)> compute;
+
+  bool cached = false;
+  bool cache_populated = false;
+  std::vector<std::vector<T>> cache_store;
+
+  Result<std::vector<T>> Materialize(int p) {
+    if (cached && cache_populated) {
+      // Reading a cached partition costs memory bandwidth only.
+      double bytes =
+          static_cast<double>(cache_store[p].size()) * scale * record_bytes;
+      ctx->sim().ChargeParallelCpuOnMachine(
+          ctx->MachineOf(p, num_partitions),
+          bytes * ctx->options().costs.cached_read_byte_s);
+      return cache_store[p];
+    }
+    Result<std::vector<T>> r = compute(p);
+    if (!r.ok()) return r;
+    if (cached) {
+      if (cache_store.empty()) cache_store.resize(num_partitions);
+      cache_store[p] = *r;
+      // Persist: charge this partition's logical bytes on its machine.
+      double bytes = static_cast<double>(r->size()) * scale * record_bytes;
+      MLBENCH_RETURN_NOT_OK(ctx->sim().Allocate(
+          ctx->MachineOf(p, num_partitions), bytes, "cached RDD partition"));
+      if (p == num_partitions - 1) cache_populated = true;
+    }
+    return r;
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Rdd {
+ public:
+  Rdd() = default;
+  Rdd(Context* ctx, std::shared_ptr<detail::RddNode<T>> node)
+      : ctx_(ctx), node_(std::move(node)) {}
+
+  int num_partitions() const { return node_->num_partitions; }
+  double record_bytes() const { return node_->record_bytes; }
+  double scale() const { return node_->scale; }
+  Context* context() const { return ctx_; }
+  const std::shared_ptr<detail::RddNode<T>>& node() const { return node_; }
+
+  /// Marks this RDD for in-memory persistence; populated by the first
+  /// action that evaluates it (Spark's cache()).
+  Rdd<T>& Cache() {
+    node_->cached = true;
+    return *this;
+  }
+
+  /// Releases the cached partitions and their simulated memory.
+  void Unpersist() {
+    if (node_->cached && node_->cache_populated) {
+      for (int p = 0; p < node_->num_partitions; ++p) {
+        double bytes = static_cast<double>(node_->cache_store[p].size()) *
+                       node_->scale * node_->record_bytes;
+        ctx_->sim().Free(ctx_->MachineOf(p, node_->num_partitions), bytes);
+      }
+      node_->cache_store.clear();
+    }
+    node_->cached = false;
+    node_->cache_populated = false;
+  }
+
+  /// Element-wise transformation. `out_bytes` < 0 inherits this RDD's
+  /// record size estimate.
+  template <typename F>
+  auto Map(F f, OpCost cost = {}, double out_bytes = -1) const
+      -> Rdd<std::invoke_result_t<F, const T&>> {
+    using U = std::invoke_result_t<F, const T&>;
+    auto parent = node_;
+    auto* ctx = ctx_;
+    auto node = std::make_shared<detail::RddNode<U>>();
+    node->ctx = ctx;
+    node->num_partitions = parent->num_partitions;
+    node->record_bytes = out_bytes < 0 ? parent->record_bytes : out_bytes;
+    node->scale = parent->scale;
+    node->compute = [parent, ctx, f = std::move(f),
+                     cost](int p) -> Result<std::vector<U>> {
+      auto in = parent->Materialize(p);
+      if (!in.ok()) return in.status();
+      ctx->ChargeClosureScaled(ctx->MachineOf(p, parent->num_partitions),
+                               static_cast<double>(in->size()), parent->scale,
+                               cost);
+      std::vector<U> out;
+      out.reserve(in->size());
+      for (const auto& x : *in) out.push_back(f(x));
+      return out;
+    };
+    return Rdd<U>(ctx, node);
+  }
+
+  /// One-to-many transformation; `f` returns a container of output records.
+  template <typename F>
+  auto FlatMap(F f, OpCost cost = {}, double out_bytes = -1) const
+      -> Rdd<typename std::invoke_result_t<F, const T&>::value_type> {
+    using U = typename std::invoke_result_t<F, const T&>::value_type;
+    auto parent = node_;
+    auto* ctx = ctx_;
+    auto node = std::make_shared<detail::RddNode<U>>();
+    node->ctx = ctx;
+    node->num_partitions = parent->num_partitions;
+    node->record_bytes = out_bytes < 0 ? parent->record_bytes : out_bytes;
+    node->scale = parent->scale;
+    node->compute = [parent, ctx, f = std::move(f),
+                     cost](int p) -> Result<std::vector<U>> {
+      auto in = parent->Materialize(p);
+      if (!in.ok()) return in.status();
+      ctx->ChargeClosureScaled(ctx->MachineOf(p, parent->num_partitions),
+                               static_cast<double>(in->size()), parent->scale,
+                               cost);
+      std::vector<U> out;
+      for (const auto& x : *in) {
+        auto ys = f(x);
+        for (auto& y : ys) out.push_back(std::move(y));
+      }
+      return out;
+    };
+    return Rdd<U>(ctx, node);
+  }
+
+  /// Keeps records satisfying the predicate.
+  template <typename F>
+  Rdd<T> Filter(F pred, OpCost cost = {}) const {
+    auto parent = node_;
+    auto* ctx = ctx_;
+    auto node = std::make_shared<detail::RddNode<T>>();
+    node->ctx = ctx;
+    node->num_partitions = parent->num_partitions;
+    node->record_bytes = parent->record_bytes;
+    node->scale = parent->scale;
+    node->compute = [parent, ctx, pred = std::move(pred),
+                     cost](int p) -> Result<std::vector<T>> {
+      auto in = parent->Materialize(p);
+      if (!in.ok()) return in.status();
+      ctx->ChargeClosureScaled(ctx->MachineOf(p, parent->num_partitions),
+                               static_cast<double>(in->size()), parent->scale,
+                               cost);
+      std::vector<T> out;
+      for (const auto& x : *in) {
+        if (pred(x)) out.push_back(x);
+      }
+      return out;
+    };
+    return Rdd<T>(ctx, node);
+  }
+
+  // ---- Actions (each runs one simulated job) -------------------------------
+
+  /// Returns all records at the driver. Driver memory is charged
+  /// transiently on machine 0.
+  Result<std::vector<T>> Collect() const {
+    ctx_->BeginJob("collect", node_->num_partitions);
+    auto out = CollectNoJob();
+    ctx_->EndJob();
+    return out;
+  }
+
+  /// Actual (laptop-scale) record count; also charges the scan.
+  Result<long long> CountActual() const {
+    ctx_->BeginJob("count", node_->num_partitions);
+    long long n = 0;
+    for (int p = 0; p < node_->num_partitions; ++p) {
+      auto r = node_->Materialize(p);
+      if (!r.ok()) {
+        ctx_->EndJob();
+        return r.status();
+      }
+      ctx_->ChargeClosureScaled(ctx_->MachineOf(p, node_->num_partitions),
+                                static_cast<double>(r->size()), node_->scale,
+                                OpCost{});
+      n += static_cast<long long>(r->size());
+    }
+    ctx_->EndJob();
+    return n;
+  }
+
+  /// Paper-scale (logical) record count.
+  Result<double> CountLogical() const {
+    auto n = CountActual();
+    if (!n.ok()) return n.status();
+    return static_cast<double>(*n) * node_->scale;
+  }
+
+  /// Folds all records with a commutative, associative combiner.
+  template <typename F>
+  Result<T> Reduce(F f, OpCost cost = {}) const {
+    ctx_->BeginJob("reduce", node_->num_partitions);
+    bool first = true;
+    T acc{};
+    for (int p = 0; p < node_->num_partitions; ++p) {
+      auto r = node_->Materialize(p);
+      if (!r.ok()) {
+        ctx_->EndJob();
+        return r.status();
+      }
+      ctx_->ChargeClosureScaled(ctx_->MachineOf(p, node_->num_partitions),
+                                static_cast<double>(r->size()), node_->scale,
+                                cost);
+      for (const auto& x : *r) {
+        if (first) {
+          acc = x;
+          first = false;
+        } else {
+          acc = f(acc, x);
+        }
+      }
+    }
+    ctx_->EndJob();
+    if (first) return Status::FailedPrecondition("Reduce of empty RDD");
+    return acc;
+  }
+
+  /// Collect without opening a job phase; used by actions that batch
+  /// several lineage evaluations into one phase.
+  Result<std::vector<T>> CollectNoJob() const {
+    std::vector<T> all;
+    for (int p = 0; p < node_->num_partitions; ++p) {
+      auto r = node_->Materialize(p);
+      if (!r.ok()) return r.status();
+      // Results cross the cluster to the driver.
+      double bytes = static_cast<double>(r->size()) * node_->scale *
+                     node_->record_bytes;
+      ctx_->sim().ChargeNetwork(ctx_->MachineOf(p, node_->num_partitions),
+                                bytes);
+      MLBENCH_RETURN_NOT_OK(
+          ctx_->AllocateTransient(0, bytes, "driver collect buffer"));
+      for (auto& x : *r) all.push_back(std::move(x));
+    }
+    return all;
+  }
+
+ private:
+  Context* ctx_ = nullptr;
+  std::shared_ptr<detail::RddNode<T>> node_;
+};
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Distributes `data` from the driver (Spark's sc.parallelize). Model-sized:
+/// scale is 1 and no storage read is charged.
+template <typename T>
+Rdd<T> Parallelize(Context& ctx, std::vector<T> data, double record_bytes) {
+  auto node = std::make_shared<detail::RddNode<T>>();
+  node->ctx = &ctx;
+  node->num_partitions = ctx.machines();
+  node->record_bytes = record_bytes;
+  node->scale = 1.0;
+  int parts = node->num_partitions;
+  node->compute = [data = std::move(data),
+                   parts](int p) -> Result<std::vector<T>> {
+    std::vector<T> out;
+    for (std::size_t i = p; i < data.size();
+         i += static_cast<std::size_t>(parts)) {
+      out.push_back(data[i]);
+    }
+    return out;
+  };
+  return Rdd<T>(&ctx, node);
+}
+
+/// Data-scaled source (Spark's sc.textFile + parse): partition p holds
+/// `actual_per_partition` records generated by `gen(p, i)`; each stands for
+/// `ctx.options().scale` logical records read from distributed storage.
+template <typename T, typename Gen>
+Rdd<T> Generate(Context& ctx, long long actual_per_partition, Gen gen,
+                double record_bytes, double parse_flops_per_record = 0) {
+  auto node = std::make_shared<detail::RddNode<T>>();
+  node->ctx = &ctx;
+  node->num_partitions = ctx.machines();
+  node->record_bytes = record_bytes;
+  node->scale = ctx.options().scale;
+  Context* cp = &ctx;
+  int parts = node->num_partitions;
+  OpCost parse_cost;
+  parse_cost.flops_per_record = parse_flops_per_record;
+  node->compute = [cp, gen = std::move(gen), actual_per_partition,
+                   record_bytes, parts,
+                   parse_cost](int p) -> Result<std::vector<T>> {
+    // Storage scan + parse cost at logical scale.
+    double logical_bytes = static_cast<double>(actual_per_partition) *
+                           cp->options().scale * record_bytes;
+    cp->sim().ChargeParallelCpuOnMachine(
+        cp->MachineOf(p, parts),
+        logical_bytes * cp->options().costs.storage_read_byte_s);
+    cp->ChargeClosureScaled(cp->MachineOf(p, parts),
+                            static_cast<double>(actual_per_partition),
+                            cp->options().scale, parse_cost);
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(actual_per_partition));
+    for (long long i = 0; i < actual_per_partition; ++i) {
+      out.push_back(gen(p, i));
+    }
+    return out;
+  };
+  return Rdd<T>(&ctx, node);
+}
+
+// ---------------------------------------------------------------------------
+// Pair-RDD operations
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Runs the map side of a shuffle over a pair RDD: evaluates every parent
+/// partition, combines map-side if `merge` is non-null, hash-partitions by
+/// key, and charges map CPU + serialization + network. Returns
+/// per-output-partition buckets.
+template <typename K, typename V, typename Merge>
+Result<std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
+    Context* ctx, const std::shared_ptr<RddNode<std::pair<K, V>>>& parent,
+    Merge* merge, OpCost map_cost, double out_record_bytes,
+    double combined_scale = 1.0) {
+  const int parts = parent->num_partitions;
+  std::vector<std::vector<std::pair<K, V>>> buckets(parts);
+  HashOf<K> hasher;
+  for (int p = 0; p < parts; ++p) {
+    auto in = parent->Materialize(p);
+    if (!in.ok()) return in.status();
+    int machine = ctx->MachineOf(p, parts);
+    ctx->ChargeClosureScaled(machine, static_cast<double>(in->size()),
+                             parent->scale, map_cost);
+    // Map-side combine (Spark's reduceByKey combiner).
+    std::vector<std::pair<K, V>> combined;
+    double logical_out;
+    if (merge != nullptr) {
+      std::unordered_map<K, V, HashOf<K>> agg;
+      for (const auto& kv : *in) {
+        auto [it, inserted] = agg.emplace(kv.first, kv.second);
+        if (!inserted) it->second = (*merge)(it->second, kv.second);
+      }
+      combined.assign(agg.begin(), agg.end());
+      // Logical combined output: the observed distinct keys at the output
+      // key space's scale, capped by the logical input (combining can only
+      // shrink a partition).
+      logical_out =
+          std::min(static_cast<double>(in->size()) * parent->scale,
+                   static_cast<double>(combined.size()) * combined_scale);
+    } else {
+      combined = *in;
+      logical_out = static_cast<double>(in->size()) * parent->scale;
+    }
+    double bytes = logical_out * out_record_bytes;
+    ctx->ChargeSerializeBytes(machine, bytes);
+    ctx->sim().ChargeNetwork(
+        machine, bytes * (1.0 - 1.0 / std::max(1, ctx->machines())));
+    // Framework shuffle handling per record.
+    ctx->sim().ChargeParallelCpuOnMachine(
+        machine, logical_out * ctx->options().costs.shuffle_record_s);
+    for (auto& kv : combined) {
+      int dest = static_cast<int>(hasher(kv.first) % parts);
+      buckets[static_cast<std::size_t>(dest)].push_back(std::move(kv));
+    }
+  }
+  return buckets;
+}
+
+}  // namespace detail
+
+/// Groups by key and folds values with `merge` (Spark's reduceByKey).
+///
+/// `out_scale`: logical records represented by each actual output record.
+/// Aggregations onto model-sized key spaces (clusters, states, topics)
+/// produce exact keys, so out_scale = 1 (the default); aggregations keyed by
+/// data (documents, points) stay data-scaled and must pass the parent scale.
+template <typename K, typename V, typename Merge>
+Rdd<std::pair<K, V>> ReduceByKey(const Rdd<std::pair<K, V>>& in, Merge merge,
+                                 OpCost map_cost = {}, double out_scale = 1.0,
+                                 double reduce_flops_per_record = 0) {
+  auto parent = in.node();
+  Context* ctx = in.context();
+  auto node = std::make_shared<detail::RddNode<std::pair<K, V>>>();
+  node->ctx = ctx;
+  node->num_partitions = parent->num_partitions;
+  node->record_bytes = parent->record_bytes;
+  node->scale = out_scale;
+  auto state =
+      std::make_shared<std::vector<std::vector<std::pair<K, V>>>>();
+  auto done = std::make_shared<bool>(false);
+  std::weak_ptr<detail::RddNode<std::pair<K, V>>> node_w(node);
+  node->compute = [parent, ctx, merge = std::move(merge), map_cost, state,
+                   done, node_w, reduce_flops_per_record](int p)
+      -> Result<std::vector<std::pair<K, V>>> {
+    auto self = node_w.lock();
+    if (!*done) {
+      auto merge_copy = merge;
+      auto buckets =
+          detail::ShuffleByKey<K, V>(ctx, parent, &merge_copy, map_cost,
+                                     self->record_bytes, self->scale);
+      if (!buckets.ok()) return buckets.status();
+      const int parts = parent->num_partitions;
+      state->resize(parts);
+      for (int q = 0; q < parts; ++q) {
+        int machine = ctx->MachineOf(q, parts);
+        std::unordered_map<K, V, detail::HashOf<K>> agg;
+        for (auto& kv : (*buckets)[q]) {
+          auto it = agg.find(kv.first);
+          if (it == agg.end()) {
+            agg.emplace(kv.first, std::move(kv.second));
+          } else {
+            it->second = merge(it->second, kv.second);
+          }
+        }
+        // Reduce-side buffer: logical bytes of the aggregate, transient.
+        double logical = static_cast<double>(agg.size()) * self->scale;
+        MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
+            machine, logical * self->record_bytes, "shuffle reduce buffer"));
+        ctx->sim().ChargeParallelCpuOnMachine(
+            machine,
+            logical * (ctx->lang().per_record_s +
+                       reduce_flops_per_record * ctx->lang().flop_s));
+        (*state)[q].assign(std::make_move_iterator(agg.begin()),
+                           std::make_move_iterator(agg.end()));
+      }
+      *done = true;
+    }
+    return (*state)[p];
+  };
+  return Rdd<std::pair<K, V>>(ctx, node);
+}
+
+/// Applies `f` to each value, keeping keys and partitioning.
+template <typename K, typename V, typename F>
+auto MapValues(const Rdd<std::pair<K, V>>& in, F f, OpCost cost = {},
+               double out_bytes = -1)
+    -> Rdd<std::pair<K, std::invoke_result_t<F, const V&>>> {
+  using W = std::invoke_result_t<F, const V&>;
+  return in.Map(
+      [f = std::move(f)](const std::pair<K, V>& kv) {
+        return std::pair<K, W>(kv.first, f(kv.second));
+      },
+      cost, out_bytes);
+}
+
+/// Collects a pair RDD into a driver-side hash map (Spark collectAsMap).
+template <typename K, typename V>
+Result<std::unordered_map<K, V, detail::HashOf<K>>> CollectAsMap(
+    const Rdd<std::pair<K, V>>& in) {
+  auto rows = in.Collect();
+  if (!rows.ok()) return rows.status();
+  std::unordered_map<K, V, detail::HashOf<K>> out;
+  for (auto& kv : *rows) out[kv.first] = std::move(kv.second);
+  return out;
+}
+
+/// Groups values by key, materializing full value lists on the reduce side
+/// (Spark's groupByKey: no combiner, maximal shuffle and memory).
+template <typename K, typename V>
+Rdd<std::pair<K, std::vector<V>>> GroupByKey(const Rdd<std::pair<K, V>>& in,
+                                             OpCost map_cost = {},
+                                             double out_scale = -1) {
+  auto parent = in.node();
+  Context* ctx = in.context();
+  using Out = std::pair<K, std::vector<V>>;
+  auto node = std::make_shared<detail::RddNode<Out>>();
+  node->ctx = ctx;
+  node->num_partitions = parent->num_partitions;
+  node->record_bytes = parent->record_bytes;  // per grouped value
+  node->scale = out_scale < 0 ? parent->scale : out_scale;
+  double value_scale = parent->scale;
+  auto state = std::make_shared<std::vector<std::vector<Out>>>();
+  auto done = std::make_shared<bool>(false);
+  std::weak_ptr<detail::RddNode<Out>> node_w(node);
+  node->compute = [parent, ctx, map_cost, state, done, value_scale,
+                   node_w](int p) -> Result<std::vector<Out>> {
+    auto self = node_w.lock();
+    if (!*done) {
+      using MergeFn = V (*)(const V&, const V&);
+      auto buckets = detail::ShuffleByKey<K, V>(
+          ctx, parent, static_cast<MergeFn*>(nullptr), map_cost,
+          self->record_bytes);
+      if (!buckets.ok()) return buckets.status();
+      const int parts = parent->num_partitions;
+      state->resize(parts);
+      for (int q = 0; q < parts; ++q) {
+        int machine = ctx->MachineOf(q, parts);
+        std::unordered_map<K, std::vector<V>, detail::HashOf<K>> groups;
+        double n_in = static_cast<double>((*buckets)[q].size());
+        for (auto& kv : (*buckets)[q]) {
+          groups[kv.first].push_back(std::move(kv.second));
+        }
+        // All grouped values are resident on the reduce machine.
+        MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
+            machine, n_in * value_scale * self->record_bytes,
+            "groupByKey buffer"));
+        ctx->sim().ChargeParallelCpuOnMachine(
+            machine, n_in * value_scale * ctx->lang().per_record_s);
+        (*state)[q].assign(std::make_move_iterator(groups.begin()),
+                           std::make_move_iterator(groups.end()));
+      }
+      *done = true;
+    }
+    return (*state)[p];
+  };
+  return Rdd<Out>(ctx, node);
+}
+
+/// Inner equi-join of two pair RDDs (cogroup-based hash join). Both sides'
+/// shuffled values are resident on the reduce machines — the memory profile
+/// that sank the paper's word-based Spark HMM (Section 7.5).
+template <typename K, typename V, typename W>
+Rdd<std::pair<K, std::pair<V, W>>> Join(const Rdd<std::pair<K, V>>& left,
+                                        const Rdd<std::pair<K, W>>& right,
+                                        double out_scale) {
+  auto lparent = left.node();
+  auto rparent = right.node();
+  Context* ctx = left.context();
+  using Out = std::pair<K, std::pair<V, W>>;
+  auto node = std::make_shared<detail::RddNode<Out>>();
+  node->ctx = ctx;
+  node->num_partitions = lparent->num_partitions;
+  node->record_bytes = lparent->record_bytes + rparent->record_bytes;
+  node->scale = out_scale;
+  auto state = std::make_shared<std::vector<std::vector<Out>>>();
+  auto done = std::make_shared<bool>(false);
+  std::weak_ptr<detail::RddNode<Out>> node_w(node);
+  node->compute = [lparent, rparent, ctx, state, done,
+                   node_w](int p) -> Result<std::vector<Out>> {
+    auto self = node_w.lock();
+    (void)self;
+    if (!*done) {
+      using MergeV = V (*)(const V&, const V&);
+      using MergeW = W (*)(const W&, const W&);
+      auto lb = detail::ShuffleByKey<K, V>(ctx, lparent,
+                                           static_cast<MergeV*>(nullptr),
+                                           OpCost{}, lparent->record_bytes);
+      if (!lb.ok()) return lb.status();
+      auto rb = detail::ShuffleByKey<K, W>(ctx, rparent,
+                                           static_cast<MergeW*>(nullptr),
+                                           OpCost{}, rparent->record_bytes);
+      if (!rb.ok()) return rb.status();
+      const int parts = lparent->num_partitions;
+      state->resize(parts);
+      for (int q = 0; q < parts; ++q) {
+        int machine = ctx->MachineOf(q, parts);
+        double l_n = static_cast<double>((*lb)[q].size());
+        double r_n = static_cast<double>((*rb)[q].size());
+        // Cogroup: both sides resident.
+        MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
+            machine,
+            l_n * lparent->scale * lparent->record_bytes +
+                r_n * rparent->scale * rparent->record_bytes,
+            "join cogroup buffer"));
+        ctx->sim().ChargeParallelCpuOnMachine(
+            machine, (l_n * lparent->scale + r_n * rparent->scale) *
+                         ctx->lang().per_record_s);
+        std::unordered_map<K, std::vector<V>, detail::HashOf<K>> build;
+        for (auto& kv : (*lb)[q]) build[kv.first].push_back(kv.second);
+        std::vector<Out> out;
+        for (auto& kw : (*rb)[q]) {
+          auto it = build.find(kw.first);
+          if (it == build.end()) continue;
+          for (const auto& v : it->second) {
+            out.emplace_back(kw.first, std::make_pair(v, kw.second));
+          }
+        }
+        (*state)[q] = std::move(out);
+      }
+      *done = true;
+    }
+    return (*state)[p];
+  };
+  return Rdd<Out>(ctx, node);
+}
+
+}  // namespace mlbench::dataflow

@@ -1,0 +1,298 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "gas/graph.h"
+#include "sim/cluster_sim.h"
+#include "sim/cost_profile.h"
+
+/// \file engine.h
+/// The GraphLab-like gather-apply-scatter engine (paper Section 4.3).
+///
+/// The engine is pull-based and asynchronous: each vertex gathers views of
+/// its neighbors, folds them, applies an update, and signals. Two modeled
+/// behaviours define it (both straight from the paper):
+///
+///  * During a sweep the engine simultaneously materializes, for every
+///    active vertex, the gathered copies of its neighbors' views ("GraphLab
+///    seems to simultaneously materialize one 50KB copy of the model for
+///    each data point, which quickly exhausts the available memory").
+///    Gather views are charged against the host machine's RAM; naive codes
+///    fail exactly the way the paper's did, and super-vertex codes fit.
+///
+///  * Asynchronous execution has no barrier; a sweep costs total work
+///    divided by the cluster's cores at an async utilization factor.
+///
+/// Boot-up of large clusters is unreliable (footnote to Fig. 1(b)): Boot()
+/// fails above GasCosts::max_bootable_machines.
+
+namespace mlbench::gas {
+
+/// User program: gather a value from each neighbor, fold, apply.
+///
+/// `VData` is the vertex payload (typically a variant over the model's
+/// vertex kinds); `GatherT` is the folded gather type.
+template <typename VData, typename GatherT>
+class GasProgram {
+ public:
+  virtual ~GasProgram() = default;
+
+  /// Extracts the neighbor's contribution to `center`'s gather.
+  virtual GatherT Gather(const typename Graph<VData>::Vertex& center,
+                         const typename Graph<VData>::Vertex& neighbor) = 0;
+
+  /// Folds two gather values (commutative + associative).
+  virtual GatherT Merge(GatherT a, const GatherT& b) = 0;
+
+  /// Updates the center vertex from its folded gather.
+  virtual void Apply(typename Graph<VData>::Vertex& center,
+                     const GatherT& total) = 0;
+
+  /// Declared numeric work: FLOPs per logical gather edge.
+  virtual double GatherFlopsPerEdge() const { return 0; }
+  /// Declared numeric work: FLOPs per logical vertex apply.
+  virtual double ApplyFlopsPerVertex() const { return 0; }
+};
+
+template <typename VData>
+class GasEngine {
+ public:
+  GasEngine(sim::ClusterSim* sim, Graph<VData>* graph, sim::GasCosts costs = {})
+      : sim_(sim), graph_(graph), costs_(costs) {}
+
+  sim::ClusterSim& sim() { return *sim_; }
+  Graph<VData>& graph() { return *graph_; }
+  const sim::GasCosts& costs() const { return costs_; }
+
+  /// Starts the engine: checks cluster bootability and pins the graph
+  /// (vertex state + adjacency) in cluster RAM.
+  Status Boot() {
+    if (sim_->machines() > costs_.max_bootable_machines) {
+      return Status::FailedPrecondition(
+          "GraphLab would not boot at " + std::to_string(sim_->machines()) +
+          " machines (max observed bootable: " +
+          std::to_string(costs_.max_bootable_machines) + ")");
+    }
+    sim_->BeginPhase("gas:boot");
+    std::vector<double> machine_bytes(sim_->machines(), 0.0);
+    Status st;
+    for (std::size_t i = 0; i < graph_->size() && st.ok(); ++i) {
+      const auto& v = graph_->vertex(i);
+      double bytes = v.scale * (v.state_bytes +
+                                16.0 * static_cast<double>(v.out.size()));
+      int m = graph_->MachineOf(i, sim_->machines());
+      st = sim_->Allocate(m, bytes, "graph storage");
+      if (st.ok()) {
+        machine_bytes[m] += bytes;
+        graph_bytes_ += bytes;
+      }
+    }
+    for (int m = 0; m < sim_->machines(); ++m) {
+      sim_->ChargeCpu(m, machine_bytes[m] / costs_.ingest_bytes_per_sec);
+    }
+    sim_->EndPhase();
+    if (!st.ok()) {
+      for (int m = 0; m < sim_->machines(); ++m) {
+        sim_->Free(m, machine_bytes[m]);
+      }
+      graph_bytes_ = 0;
+      return st;
+    }
+    booted_ = true;
+    return Status::OK();
+  }
+
+  /// Releases the graph from cluster RAM.
+  void Shutdown() {
+    if (!booted_) return;
+    for (std::size_t i = 0; i < graph_->size(); ++i) {
+      const auto& v = graph_->vertex(i);
+      double bytes = v.scale * (v.state_bytes +
+                                16.0 * static_cast<double>(v.out.size()));
+      sim_->Free(graph_->MachineOf(i, sim_->machines()), bytes);
+    }
+    booted_ = false;
+  }
+
+  /// One full gather-apply-scatter sweep over every vertex.
+  template <typename GatherT>
+  Status RunSweep(GasProgram<VData, GatherT>& program,
+                  const std::string& name = "sweep") {
+    MLBENCH_CHECK_MSG(booted_, "engine not booted");
+    const int machines = sim_->machines();
+    sim_->BeginPhase("gas:" + name);
+    sim_->ChargeFixed(costs_.sweep_launch_s);
+
+    // Phase 1 of the model: the engine activates all vertices and
+    // materializes their gather views concurrently.
+    // Two observed materialization behaviours drive GraphLab's failures:
+    //  * scaled data vertices keep a per-logical-vertex gather cache (the
+    //    paper's GMM: "one 50KB copy of the model for each data point");
+    //  * model-sized (scale-1) vertices' machines buffer every remote
+    //    exporter's arriving view before folding (the paper's HMM: counts
+    //    "arrive at a state vertex from each of the 10,000 super
+    //    vertices" and 100 GB materializes).
+    std::vector<double> view_bytes(machines, 0.0);
+    double total_core_s = 0;
+    double net_bytes_total = 0;
+    std::vector<bool> touched(machines, false);
+    for (std::size_t i = 0; i < graph_->size(); ++i) {
+      const auto& v = graph_->vertex(i);
+      int home = graph_->MachineOf(i, machines);
+      double in_view = 0;
+      for (std::size_t nidx : v.out) {
+        const auto& nbr = graph_->vertex(nidx);
+        in_view += nbr.export_bytes * nbr.scale;
+        total_core_s += costs_.per_gather_edge_s * v.scale * nbr.scale;
+      }
+      if (v.scale > 1.0) {
+        // Per-logical-consumer gather cache.
+        view_bytes[home] += costs_.gather_residency * in_view * v.scale;
+      }
+      total_core_s += costs_.per_apply_s * v.scale;
+      // Exporter side: this vertex's view ships once per machine hosting
+      // neighbors (mirror replication) and is buffered there when the
+      // consumer is a scale-1 vertex.
+      std::fill(touched.begin(), touched.end(), false);
+      int remote = 0;
+      for (std::size_t nidx : v.out) {
+        int nm = graph_->MachineOf(nidx, machines);
+        if (nm != home && !touched[nm]) {
+          touched[nm] = true;
+          ++remote;
+        }
+      }
+      net_bytes_total += v.export_bytes * remote;
+    }
+    // Arriving-view buffers at machines hosting scale-1 consumers: every
+    // exporter's logical views land once per such machine.
+    {
+      std::vector<bool> hosts_model_consumer(machines, false);
+      for (std::size_t i = 0; i < graph_->size(); ++i) {
+        const auto& v = graph_->vertex(i);
+        if (v.scale <= 1.0 && !v.out.empty()) {
+          hosts_model_consumer[graph_->MachineOf(i, machines)] = true;
+        }
+      }
+      for (std::size_t i = 0; i < graph_->size(); ++i) {
+        const auto& v = graph_->vertex(i);
+        if (v.scale <= 1.0) continue;  // exporters: scaled data vertices
+        bool consumer_is_model = false;
+        for (std::size_t nidx : v.out) {
+          if (graph_->vertex(nidx).scale <= 1.0) {
+            consumer_is_model = true;
+            break;
+          }
+        }
+        if (!consumer_is_model) continue;
+        for (int m = 0; m < machines; ++m) {
+          if (hosts_model_consumer[m]) {
+            view_bytes[m] +=
+                costs_.gather_residency * v.export_bytes * v.scale;
+          }
+        }
+      }
+    }
+    for (int m = 0; m < machines; ++m) {
+      Status st = sim_->Allocate(m, view_bytes[m], "gather views");
+      if (!st.ok()) {
+        for (int r = 0; r < m; ++r) sim_->Free(r, view_bytes[r]);
+        sim_->EndPhase();
+        return st;
+      }
+    }
+
+    // Phase 2: actually run the user program on the actual vertices.
+    double flops = 0;
+    for (std::size_t i = 0; i < graph_->size(); ++i) {
+      auto& v = graph_->vertex(i);
+      if (v.out.empty()) continue;
+      bool first = true;
+      GatherT acc{};
+      for (std::size_t nidx : v.out) {
+        GatherT g = program.Gather(v, graph_->vertex(nidx));
+        if (first) {
+          acc = std::move(g);
+          first = false;
+        } else {
+          acc = program.Merge(std::move(acc), g);
+        }
+      }
+      program.Apply(v, acc);
+      for (std::size_t nidx : v.out) {
+        flops += program.GatherFlopsPerEdge() * v.scale *
+                 graph_->vertex(nidx).scale;
+      }
+      flops += program.ApplyFlopsPerVertex() * v.scale;
+    }
+    total_core_s += flops * sim::CppModel().flop_s;
+
+    // Asynchronous execution: no barrier, utilization-scaled cores --
+    // bounded by the number of vertices (a vertex's apply is sequential,
+    // so very coarse super-vertex graphs cannot use every core).
+    double logical_vertices = 0;
+    for (std::size_t i = 0; i < graph_->size(); ++i) {
+      logical_vertices += graph_->vertex(i).scale;
+    }
+    double usable =
+        std::min<double>(sim_->spec().total_cores(), logical_vertices);
+    sim_->ChargeCpuAllMachines(total_core_s /
+                               (usable * costs_.async_core_utilization));
+    for (int m = 0; m < machines; ++m) {
+      sim_->ChargeNetwork(m, net_bytes_total / machines);
+    }
+    for (int m = 0; m < machines; ++m) sim_->Free(m, view_bytes[m]);
+    sim_->EndPhase();
+    return Status::OK();
+  }
+
+  /// GraphLab's map_reduce_vertices: folds a value over all vertices
+  /// (used by the Lasso code to compute invariant statistics up front).
+  template <typename T, typename MapFn, typename ReduceFn>
+  T MapReduceVertices(MapFn map, ReduceFn reduce, T init,
+                      double flops_per_vertex = 0,
+                      const std::string& name = "map_reduce_vertices") {
+    sim_->BeginPhase("gas:" + name);
+    sim_->ChargeFixed(costs_.sweep_launch_s);
+    T acc = std::move(init);
+    double total_core_s = 0;
+    for (std::size_t i = 0; i < graph_->size(); ++i) {
+      const auto& v = graph_->vertex(i);
+      acc = reduce(std::move(acc), map(v));
+      total_core_s += v.scale * (costs_.per_apply_s +
+                                 flops_per_vertex * sim::CppModel().flop_s);
+    }
+    sim_->ChargeParallelCpu(total_core_s / costs_.async_core_utilization);
+    sim_->EndPhase();
+    return acc;
+  }
+
+  /// GraphLab's transform_vertices: in-place update of every vertex.
+  template <typename Fn>
+  void TransformVertices(Fn fn, double flops_per_vertex = 0,
+                         const std::string& name = "transform_vertices") {
+    sim_->BeginPhase("gas:" + name);
+    sim_->ChargeFixed(costs_.sweep_launch_s);
+    double total_core_s = 0;
+    for (std::size_t i = 0; i < graph_->size(); ++i) {
+      auto& v = graph_->vertex(i);
+      fn(v);
+      total_core_s += v.scale * (costs_.per_apply_s +
+                                 flops_per_vertex * sim::CppModel().flop_s);
+    }
+    sim_->ChargeParallelCpu(total_core_s / costs_.async_core_utilization);
+    sim_->EndPhase();
+  }
+
+  bool booted() const { return booted_; }
+
+ private:
+  sim::ClusterSim* sim_;
+  Graph<VData>* graph_;
+  sim::GasCosts costs_;
+  bool booted_ = false;
+  double graph_bytes_ = 0;
+};
+
+}  // namespace mlbench::gas

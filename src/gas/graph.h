@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+/// \file graph.h
+/// Distributed graph storage for the GraphLab-like GAS engine (paper
+/// Section 4.3).
+///
+/// Vertices carry user data plus two accounting fields: `scale` (logical
+/// vertices represented by this actual vertex — data vertices are sampled,
+/// model vertices are exact) and `export_bytes` (the size of the view this
+/// vertex exposes to neighbors during gather, which drives GraphLab's
+/// memory behaviour). Vertices are hash-placed on machines; the resulting
+/// imbalance for small vertex classes (20 HMM state vertices over 20
+/// machines) is part of what the simulation reproduces.
+
+namespace mlbench::gas {
+
+using VertexId = std::int64_t;
+
+template <typename VData>
+class Graph {
+ public:
+  struct Vertex {
+    VertexId id;
+    VData data;
+    /// Logical vertices this actual vertex stands for.
+    double scale = 1.0;
+    /// Bytes of the view exported to gathering neighbors (per logical
+    /// vertex).
+    double export_bytes = 64;
+    /// Resident bytes of the vertex's own state (per logical vertex).
+    double state_bytes = 64;
+    std::vector<std::size_t> out;  ///< indices of neighbors (undirected)
+  };
+
+  /// Adds a vertex; ids must be unique and are assigned by the caller.
+  std::size_t AddVertex(VertexId id, VData data, double scale,
+                        double state_bytes, double export_bytes) {
+    Vertex v;
+    v.id = id;
+    v.data = std::move(data);
+    v.scale = scale;
+    v.state_bytes = state_bytes;
+    v.export_bytes = export_bytes;
+    vertices_.push_back(std::move(v));
+    return vertices_.size() - 1;
+  }
+
+  /// Adds an undirected edge between vertex slots `a` and `b`.
+  void AddEdge(std::size_t a, std::size_t b) {
+    MLBENCH_CHECK(a < vertices_.size() && b < vertices_.size());
+    vertices_[a].out.push_back(b);
+    vertices_[b].out.push_back(a);
+  }
+
+  std::size_t size() const { return vertices_.size(); }
+  Vertex& vertex(std::size_t i) { return vertices_[i]; }
+  const Vertex& vertex(std::size_t i) const { return vertices_[i]; }
+  std::vector<Vertex>& vertices() { return vertices_; }
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+
+  /// Machine hosting vertex slot `i` under hash placement.
+  int MachineOf(std::size_t i, int machines) const {
+    std::uint64_t h = static_cast<std::uint64_t>(vertices_[i].id) *
+                      0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    return static_cast<int>(h % static_cast<std::uint64_t>(machines));
+  }
+
+ private:
+  std::vector<Vertex> vertices_;
+};
+
+}  // namespace mlbench::gas

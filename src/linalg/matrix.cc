@@ -1,0 +1,206 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace mlbench::linalg {
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::Outer(const Vector& x, const Vector& y) {
+  Matrix m(x.size(), y.size());
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    for (std::size_t c = 0; c < y.size(); ++c) m(r, c) = x[r] * y[c];
+  }
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  MLBENCH_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  MLBENCH_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::Trace() const {
+  MLBENCH_CHECK(rows_ == cols_);
+  double s = 0;
+  for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, i);
+  return s;
+}
+
+Vector Matrix::Row(std::size_t r) const {
+  Vector v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::Col(std::size_t c) const {
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+Matrix Matrix::Block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  MLBENCH_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix b(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t c = 0; c < nc; ++c) b(r, c) = (*this)(r0 + r, c0 + c);
+  }
+  return b;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+Matrix operator*(Matrix a, double s) {
+  a *= s;
+  return a;
+}
+Matrix operator*(double s, Matrix a) {
+  a *= s;
+  return a;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  MLBENCH_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  MLBENCH_CHECK(a.cols() == x.size());
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+double QuadraticForm(const Matrix& a, const Vector& x) {
+  MLBENCH_CHECK(a.rows() == a.cols() && a.rows() == x.size());
+  return Dot(x, MatVec(a, x));
+}
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) {
+      return Status::InvalidArgument("matrix is not positive definite");
+    }
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector ForwardSubstitute(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  MLBENCH_CHECK(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  return y;
+}
+
+Vector BackSubstituteTransposed(const Matrix& l, const Vector& y) {
+  const std::size_t n = l.rows();
+  MLBENCH_CHECK(y.size() == n);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  MLBENCH_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  return BackSubstituteTransposed(l, ForwardSubstitute(l, b));
+}
+
+Result<Matrix> InverseSpd(const Matrix& a) {
+  MLBENCH_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    Vector e(n);
+    e[c] = 1.0;
+    Vector x = BackSubstituteTransposed(l, ForwardSubstitute(l, e));
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = x[r];
+  }
+  return inv;
+}
+
+Result<double> LogDetSpd(const Matrix& a) {
+  MLBENCH_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  double s = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) s += std::log(l(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace mlbench::linalg

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "linalg/vector.h"
+
+/// \file matrix.h
+/// Dense row-major matrix with the factorizations the samplers need.
+///
+/// Sizes in this benchmark top out around 1000x1000 (the Bayesian Lasso Gram
+/// matrix), so straightforward O(n^3) kernels are appropriate and keep the
+/// code auditable.
+
+namespace mlbench::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero matrix of shape rows x cols.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Identity matrix of dimension n.
+  static Matrix Identity(std::size_t n);
+  /// Diagonal matrix from vector d.
+  static Matrix Diagonal(const Vector& d);
+  /// Outer product x y^T.
+  static Matrix Outer(const Vector& x, const Vector& y);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  Matrix Transposed() const;
+  double Trace() const;
+  /// Extracts row r as a Vector.
+  Vector Row(std::size_t r) const;
+  /// Extracts column c as a Vector.
+  Vector Col(std::size_t c) const;
+  /// Extracts the rectangular block [r0,r0+nr) x [c0,c0+nc).
+  Matrix Block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+
+  /// Maximum absolute entry, for tolerance checks.
+  double MaxAbs() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+/// Dense matrix product; inner dimensions must agree.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// Matrix-vector product a * x.
+Vector MatVec(const Matrix& a, const Vector& x);
+/// x^T a x for square a.
+double QuadraticForm(const Matrix& a, const Vector& x);
+
+/// Cholesky factor L (lower triangular, a = L L^T) of an SPD matrix.
+/// Fails with InvalidArgument if the matrix is not (numerically) SPD.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves a x = b for SPD a via Cholesky.
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+/// Inverse of an SPD matrix via Cholesky.
+Result<Matrix> InverseSpd(const Matrix& a);
+
+/// log |a| for SPD a.
+Result<double> LogDetSpd(const Matrix& a);
+
+/// Solves L y = b by forward substitution for lower-triangular L.
+Vector ForwardSubstitute(const Matrix& l, const Vector& b);
+/// Solves L^T x = y by back substitution for lower-triangular L.
+Vector BackSubstituteTransposed(const Matrix& l, const Vector& y);
+
+}  // namespace mlbench::linalg

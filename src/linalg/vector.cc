@@ -1,0 +1,75 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+namespace mlbench::linalg {
+
+Vector& Vector::operator+=(const Vector& o) {
+  MLBENCH_CHECK(size() == o.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& o) {
+  MLBENCH_CHECK(size() == o.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  for (auto& v : data_) v /= s;
+  return *this;
+}
+
+double Vector::Norm() const { return std::sqrt(Dot(*this, *this)); }
+
+double Vector::Sum() const {
+  double s = 0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+void Vector::Fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+Vector operator+(Vector a, const Vector& b) {
+  a += b;
+  return a;
+}
+Vector operator-(Vector a, const Vector& b) {
+  a -= b;
+  return a;
+}
+Vector operator*(Vector a, double s) {
+  a *= s;
+  return a;
+}
+Vector operator*(double s, Vector a) {
+  a *= s;
+  return a;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  MLBENCH_CHECK(a.size() == b.size());
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  MLBENCH_CHECK(a.size() == b.size());
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace mlbench::linalg

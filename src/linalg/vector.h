@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.h"
+
+/// \file vector.h
+/// A small dense double vector used throughout the samplers.
+///
+/// This is deliberately a thin, owning, contiguous container: the models in
+/// the benchmark work with dimensionalities of 10-1000, so simplicity and
+/// cache-friendliness beat expression templates.
+
+namespace mlbench::linalg {
+
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero vector of dimension n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  const std::vector<double>& raw() const { return data_; }
+
+  Vector& operator+=(const Vector& o);
+  Vector& operator-=(const Vector& o);
+  Vector& operator*=(double s);
+  Vector& operator/=(double s);
+
+  /// Euclidean norm.
+  double Norm() const;
+  /// Sum of entries.
+  double Sum() const;
+  /// Fills every entry with `v`.
+  void Fill(double v);
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector a, double s);
+Vector operator*(double s, Vector a);
+
+/// Dot product; dimensions must agree.
+double Dot(const Vector& a, const Vector& b);
+
+/// Squared Euclidean distance between a and b.
+double SquaredDistance(const Vector& a, const Vector& b);
+
+}  // namespace mlbench::linalg

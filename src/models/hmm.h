@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "stats/rng.h"
+
+/// \file hmm.h
+/// Hidden Markov model for text (paper Section 7): K hidden states over a
+/// V-word dictionary, with per-state emission vectors Psi_s, transition
+/// vectors delta_s, and a start-state vector delta_0. The sampler updates
+/// every *other* state assignment per iteration (even positions on even
+/// iterations, odd on odd), exactly as the paper specifies.
+
+namespace mlbench::models {
+
+using linalg::Vector;
+
+struct HmmHyper {
+  std::size_t states = 20;
+  std::size_t vocab = 10000;
+  double alpha = 1.0;  ///< Dirichlet prior on transitions / start state
+  double beta = 0.1;   ///< Dirichlet prior on emissions
+};
+
+struct HmmParams {
+  Vector delta0;               ///< start-state distribution (K)
+  std::vector<Vector> delta;   ///< per-state transition rows (K x K)
+  std::vector<Vector> psi;     ///< per-state emission rows (K x V)
+};
+
+/// Count statistics f(w,s), g(s), h(s,s') of Section 7.
+struct HmmCounts {
+  std::vector<Vector> f;  ///< emissions: f[s][w]
+  Vector g;               ///< start states: g[s]
+  std::vector<Vector> h;  ///< transitions: h[s][s']
+
+  HmmCounts() = default;
+  HmmCounts(std::size_t states, std::size_t vocab);
+  HmmCounts& Merge(const HmmCounts& o);
+};
+
+/// A document: its word ids and current state assignments.
+struct HmmDocument {
+  std::vector<std::uint32_t> words;
+  std::vector<std::uint8_t> states;
+};
+
+/// Draws the initial model from the prior.
+HmmParams SampleHmmPrior(stats::Rng& rng, const HmmHyper& hyper);
+
+/// Randomly initializes the state sequence of a document.
+void InitHmmStates(stats::Rng& rng, std::size_t states, HmmDocument* doc);
+
+/// Re-samples the parity-matching state assignments of one document for
+/// iteration `iteration` (paper's alternating update), in place.
+void ResampleHmmStates(stats::Rng& rng, const HmmParams& params,
+                       int iteration, HmmDocument* doc);
+
+/// Accumulates a document's counts into `counts`.
+void AccumulateHmmCounts(const HmmDocument& doc, HmmCounts* counts);
+
+/// Draws Psi, delta, delta0 from the accumulated counts.
+HmmParams SampleHmmPosterior(stats::Rng& rng, const HmmHyper& hyper,
+                             const HmmCounts& counts);
+
+/// FLOPs to re-sample one word's state (K weight evaluations).
+double StateUpdateFlops(std::size_t states);
+
+/// Bytes of the serialized model (Psi + delta + delta0), per copy.
+double HmmModelBytes(const HmmHyper& hyper, double bytes_per_entry = 8.0);
+
+/// Bytes of one document's serialized count contribution before any
+/// aggregation (sparse f entries + transitions).
+double HmmDocCountBytes(std::size_t doc_words, double bytes_per_entry = 16.0);
+
+}  // namespace mlbench::models

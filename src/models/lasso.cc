@@ -1,0 +1,94 @@
+#include "models/lasso.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace mlbench::models {
+
+void AccumulateLasso(const Vector& x, double y, LassoSuffStats* stats) {
+  const std::size_t p = x.size();
+  if (stats->xtx.rows() == 0) {
+    stats->xtx = Matrix(p, p);
+    stats->xty = Vector(p);
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    if (x[i] == 0.0) continue;
+    for (std::size_t j = 0; j < p; ++j) {
+      stats->xtx(i, j) += x[i] * x[j];
+    }
+    stats->xty[i] += x[i] * y;
+  }
+  stats->n += 1;
+  stats->yty += y * y;
+}
+
+Result<LassoState> InitLasso(stats::Rng& rng, const LassoHyper& hyper) {
+  LassoState s;
+  s.beta = Vector(hyper.p);
+  s.sigma2 = 1.0;
+  s.inv_tau2 = Vector(hyper.p);
+  for (std::size_t j = 0; j < hyper.p; ++j) {
+    // tau_j^2 ~ Exponential(lambda^2 / 2) is the Park-Casella prior.
+    double tau2 =
+        stats::SampleExponential(rng, hyper.lambda * hyper.lambda / 2.0);
+    s.inv_tau2[j] = 1.0 / std::max(tau2, 1e-12);
+  }
+  return s;
+}
+
+double SampleInvTau2(stats::Rng& rng, const LassoHyper& hyper, double sigma2,
+                     double beta_j) {
+  double b2 = std::max(beta_j * beta_j, 1e-12);
+  double mu = std::sqrt(hyper.lambda * hyper.lambda * sigma2 / b2);
+  return stats::SampleInverseGaussian(rng, mu, hyper.lambda * hyper.lambda);
+}
+
+Result<Vector> SampleBeta(stats::Rng& rng, const LassoSuffStats& stats,
+                          const Vector& inv_tau2, double sigma2) {
+  const std::size_t p = inv_tau2.size();
+  Matrix a = stats.xtx;
+  for (std::size_t j = 0; j < p; ++j) a(j, j) += inv_tau2[j];
+  MLBENCH_ASSIGN_OR_RETURN(Matrix l, linalg::Cholesky(a));
+  // Mean: A^-1 X^T y.
+  Vector mean = linalg::BackSubstituteTransposed(
+      l, linalg::ForwardSubstitute(l, stats.xty));
+  // Draw: mean + sigma L^-T z  (covariance sigma^2 A^-1).
+  Vector z(p);
+  for (std::size_t j = 0; j < p; ++j) z[j] = stats::SampleStandardNormal(rng);
+  Vector delta = linalg::BackSubstituteTransposed(l, z);
+  for (std::size_t j = 0; j < p; ++j) {
+    mean[j] += std::sqrt(sigma2) * delta[j];
+  }
+  return mean;
+}
+
+double SampleSigma2(stats::Rng& rng, const LassoHyper& hyper,
+                    const LassoSuffStats& stats, const Vector& beta,
+                    const Vector& inv_tau2, double sse) {
+  double penalty = 0;
+  for (std::size_t j = 0; j < hyper.p; ++j) {
+    penalty += beta[j] * beta[j] * inv_tau2[j];
+  }
+  double shape = (1.0 + stats.n + static_cast<double>(hyper.p)) / 2.0;
+  double rate = (2.0 + sse + penalty) / 2.0;
+  return stats::SampleInverseGamma(rng, shape, rate);
+}
+
+double ResidualSumOfSquares(const LassoSuffStats& stats, const Vector& beta) {
+  // sum (y - b.x)^2 = y^T y - 2 b^T X^T y + b^T X^T X b.
+  double quad = linalg::QuadraticForm(stats.xtx, beta);
+  return std::max(0.0, stats.yty - 2.0 * linalg::Dot(beta, stats.xty) + quad);
+}
+
+double BetaUpdateFlops(std::size_t p) {
+  double pd = static_cast<double>(p);
+  return pd * pd * pd / 3.0 + 4.0 * pd * pd;
+}
+
+double GramAccumulateFlops(std::size_t p) {
+  double pd = static_cast<double>(p);
+  return 2.0 * pd * pd + 2.0 * pd;
+}
+
+}  // namespace mlbench::models

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/rng.h"
+
+/// \file lasso.h
+/// The Bayesian Lasso (Park & Casella 2008) Gibbs sampler of paper
+/// Section 6: regression coefficients beta, noise variance sigma^2, and
+/// per-coefficient auxiliary variances tau_j^2.
+
+namespace mlbench::models {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+struct LassoHyper {
+  std::size_t p = 1000;  ///< regressors
+  double lambda = 1.0;   ///< Lasso regularization
+};
+
+struct LassoState {
+  Vector beta;          ///< regression coefficients (p)
+  double sigma2 = 1.0;  ///< noise variance
+  Vector inv_tau2;      ///< 1 / tau_j^2 auxiliary variables (p)
+};
+
+/// Invariant statistics computed once at initialization: the Gram matrix
+/// X^T X, the moment vector X^T y, and n (paper Section 6.1's
+/// "materialized views").
+struct LassoSuffStats {
+  Matrix xtx;
+  Vector xty;
+  double n = 0;
+  double yty = 0;  ///< sum of squared centered responses
+};
+
+/// Accumulates one (x, y) pair into the invariant statistics.
+void AccumulateLasso(const Vector& x, double y, LassoSuffStats* stats);
+
+/// Draws the initial state (tau from the prior, beta at ridge estimate).
+Result<LassoState> InitLasso(stats::Rng& rng, const LassoHyper& hyper);
+
+/// 1/tau_j^2 ~ InvGaussian(sqrt(lambda^2 sigma^2 / beta_j^2), lambda^2).
+double SampleInvTau2(stats::Rng& rng, const LassoHyper& hyper, double sigma2,
+                     double beta_j);
+
+/// beta ~ Normal(A^-1 X^T y, sigma^2 A^-1), A = X^T X + D_tau^-1.
+Result<Vector> SampleBeta(stats::Rng& rng, const LassoSuffStats& stats,
+                          const Vector& inv_tau2, double sigma2);
+
+/// sigma^2 ~ InvGamma((1+n+p)/2, (2 + SSE + sum beta_j^2/tau_j^2)/2).
+double SampleSigma2(stats::Rng& rng, const LassoHyper& hyper,
+                    const LassoSuffStats& stats, const Vector& beta,
+                    const Vector& inv_tau2, double sse);
+
+/// Sum of squared residuals sum (y - beta . x)^2 computed from the
+/// invariant statistics (avoids a data pass; used by the platforms that
+/// keep X^T X around). Exact because the model is linear.
+double ResidualSumOfSquares(const LassoSuffStats& stats, const Vector& beta);
+
+/// FLOPs for the per-iteration beta draw (Cholesky solve on p x p).
+double BetaUpdateFlops(std::size_t p);
+/// FLOPs to accumulate one data point into the Gram matrix.
+double GramAccumulateFlops(std::size_t p);
+
+}  // namespace mlbench::models

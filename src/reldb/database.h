@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "reldb/table.h"
+#include "sim/cluster_sim.h"
+#include "sim/cost_profile.h"
+
+/// \file database.h
+/// The SimSQL-like distributed relational database (paper Section 4.2).
+///
+/// Queries execute eagerly through Rel (see rel.h); the database stores the
+/// named (and iteration-versioned) tables between queries. Execution is
+/// modeled after SimSQL 0.1: every query compiles to one or more Hadoop
+/// MapReduce jobs (one per wide operator), tables are materialized to
+/// replicated storage between jobs, and nothing is pinned in RAM — which is
+/// why this engine can be slow but never runs out of memory.
+
+namespace mlbench::reldb {
+
+class Database {
+ public:
+  Database(sim::ClusterSim* sim, sim::RelDbCosts costs = {},
+           std::uint64_t seed = 1)
+      : sim_(sim), costs_(costs), rng_(seed) {}
+
+  sim::ClusterSim& sim() { return *sim_; }
+  const sim::RelDbCosts& costs() const { return costs_; }
+  stats::Rng& rng() { return rng_; }
+
+  /// Bytes of one materialized tuple with `cols` columns.
+  double TupleBytes(std::size_t cols) const {
+    return costs_.tuple_bytes + 8.0 * static_cast<double>(cols);
+  }
+
+  bool Exists(const std::string& name) const {
+    return tables_.contains(name);
+  }
+
+  /// Registers (or replaces) a stored table.
+  void Put(const std::string& name, Table table) {
+    tables_[name] = std::make_shared<Table>(std::move(table));
+  }
+
+  /// Fetches a stored table; the table must exist.
+  std::shared_ptr<Table> Get(const std::string& name) const {
+    auto it = tables_.find(name);
+    MLBENCH_CHECK_MSG(it != tables_.end(),
+                      ("no such table: " + name).c_str());
+    return it->second;
+  }
+
+  void Drop(const std::string& name) { tables_.erase(name); }
+
+  /// Drops every version of `base` older than iteration `keep_from`;
+  /// SimSQL garbage-collects old versions of recursively defined tables.
+  void DropVersionsBefore(const std::string& base, int keep_from) {
+    for (int i = 0; i < keep_from; ++i) tables_.erase(Versioned(base, i));
+  }
+
+  /// "name[i]" — the iteration-versioned table naming of SimSQL's
+  /// recursive SQL dialect.
+  static std::string Versioned(const std::string& base, int iteration) {
+    return base + "[" + std::to_string(iteration) + "]";
+  }
+
+  // ---- Query bracket -------------------------------------------------------
+  //
+  // Every query runs at least one MapReduce job; wide operators inside the
+  // query add one job each (charged by Rel).
+
+  /// Opens a query phase and charges the first job's launch.
+  void BeginQuery(const std::string& name) {
+    sim_->BeginPhase("reldb:" + name);
+    ChargeExtraJob();
+  }
+
+  /// Charges one additional MR job inside the current query.
+  void ChargeExtraJob() {
+    sim_->ChargeFixed(costs_.mr_job_launch_s +
+                      costs_.mr_job_per_machine_s * sim_->machines());
+  }
+
+  /// Closes the query phase; returns its simulated wall time.
+  double EndQuery() { return sim_->EndPhase(); }
+
+ private:
+  sim::ClusterSim* sim_;
+  sim::RelDbCosts costs_;
+  stats::Rng rng_;
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace mlbench::reldb

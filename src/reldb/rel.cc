@@ -1,0 +1,230 @@
+#include "reldb/rel.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace mlbench::reldb {
+
+namespace {
+
+std::vector<std::size_t> ResolveAll(const Schema& schema,
+                                    const std::vector<std::string>& cols) {
+  std::vector<std::size_t> idx;
+  idx.reserve(cols.size());
+  for (const auto& c : cols) idx.push_back(schema.IndexOf(c));
+  return idx;
+}
+
+}  // namespace
+
+Rel Rel::Scan(Database& db, const std::string& name) {
+  auto t = db.Get(name);
+  Rel r(&db, t);
+  // Map phase reads the stored table from replicated storage.
+  r.ChargeIo(r.TableBytes(*t));
+  r.ChargeTuples(t->logical_rows(), db.costs().per_tuple_s);
+  return r;
+}
+
+Rel Rel::FromTable(Database& db, Table table) {
+  return Rel(&db, std::make_shared<Table>(std::move(table)));
+}
+
+void Rel::ChargeTuples(double logical, double per_tuple_s) const {
+  db_->sim().ChargeParallelCpu(logical * per_tuple_s);
+}
+
+void Rel::ChargeIo(double bytes) const {
+  // Storage scan/write is disk-bound: each machine streams its share.
+  double per_machine = bytes / db_->sim().machines();
+  db_->sim().ChargeCpuAllMachines(per_machine *
+                                  db_->costs().materialize_byte_s);
+}
+
+void Rel::ChargeShuffle(double bytes) const {
+  int m = db_->sim().machines();
+  double per_machine = bytes / m * (1.0 - 1.0 / m);
+  for (int i = 0; i < m; ++i) db_->sim().ChargeNetwork(i, per_machine);
+}
+
+Rel Rel::Filter(const std::function<bool(const Tuple&)>& pred) const {
+  ChargeTuples(table_->logical_rows(), db_->costs().per_tuple_s);
+  Table out(table_->schema(), table_->scale());
+  for (const auto& row : table_->rows()) {
+    if (pred(row)) out.Append(row);
+  }
+  return Rel(db_, std::make_shared<Table>(std::move(out)));
+}
+
+Rel Rel::Project(Schema out_schema,
+                 const std::function<Tuple(const Tuple&)>& fn) const {
+  ChargeTuples(table_->logical_rows(), db_->costs().per_tuple_s);
+  Table out(std::move(out_schema), table_->scale());
+  for (const auto& row : table_->rows()) out.Append(fn(row));
+  return Rel(db_, std::make_shared<Table>(std::move(out)));
+}
+
+Rel Rel::HashJoin(const Rel& right, const std::vector<std::string>& left_keys,
+                  const std::vector<std::string>& right_keys, double out_scale,
+                  bool co_partitioned) const {
+  if (!co_partitioned) {
+    // Wide operator: one more MR job; both inputs shuffle by key and the
+    // output is materialized for the next job.
+    db_->ChargeExtraJob();
+    ChargeShuffle(TableBytes(*table_) + TableBytes(right.table()));
+  }
+  ChargeTuples(table_->logical_rows() + right.logical_rows(),
+               db_->costs().join_tuple_s);
+
+  auto lidx = ResolveAll(schema(), left_keys);
+  auto ridx = ResolveAll(right.schema(), right_keys);
+  MLBENCH_CHECK(lidx.size() == ridx.size());
+
+  // Output schema: all left columns, then right's non-key columns.
+  std::vector<std::string> out_cols = schema().columns();
+  std::vector<std::size_t> right_keep;
+  for (std::size_t c = 0; c < right.schema().size(); ++c) {
+    if (std::find(ridx.begin(), ridx.end(), c) == ridx.end()) {
+      right_keep.push_back(c);
+      out_cols.push_back(right.schema().name(c));
+    }
+  }
+  Table out(Schema(std::move(out_cols)), out_scale);
+
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash, TupleEq>
+      build;
+  for (const auto& row : table_->rows()) {
+    build[KeyOf(row, lidx)].push_back(&row);
+  }
+  for (const auto& rrow : right.table().rows()) {
+    auto it = build.find(KeyOf(rrow, ridx));
+    if (it == build.end()) continue;
+    for (const Tuple* lrow : it->second) {
+      Tuple joined = *lrow;
+      for (std::size_t c : right_keep) joined.push_back(rrow[c]);
+      out.Append(std::move(joined));
+    }
+  }
+  Rel result(db_, std::make_shared<Table>(std::move(out)));
+  if (!co_partitioned) {
+    result.ChargeIo(result.TableBytes(result.table()) * 2.0);  // write+read
+  }
+  return result;
+}
+
+Rel Rel::GroupBy(const std::vector<std::string>& keys,
+                 const std::vector<Agg>& aggs, double out_scale) const {
+  db_->ChargeExtraJob();
+  ChargeTuples(table_->logical_rows(), db_->costs().group_by_tuple_s);
+
+  auto kidx = ResolveAll(schema(), keys);
+  std::vector<std::size_t> aidx;
+  for (const auto& a : aggs) {
+    aidx.push_back(a.op == AggOp::kCount ? 0 : schema().IndexOf(a.col));
+  }
+
+  struct Acc {
+    double sum = 0;
+    double count = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::unordered_map<Tuple, std::vector<Acc>, TupleHash, TupleEq> groups;
+  for (const auto& row : table_->rows()) {
+    auto& accs = groups[KeyOf(row, kidx)];
+    if (accs.empty()) accs.resize(aggs.size());
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      double v = aggs[a].op == AggOp::kCount ? 1.0 : AsDouble(row[aidx[a]]);
+      accs[a].sum += v;
+      accs[a].count += 1;
+      accs[a].min = std::min(accs[a].min, v);
+      accs[a].max = std::max(accs[a].max, v);
+    }
+  }
+
+  std::vector<std::string> out_cols = keys;
+  for (const auto& a : aggs) out_cols.push_back(a.out_name);
+  Table out(Schema(std::move(out_cols)), out_scale);
+  for (auto& [key, accs] : groups) {
+    Tuple row = key;
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      switch (aggs[a].op) {
+        case AggOp::kSum:
+          row.emplace_back(accs[a].sum);
+          break;
+        case AggOp::kCount:
+          // Counts are logical: each actual row stands for `scale` rows.
+          row.emplace_back(accs[a].count * table_->scale());
+          break;
+        case AggOp::kAvg:
+          row.emplace_back(accs[a].sum / accs[a].count);
+          break;
+        case AggOp::kMin:
+          row.emplace_back(accs[a].min);
+          break;
+        case AggOp::kMax:
+          row.emplace_back(accs[a].max);
+          break;
+      }
+    }
+    out.Append(std::move(row));
+  }
+  Rel result(db_, std::make_shared<Table>(std::move(out)));
+  // Shuffle the map-side-combined groups, then write the aggregate.
+  double combined_bytes =
+      std::min(TableBytes(*table_),
+               result.table().logical_rows() * db_->sim().machines() *
+                   db_->TupleBytes(result.schema().size()));
+  ChargeShuffle(combined_bytes);
+  result.ChargeIo(result.TableBytes(result.table()) * 2.0);
+  return result;
+}
+
+Rel Rel::VgApply(VgFunction& vg, const std::vector<std::string>& group_cols,
+                 double out_scale, double flops_per_out_tuple) const {
+  auto gidx = ResolveAll(schema(), group_cols);
+
+  // Partition parameter rows into invocation groups (stable order).
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> groups;
+  std::vector<Tuple> group_order;
+  for (const auto& row : table_->rows()) {
+    Tuple key = KeyOf(row, gidx);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      group_order.push_back(key);
+      groups.emplace(std::move(key), std::vector<Tuple>{row});
+    } else {
+      it->second.push_back(row);
+    }
+  }
+
+  Table out(vg.output_schema(), out_scale);
+  for (const auto& key : group_order) {
+    vg.Sample(groups[key], schema(), db_->rng(), &out.rows());
+  }
+  // Parameter tuples in, sampled tuples out — each crosses the Java/C++
+  // VG boundary; the function body itself runs at C++ speed.
+  ChargeTuples(table_->logical_rows(), db_->costs().vg_tuple_s);
+  double logical_out = static_cast<double>(out.actual_rows()) * out_scale;
+  ChargeTuples(logical_out, db_->costs().vg_tuple_s);
+  db_->sim().ChargeParallelCpu(logical_out * flops_per_out_tuple *
+                               sim::CppModel().flop_s);
+  return Rel(db_, std::make_shared<Table>(std::move(out)));
+}
+
+Rel Rel::Union(const Rel& other) const {
+  MLBENCH_CHECK(schema().size() == other.schema().size());
+  Table out(schema(), table_->scale());
+  out.rows() = table_->rows();
+  for (const auto& row : other.table().rows()) out.Append(row);
+  return Rel(db_, std::make_shared<Table>(std::move(out)));
+}
+
+void Rel::Materialize(const std::string& name) const {
+  ChargeIo(TableBytes(*table_));
+  ChargeTuples(table_->logical_rows(), db_->costs().per_tuple_s);
+  db_->Put(name, *table_);
+}
+
+}  // namespace mlbench::reldb

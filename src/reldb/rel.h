@@ -1,0 +1,110 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reldb/database.h"
+#include "reldb/table.h"
+#include "reldb/vg_function.h"
+
+/// \file rel.h
+/// Eager relational operators over Database tables.
+///
+/// A Rel wraps an intermediate relation flowing through a query. Operators
+/// execute immediately on the actual rows and charge the simulated cluster
+/// for the logical work: per-tuple operator costs, shuffle traffic and an
+/// extra MapReduce job for every wide operator (join / group-by), and
+/// storage I/O for every materialization boundary — the cost structure of
+/// SimSQL-on-Hadoop the paper measures.
+///
+/// Usage follows the SQL structure of the paper's codes:
+///
+///   db.BeginQuery("clus_prob[i]");
+///   auto cmem = Rel::Scan(db, Database::Versioned("membership", i - 1))
+///                   .GroupBy({"clus_id"}, {{AggOp::kCount, "", "count"}}, 1);
+///   auto para = cmem.HashJoin(Rel::Scan(db, "cluster"),
+///                             {"clus_id"}, {"clus_id"}, 1);
+///   para.Project(...).VgApply(dirichlet, {}, 1)
+///       .Materialize(Database::Versioned("clus_prob", i));
+///   db.EndQuery();
+
+namespace mlbench::reldb {
+
+/// Aggregate operators for GroupBy.
+enum class AggOp { kSum, kCount, kAvg, kMin, kMax };
+
+struct Agg {
+  AggOp op;
+  std::string col;       ///< input column (ignored for kCount)
+  std::string out_name;  ///< output column name
+};
+
+class Rel {
+ public:
+  /// Reads a stored table, charging the storage scan.
+  static Rel Scan(Database& db, const std::string& name);
+
+  /// Wraps a freshly built in-flight table without a read charge.
+  static Rel FromTable(Database& db, Table table);
+
+  const Table& table() const { return *table_; }
+  const Schema& schema() const { return table_->schema(); }
+  double scale() const { return table_->scale(); }
+  double logical_rows() const { return table_->logical_rows(); }
+
+  /// Keeps rows satisfying `pred` (narrow, pipelined).
+  Rel Filter(const std::function<bool(const Tuple&)>& pred) const;
+
+  /// Rewrites every row through `fn` into `out_schema` (narrow, pipelined).
+  Rel Project(Schema out_schema,
+              const std::function<Tuple(const Tuple&)>& fn) const;
+
+  /// Hash equi-join. Output columns are the left schema followed by the
+  /// right schema's non-key columns. `out_scale` gives the logical rows
+  /// each actual output row stands for. By default the join is a wide
+  /// operator (one more MR job, shuffles both inputs, materializes its
+  /// output); `co_partitioned = true` models a map-side join of inputs
+  /// already hashed on the key, which pipelines into the consumer.
+  Rel HashJoin(const Rel& right, const std::vector<std::string>& left_keys,
+               const std::vector<std::string>& right_keys, double out_scale,
+               bool co_partitioned = false) const;
+
+  /// Hash aggregation (wide: one MR job). Output columns are the keys
+  /// followed by one column per aggregate.
+  Rel GroupBy(const std::vector<std::string>& keys,
+              const std::vector<Agg>& aggs, double out_scale) const;
+
+  /// Applies a VG function once per distinct value of `group_cols`
+  /// (empty = one invocation over the whole input). VG functions run in
+  /// C++; `flops_per_out_tuple` declares their numeric work. Narrow.
+  Rel VgApply(VgFunction& vg, const std::vector<std::string>& group_cols,
+              double out_scale, double flops_per_out_tuple = 0) const;
+
+  /// Concatenates two relations with identical schemas (narrow).
+  Rel Union(const Rel& other) const;
+
+  /// Writes this relation into the database under `name`, charging the
+  /// materialization write.
+  void Materialize(const std::string& name) const;
+
+ private:
+  Rel(Database* db, std::shared_ptr<Table> t) : db_(db), table_(std::move(t)) {}
+
+  /// Charges per-tuple CPU across the cluster for `logical` tuples.
+  void ChargeTuples(double logical, double per_tuple_s) const;
+  /// Charges cluster-wide storage I/O of `bytes` logical bytes.
+  void ChargeIo(double bytes) const;
+  /// Charges a shuffle of `bytes` logical bytes across the cluster.
+  void ChargeShuffle(double bytes) const;
+
+  double TableBytes(const Table& t) const {
+    return t.logical_rows() * db_->TupleBytes(t.schema().size());
+  }
+
+  Database* db_;
+  std::shared_ptr<Table> table_;
+};
+
+}  // namespace mlbench::reldb

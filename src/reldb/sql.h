@@ -1,0 +1,76 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/database.h"
+#include "reldb/rel.h"
+#include "reldb/vg_function.h"
+
+/// \file sql.h
+/// A SQL front end for the relational engine, covering the dialect the
+/// paper's SimSQL codes are written in (Sections 5.2, 6.2, 7.2):
+///
+///   CREATE TABLE clus_prob_0 (clus_id, prob) AS
+///   WITH diri_res AS Dirichlet
+///       (SELECT clus_id, pi_prior FROM cluster)
+///   SELECT diri_res.out_id, diri_res.prob
+///   FROM diri_res;
+///
+///   CREATE VIEW mean_prior (dim_id, dim_val) AS
+///   SELECT dim_id, AVG(data_val) FROM data GROUP BY dim_id;
+///
+/// Supported: SELECT lists with arithmetic expressions and aliases,
+/// multi-table FROM with WHERE equi-join predicates (compiled to hash
+/// joins) and comparison filters, GROUP BY with COUNT/SUM/AVG/MIN/MAX,
+/// WITH <alias> AS <VgFunction>(<subquery>) [PER (cols)] invocations, and
+/// CREATE TABLE/VIEW ... AS. Iteration-versioned names use the bracket
+/// convention: "membership[i]" with the iteration bound via
+/// BindIteration().
+///
+/// Logical-scale hints: a query can carry "/*+ scale(N) */" after SELECT
+/// to declare the logical rows each output row stands for (the engine
+/// cannot infer paper-scale cardinalities from syntax). Defaults: scans
+/// inherit the stored table's scale, joins take the max input scale,
+/// GROUP BY outputs scale 1 (model-sized aggregates).
+
+namespace mlbench::reldb {
+
+/// Execution context: the database plus the registered VG functions.
+class SqlContext {
+ public:
+  explicit SqlContext(Database* db) : db_(db) {}
+
+  Database& db() { return *db_; }
+
+  /// Registers a VG function under the name used in queries
+  /// (e.g. "Dirichlet"). The function must outlive the context.
+  void RegisterVg(const std::string& name, VgFunction* vg) {
+    vgs_[name] = vg;
+  }
+
+  VgFunction* FindVg(const std::string& name) const {
+    auto it = vgs_.find(name);
+    return it == vgs_.end() ? nullptr : it->second;
+  }
+
+  /// Executes one statement (SELECT / CREATE TABLE AS / CREATE VIEW AS).
+  /// For SELECT, returns the result table; for CREATE, stores it and
+  /// returns a copy. Opens and closes its own query phase.
+  Result<Table> Execute(const std::string& sql);
+
+  /// Replaces the iteration placeholders "[i]", "[i-1]", "[i+1]" in a
+  /// query template with concrete versions for iteration `i`
+  /// ("name[i-1]" -> "name[3]" when i = 4), matching the paper's
+  /// recursively defined random tables.
+  static std::string BindIteration(const std::string& sql_template, int i);
+
+ private:
+  Database* db_;
+  std::map<std::string, VgFunction*> vgs_;
+};
+
+}  // namespace mlbench::reldb

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "reldb/value.h"
+
+/// \file table.h
+/// A stored relation: schema + rows + logical scale.
+///
+/// Like the dataflow engine, the relational engine executes on laptop-scale
+/// rows while accounting costs at paper scale: each actual row stands for
+/// `scale` logical rows. The engine is disk-based (Hadoop MapReduce
+/// underneath), so tables never charge cluster RAM — the robustness the
+/// paper credits SimSQL with ("the only platform that never failed").
+
+namespace mlbench::reldb {
+
+class Table {
+ public:
+  Table() = default;
+  Table(Schema schema, double scale = 1.0)
+      : schema_(std::move(schema)), scale_(scale) {}
+
+  const Schema& schema() const { return schema_; }
+  double scale() const { return scale_; }
+  void set_scale(double s) { scale_ = s; }
+
+  std::vector<Tuple>& rows() { return rows_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  std::size_t actual_rows() const { return rows_.size(); }
+  /// Paper-scale cardinality.
+  double logical_rows() const {
+    return static_cast<double>(rows_.size()) * scale_;
+  }
+
+  void Append(Tuple t) { rows_.push_back(std::move(t)); }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  double scale_ = 1.0;
+};
+
+}  // namespace mlbench::reldb

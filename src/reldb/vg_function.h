@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reldb/value.h"
+#include "stats/rng.h"
+
+/// \file vg_function.h
+/// Variable-generation (VG) functions: SimSQL's randomized table-valued
+/// user-defined functions (paper Section 4.2). A VG function is invoked
+/// once per parameter group; each invocation consumes the group's parameter
+/// tuples and emits output tuples. SimSQL's VG functions are written in
+/// C++ and called from the Java engine — the per-tuple boundary-crossing
+/// cost is modeled in RelDbCosts::vg_tuple_s.
+
+namespace mlbench::reldb {
+
+class VgFunction {
+ public:
+  virtual ~VgFunction() = default;
+
+  /// Diagnostic name ("Dirichlet", "multinomial_membership", ...).
+  virtual std::string name() const = 0;
+
+  /// Schema of the tuples this function emits.
+  virtual Schema output_schema() const = 0;
+
+  /// One invocation: consumes the parameter tuples of a group (with the
+  /// group's input schema) and appends output tuples.
+  virtual void Sample(const std::vector<Tuple>& params, const Schema& schema,
+                      stats::Rng& rng, std::vector<Tuple>* out) = 0;
+};
+
+}  // namespace mlbench::reldb

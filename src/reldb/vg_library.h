@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "reldb/vg_function.h"
+#include "stats/distributions.h"
+
+/// \file vg_library.h
+/// SimSQL's library VG functions (paper Section 5.2: "the other VG
+/// functions are all library functions"). Each consumes the parameter rows
+/// of one invocation group and emits sampled rows.
+
+namespace mlbench::reldb {
+
+/// Dirichlet: rows (id, alpha) -> rows (out_id, prob), one invocation per
+/// group (the paper's clus_prob initialization/update).
+class DirichletVg : public VgFunction {
+ public:
+  std::string name() const override { return "Dirichlet"; }
+  Schema output_schema() const override { return {"out_id", "prob"}; }
+  void Sample(const std::vector<Tuple>& params, const Schema& schema,
+              stats::Rng& rng, std::vector<Tuple>* out) override {
+    std::size_t id_c = schema.IndexOf(id_col_);
+    std::size_t a_c = schema.IndexOf(alpha_col_);
+    linalg::Vector alpha(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      alpha[i] = AsDouble(params[i][a_c]);
+    }
+    linalg::Vector draw = stats::SampleDirichlet(rng, alpha);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      out->push_back(Tuple{params[i][id_c], draw[i]});
+    }
+  }
+  DirichletVg(std::string id_col, std::string alpha_col)
+      : id_col_(std::move(id_col)), alpha_col_(std::move(alpha_col)) {}
+
+ private:
+  std::string id_col_, alpha_col_;
+};
+
+/// Categorical: rows (id, weight) -> one row (out_id) holding the sampled
+/// id; one invocation per group.
+class CategoricalVg : public VgFunction {
+ public:
+  CategoricalVg(std::string id_col, std::string weight_col)
+      : id_col_(std::move(id_col)), weight_col_(std::move(weight_col)) {}
+  std::string name() const override { return "Categorical"; }
+  Schema output_schema() const override { return {"out_id"}; }
+  void Sample(const std::vector<Tuple>& params, const Schema& schema,
+              stats::Rng& rng, std::vector<Tuple>* out) override {
+    std::size_t id_c = schema.IndexOf(id_col_);
+    std::size_t w_c = schema.IndexOf(weight_col_);
+    linalg::Vector w(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      w[i] = AsDouble(params[i][w_c]);
+    }
+    out->push_back(Tuple{params[stats::SampleCategorical(rng, w)][id_c]});
+  }
+
+ private:
+  std::string id_col_, weight_col_;
+};
+
+/// Normal: each row (id, mean, var) -> row (out_id, value); one draw per
+/// parameter row.
+class NormalVg : public VgFunction {
+ public:
+  NormalVg(std::string id_col, std::string mean_col, std::string var_col)
+      : id_col_(std::move(id_col)),
+        mean_col_(std::move(mean_col)),
+        var_col_(std::move(var_col)) {}
+  std::string name() const override { return "Normal"; }
+  Schema output_schema() const override { return {"out_id", "value"}; }
+  void Sample(const std::vector<Tuple>& params, const Schema& schema,
+              stats::Rng& rng, std::vector<Tuple>* out) override {
+    std::size_t id_c = schema.IndexOf(id_col_);
+    std::size_t m_c = schema.IndexOf(mean_col_);
+    std::size_t v_c = schema.IndexOf(var_col_);
+    for (const auto& row : params) {
+      double draw = stats::SampleNormal(rng, AsDouble(row[m_c]),
+                                        std::sqrt(AsDouble(row[v_c])));
+      out->push_back(Tuple{row[id_c], draw});
+    }
+  }
+
+ private:
+  std::string id_col_, mean_col_, var_col_;
+};
+
+/// InverseGamma: one row (shape, rate) -> one row (value).
+class InverseGammaVg : public VgFunction {
+ public:
+  InverseGammaVg(std::string shape_col, std::string rate_col)
+      : shape_col_(std::move(shape_col)), rate_col_(std::move(rate_col)) {}
+  std::string name() const override { return "InvGamma"; }
+  Schema output_schema() const override { return {"value"}; }
+  void Sample(const std::vector<Tuple>& params, const Schema& schema,
+              stats::Rng& rng, std::vector<Tuple>* out) override {
+    std::size_t s_c = schema.IndexOf(shape_col_);
+    std::size_t r_c = schema.IndexOf(rate_col_);
+    for (const auto& row : params) {
+      out->push_back(Tuple{stats::SampleInverseGamma(
+          rng, AsDouble(row[s_c]), AsDouble(row[r_c]))});
+    }
+  }
+
+ private:
+  std::string shape_col_, rate_col_;
+};
+
+/// InverseGaussian: each row (id, mu, lambda) -> row (out_id, value)
+/// (the Bayesian Lasso's tau update, paper Section 6.2).
+class InverseGaussianVg : public VgFunction {
+ public:
+  InverseGaussianVg(std::string id_col, std::string mu_col,
+                    std::string lambda_col)
+      : id_col_(std::move(id_col)),
+        mu_col_(std::move(mu_col)),
+        lambda_col_(std::move(lambda_col)) {}
+  std::string name() const override { return "InvGaussian"; }
+  Schema output_schema() const override { return {"out_id", "value"}; }
+  void Sample(const std::vector<Tuple>& params, const Schema& schema,
+              stats::Rng& rng, std::vector<Tuple>* out) override {
+    std::size_t id_c = schema.IndexOf(id_col_);
+    std::size_t m_c = schema.IndexOf(mu_col_);
+    std::size_t l_c = schema.IndexOf(lambda_col_);
+    for (const auto& row : params) {
+      out->push_back(Tuple{row[id_c],
+                           stats::SampleInverseGaussian(
+                               rng, AsDouble(row[m_c]), AsDouble(row[l_c]))});
+    }
+  }
+
+ private:
+  std::string id_col_, mu_col_, lambda_col_;
+};
+
+}  // namespace mlbench::reldb

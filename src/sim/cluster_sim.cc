@@ -1,0 +1,145 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/str_format.h"
+#include "stats/distributions.h"
+
+namespace mlbench::sim {
+
+ClusterSim::ClusterSim(ClusterSpec spec)
+    : spec_(spec),
+      used_bytes_(spec.machines, 0.0),
+      phase_cpu_(spec.machines, 0.0),
+      phase_net_(spec.machines, 0.0),
+      noise_rng_(0) {
+  MLBENCH_CHECK(spec.machines > 0);
+}
+
+Status ClusterSim::Allocate(int machine, double bytes, std::string_view what) {
+  MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  MLBENCH_CHECK(bytes >= 0);
+  double next = used_bytes_[machine] + bytes;
+  if (next > spec_.machine.ram_bytes) {
+    return Status::OutOfMemory(
+        std::string(what) + " needs " + FormatBytes(bytes) + " on machine " +
+        std::to_string(machine) + " (used " +
+        FormatBytes(used_bytes_[machine]) + " of " +
+        FormatBytes(spec_.machine.ram_bytes) + ")");
+  }
+  used_bytes_[machine] = next;
+  peak_bytes_ = std::max(peak_bytes_, next);
+  return Status::OK();
+}
+
+Status ClusterSim::AllocateEverywhere(double bytes_per_machine,
+                                      std::string_view what) {
+  for (int m = 0; m < spec_.machines; ++m) {
+    Status st = Allocate(m, bytes_per_machine, what);
+    if (!st.ok()) {
+      // Roll back the machines already charged so failed runs leave a
+      // consistent ledger.
+      for (int r = 0; r < m; ++r) Free(r, bytes_per_machine);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void ClusterSim::Free(int machine, double bytes) {
+  MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  used_bytes_[machine] = std::max(0.0, used_bytes_[machine] - bytes);
+}
+
+void ClusterSim::FreeEverywhere(double bytes_per_machine) {
+  for (int m = 0; m < spec_.machines; ++m) Free(m, bytes_per_machine);
+}
+
+void ClusterSim::BeginPhase(std::string name) {
+  MLBENCH_CHECK_MSG(!in_phase_, "phases must not nest");
+  in_phase_ = true;
+  phase_name_ = std::move(name);
+  std::fill(phase_cpu_.begin(), phase_cpu_.end(), 0.0);
+  std::fill(phase_net_.begin(), phase_net_.end(), 0.0);
+  phase_fixed_ = 0;
+}
+
+void ClusterSim::ChargeCpu(int machine, double busy_seconds) {
+  MLBENCH_CHECK(in_phase_);
+  MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  phase_cpu_[machine] += busy_seconds;
+}
+
+void ClusterSim::ChargeCpuAllMachines(double busy_seconds_each) {
+  MLBENCH_CHECK(in_phase_);
+  for (auto& c : phase_cpu_) c += busy_seconds_each;
+}
+
+void ClusterSim::ChargeParallelCpu(double total_core_seconds) {
+  ChargeCpuAllMachines(total_core_seconds /
+                       static_cast<double>(spec_.total_cores()));
+}
+
+void ClusterSim::ChargeParallelCpuOnMachine(int machine, double core_seconds) {
+  ChargeCpu(machine, core_seconds / static_cast<double>(spec_.machine.cores));
+}
+
+void ClusterSim::ChargeNetwork(int machine, double bytes_out) {
+  MLBENCH_CHECK(in_phase_);
+  MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  phase_net_[machine] += bytes_out;
+}
+
+void ClusterSim::ChargeNetworkAll(double bytes_out_each) {
+  MLBENCH_CHECK(in_phase_);
+  for (auto& n : phase_net_) n += bytes_out_each;
+}
+
+void ClusterSim::ChargeFixed(double seconds) {
+  MLBENCH_CHECK(in_phase_);
+  phase_fixed_ += seconds;
+}
+
+double ClusterSim::EndPhase() {
+  MLBENCH_CHECK(in_phase_);
+  in_phase_ = false;
+
+  PhaseRecord rec;
+  rec.name = std::move(phase_name_);
+  rec.fixed_seconds = phase_fixed_;
+
+  double worst = 0;
+  bool any_network = false;
+  for (int m = 0; m < spec_.machines; ++m) {
+    double net_s = phase_net_[m] / spec_.net_bytes_per_sec;
+    if (phase_net_[m] > 0) any_network = true;
+    worst = std::max(worst, phase_cpu_[m] + net_s);
+    rec.max_cpu_seconds = std::max(rec.max_cpu_seconds, phase_cpu_[m]);
+    rec.network_seconds = std::max(rec.network_seconds, net_s);
+  }
+  double t = phase_fixed_ + worst + (any_network ? spec_.net_latency_s : 0.0);
+
+  if (noise_stddev_ > 0) {
+    double eps = stats::SampleNormal(noise_rng_, 0.0, noise_stddev_);
+    t *= std::max(0.0, 1.0 + eps);
+  }
+
+  rec.seconds = t;
+  history_.push_back(rec);
+  elapsed_seconds_ += t;
+  return t;
+}
+
+void ClusterSim::ResetClock() {
+  MLBENCH_CHECK(!in_phase_);
+  elapsed_seconds_ = 0;
+}
+
+void ClusterSim::SetNoise(double stddev_fraction, std::uint64_t seed) {
+  noise_stddev_ = stddev_fraction;
+  noise_rng_ = stats::Rng(seed);
+}
+
+}  // namespace mlbench::sim

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/machine.h"
+#include "stats/rng.h"
+
+/// \file cluster_sim.h
+/// Deterministic simulator of the paper's EC2 fleet.
+///
+/// Engines execute the real algorithms on laptop-scale data while charging
+/// this simulator for the *logical* (paper-scale) work: CPU busy-time per
+/// machine, bytes shuffled, and bytes resident. The simulator turns those
+/// charges into wall-clock time (per synchronisation phase: the slowest
+/// machine plus network transfer) and enforces per-machine RAM, returning
+/// Status::OutOfMemory exactly where the real platforms died.
+
+namespace mlbench::sim {
+
+/// Completed phase, for reports and debugging.
+struct PhaseRecord {
+  std::string name;
+  double seconds = 0;
+  double max_cpu_seconds = 0;
+  double network_seconds = 0;
+  double fixed_seconds = 0;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(ClusterSpec spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  int machines() const { return spec_.machines; }
+
+  // ---- Memory ledger -------------------------------------------------------
+
+  /// Records `bytes` of resident data on `machine`; fails with OutOfMemory
+  /// (naming `what`) if the machine's RAM would be exceeded.
+  Status Allocate(int machine, double bytes, std::string_view what);
+
+  /// Allocate() on every machine (balanced partitioned data).
+  Status AllocateEverywhere(double bytes_per_machine, std::string_view what);
+
+  /// Releases `bytes` on `machine`; clamps at zero.
+  void Free(int machine, double bytes);
+  void FreeEverywhere(double bytes_per_machine);
+
+  double used_bytes(int machine) const { return used_bytes_[machine]; }
+  /// Largest per-machine residency observed over the run.
+  double peak_bytes() const { return peak_bytes_; }
+
+  // ---- Time accounting -----------------------------------------------------
+  //
+  // Work is charged inside phases. A phase ends at a synchronisation point
+  // (job end, superstep barrier, sweep end); its wall time is
+  //   fixed + max_over_machines(cpu_busy_m + net_out_m / bandwidth) [+latency]
+
+  /// Opens a phase. Phases must not nest.
+  void BeginPhase(std::string name);
+
+  /// Charges `busy_seconds` of wall busy-time on one machine. Callers decide
+  /// how their parallelism divides work (see ChargeParallelCpu).
+  void ChargeCpu(int machine, double busy_seconds);
+  void ChargeCpuAllMachines(double busy_seconds_each);
+
+  /// Distributes `total_core_seconds` of perfectly parallel work across all
+  /// cores of the cluster.
+  void ChargeParallelCpu(double total_core_seconds);
+
+  /// Distributes `core_seconds` across the cores of a single machine.
+  void ChargeParallelCpuOnMachine(int machine, double core_seconds);
+
+  /// Charges bytes leaving `machine` during this phase's shuffle.
+  void ChargeNetwork(int machine, double bytes_out);
+  void ChargeNetworkAll(double bytes_out_each);
+
+  /// Serial coordinator-side time (job launch, barrier, master work).
+  void ChargeFixed(double seconds);
+
+  /// Closes the phase, adds its wall time to the clock, returns it.
+  double EndPhase();
+
+  /// Simulated seconds elapsed since construction / last ResetClock().
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+  /// Restarts the clock (e.g. between initialization and iterations) without
+  /// touching the memory ledger.
+  void ResetClock();
+
+  const std::vector<PhaseRecord>& history() const { return history_; }
+
+  /// Enables multiplicative run-to-run noise on phase times, modeling EC2
+  /// day-to-day variance (Section 3.4). Disabled (0) by default.
+  void SetNoise(double stddev_fraction, std::uint64_t seed);
+
+ private:
+  ClusterSpec spec_;
+  std::vector<double> used_bytes_;
+  double peak_bytes_ = 0;
+
+  bool in_phase_ = false;
+  std::string phase_name_;
+  std::vector<double> phase_cpu_;
+  std::vector<double> phase_net_;
+  double phase_fixed_ = 0;
+
+  double elapsed_seconds_ = 0;
+  std::vector<PhaseRecord> history_;
+
+  double noise_stddev_ = 0;
+  stats::Rng noise_rng_;
+};
+
+}  // namespace mlbench::sim

@@ -1,0 +1,64 @@
+#include "sim/cost_profile.h"
+
+namespace mlbench::sim {
+
+const char* LanguageName(Language lang) {
+  switch (lang) {
+    case Language::kCpp:
+      return "C++";
+    case Language::kJava:
+      return "Java";
+    case Language::kPython:
+      return "Python";
+  }
+  return "?";
+}
+
+LanguageModel CppModel() {
+  LanguageModel m;
+  m.per_record_s = 8.0e-8;
+  m.per_serialized_byte_s = 3.0e-10;
+  m.flop_s = 1.0e-9;                // ~1 GFLOP/s unblocked GSL kernel
+  m.flop_dim_penalty_s = 8.0e-11;   // spills the cache at high dimension
+  m.flop_dim_onset = 256;
+  m.linalg_call_s = 5.0e-6;         // gsl_* call incl. workspace allocation
+  m.per_element_s = 0.0;            // native operands, no conversion
+  return m;
+}
+
+LanguageModel JavaModel() {
+  LanguageModel m;
+  m.per_record_s = 2.5e-7;
+  m.per_serialized_byte_s = 9.0e-10;
+  m.flop_s = 9.0e-10;               // JIT-ed but unblocked (Mallet)
+  m.flop_dim_penalty_s = 1.7e-10;   // cache misses grow with dimension
+  m.linalg_call_s = 2.0e-5;         // Mallet per-call allocation + GC share
+  m.per_element_s = 2.0e-9;         // autoboxing
+  return m;
+}
+
+LanguageModel PythonModel() {
+  LanguageModel m;
+  m.per_record_s = 4.5e-6;          // interpreted lambda + dict handling
+  m.per_serialized_byte_s = 7.0e-9; // pickle + Py4J socket
+  m.flop_s = 5.0e-10;               // NumPy vectorized kernels
+  m.flop_dim_penalty_s = 1.6e-10;   // 2013 reference-BLAS beyond the cache
+  m.flop_dim_onset = 256;
+  m.linalg_call_s = 3.5e-5;         // PyGSL/NumPy call incl. small-operand setup
+  m.per_element_s = 1.0e-7;         // per-scalar Python object conversion
+  return m;
+}
+
+LanguageModel GetLanguageModel(Language lang) {
+  switch (lang) {
+    case Language::kCpp:
+      return CppModel();
+    case Language::kJava:
+      return JavaModel();
+    case Language::kPython:
+      return PythonModel();
+  }
+  return CppModel();
+}
+
+}  // namespace mlbench::sim

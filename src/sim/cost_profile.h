@@ -1,0 +1,174 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+/// \file cost_profile.h
+/// Every calibration constant of the simulated-cluster cost model, in one
+/// place. Engines convert *logical* work (element counts at paper scale)
+/// into simulated seconds through these constants. They were calibrated
+/// once against the published tables (see EXPERIMENTS.md, "Calibration");
+/// nothing else in the codebase hard-codes a running time.
+///
+/// Units: seconds, bytes, FLOPs. All costs are per *logical* unit.
+
+namespace mlbench::sim {
+
+/// Implementation language of the user-visible layer of a platform.
+/// The paper repeatedly measures the same algorithm across languages
+/// (Spark Python vs. Spark Java, Mallet vs. GSL), so language cost is a
+/// first-class concept.
+enum class Language { kCpp, kJava, kPython };
+
+const char* LanguageName(Language lang);
+
+/// Per-language execution cost model.
+struct LanguageModel {
+  /// Cost of pushing one record through user code (lambda dispatch,
+  /// boxing, interpreter loop overhead).
+  double per_record_s;
+  /// Cost of (de)serializing one byte at a framework boundary
+  /// (JVM serialization, pickle + Py4J sockets).
+  double per_serialized_byte_s;
+  /// Cost of one floating-point operation inside a dense-linear-algebra
+  /// kernel at small dimension (d ~ 10).
+  double flop_s;
+  /// Extra per-flop penalty that grows with operand dimension beyond
+  /// `flop_dim_onset`, modeling cache-blind unblocked kernels. Mallet's
+  /// boxed arrays miss from dimension zero; GSL and 2013-era reference-BLAS
+  /// NumPy degrade once the operand spills the cache (~dim 256).
+  double flop_dim_penalty_s;
+  /// Dimension at which the penalty starts.
+  double flop_dim_onset = 0;
+  /// Fixed cost of invoking one linear-algebra kernel. For Python this is
+  /// the PyGSL/NumPy call overhead including small-operand conversion; for
+  /// Java it includes Mallet's per-call object allocation and GC share.
+  double linalg_call_s;
+  /// Cost per scalar element crossing the language/runtime boundary
+  /// (Python object conversion, Java boxing). Dominates per-point costs
+  /// for high-dimensional operands in the paper's Python codes.
+  double per_element_s;
+
+  /// Seconds for `flops` FLOPs across `calls` kernel invocations at
+  /// dimensionality `dim`, moving `elements` scalars across the runtime
+  /// boundary.
+  double LinalgSeconds(double flops, double calls, std::size_t dim,
+                       double elements = 0) const {
+    double over = std::max(0.0, static_cast<double>(dim) - flop_dim_onset);
+    return flops * (flop_s + flop_dim_penalty_s * over) +
+           calls * linalg_call_s + elements * per_element_s;
+  }
+};
+
+/// Calibrated language models (2013-era single core of an m2.4xlarge).
+LanguageModel CppModel();
+LanguageModel JavaModel();
+LanguageModel PythonModel();
+LanguageModel GetLanguageModel(Language lang);
+
+// ---------------------------------------------------------------------------
+// Platform-framework constants
+// ---------------------------------------------------------------------------
+
+/// Spark-style dataflow engine (Section 4.1).
+struct DataflowCosts {
+  /// Scheduler cost of launching one job (stage DAG submission).
+  double job_launch_s = 1.7;
+  /// Per-task dispatch cost; jobs run one task per partition.
+  double per_task_s = 0.06;
+  /// Reading one byte of a cached RDD partition.
+  double cached_read_byte_s = 2.0e-10;
+  /// Reading one byte from distributed storage (HDFS-style) at load time.
+  double storage_read_byte_s = 1.0 / (90.0 * 1024 * 1024);
+  /// Framework cost of moving one record through a shuffle boundary
+  /// (hashing, buffering) -- on top of language serialization cost.
+  double shuffle_record_s = 2.5e-7;
+  /// Shuffle-fetch / RPC buffering per peer machine, resident for the
+  /// application's lifetime. Grows the working set linearly with cluster
+  /// size — part of why the paper's big-model Spark runs died at 100
+  /// machines while small-model ones survived.
+  double peer_buffer_bytes = 560.0 * 1024 * 1024;
+  /// Fraction of each job's task-closure broadcast bytes that stays
+  /// resident until application end (Spark 0.7/0.8 shipped the model
+  /// inside task closures and never released the cached copies; the
+  /// paper's Java LDA "failed on 20 machines after 18 iterations").
+  double closure_residual_fraction = 0.8;
+};
+
+/// SimSQL-style relational engine (Section 4.2). SimSQL compiles SQL to
+/// Hadoop MapReduce jobs; the engine itself is Java, VG functions are C++.
+struct RelDbCosts {
+  /// Hadoop job launch + scheduling + materialization overhead per compiled
+  /// MR job. This constant dominates SimSQL's fixed per-iteration cost.
+  double mr_job_launch_s = 27.0;
+  /// Additional per-machine scheduling cost per job (task waves and
+  /// stragglers grow with cluster size; the paper's SimSQL GMM slows from
+  /// 27:55 at 5 machines to 35:54 at 100 on constant per-machine data).
+  double mr_job_per_machine_s = 0.55;
+  /// Pushing one tuple through one relational operator (Java runtime).
+  double per_tuple_s = 5.5e-7;
+  /// Hash-aggregate cost per input tuple (GROUP BY).
+  double group_by_tuple_s = 9.0e-7;
+  /// Hash-join cost per input tuple (build + probe amortized).
+  double join_tuple_s = 8.0e-7;
+  /// Per-tuple cost of crossing the Java/C++ VG-function boundary.
+  double vg_tuple_s = 4.0e-7;
+  /// Per-byte cost of writing a materialized table between jobs (HDFS,
+  /// replicated) and reading it back in the next job.
+  double materialize_byte_s = 1.0 / (55.0 * 1024 * 1024);
+  /// Bytes of a materialized tuple (ids + value + framework overhead).
+  double tuple_bytes = 48.0;
+};
+
+/// GraphLab-style GAS engine (Section 4.3). Native C++.
+struct GasCosts {
+  /// Engine sweep startup (scheduler activation) per full sweep over the
+  /// active vertex set.
+  double sweep_launch_s = 2.0;
+  /// Graph ingest + finalize throughput per machine at boot (loading,
+  /// edge construction, mirror setup). Dominates GraphLab's init column.
+  double ingest_bytes_per_sec = 12.0 * 1024 * 1024;
+  /// Framework cost per gather edge visited (locking, scheduling).
+  double per_gather_edge_s = 2.2e-7;
+  /// Framework cost per vertex apply.
+  double per_apply_s = 3.0e-7;
+  /// Fraction of gather views resident simultaneously. The paper observes
+  /// GraphLab materializing one model copy per data vertex ("quickly
+  /// exhausts the available memory"), i.e. near-total residency.
+  double gather_residency = 0.85;
+  /// Asynchronous execution keeps cores busy without barriers; effective
+  /// utilization of the cluster's cores during a sweep.
+  double async_core_utilization = 0.82;
+  /// Cluster sizes above this failed to boot in the paper (footnote to
+  /// Fig. 1(b): "Past 40 machines, GraphLab would not boot up at many
+  /// cluster sizes"; the closest to 100 the authors got was 96).
+  int max_bootable_machines = 96;
+};
+
+/// Giraph-style BSP engine (Section 4.4). Java on Hadoop.
+struct BspCosts {
+  /// One-time Hadoop job launch for the whole computation (Giraph runs as
+  /// a single long-lived MR job, unlike SimSQL's job-per-query-stage).
+  double job_launch_s = 16.0;
+  /// Barrier + coordination cost per superstep.
+  double superstep_barrier_s = 0.7;
+  /// Framework cost per message routed (queueing, combiner lookup).
+  double per_message_s = 4.5e-7;
+  /// Bytes of framework overhead per buffered message.
+  double message_overhead_bytes = 16.0;
+  /// Netty send/receive buffering per peer worker connection. Grows the
+  /// per-machine working set linearly with cluster size — one of the
+  /// mechanisms behind Giraph's failures at 100 machines.
+  double peer_buffer_bytes = 600.0 * 1024 * 1024;
+  /// JVM allocation-rate death threshold: when a superstep's short-lived
+  /// allocations on one machine exceed this, collection cannot keep up and
+  /// the worker dies with OOM ("Fail" entries the paper attributes to
+  /// memory, e.g. the naive Bayesian-Lasso code that materializes an 8 MB
+  /// Gram-matrix message per data vertex).
+  double max_superstep_alloc_bytes = 300.0e9;
+  /// In-heap index bytes per spilled message when out-of-core messaging is
+  /// enabled (Giraph 1.0's giraph.useOutOfCoreMessages).
+  double spill_index_bytes = 64.0;
+};
+
+}  // namespace mlbench::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file machine.h
+/// Hardware description of the simulated cluster.
+///
+/// The paper's fleet is Amazon EC2 m2.4xlarge: 8 virtual cores, 68 GB RAM,
+/// two disks, interconnected at roughly gigabit speeds. These specs, not the
+/// host running the benchmark, bound the simulated runs.
+
+namespace mlbench::sim {
+
+struct MachineSpec {
+  int cores = 8;
+  /// Usable RAM per machine. The paper's machines have 68 GB; we reserve a
+  /// little for OS/JVM headroom.
+  double ram_bytes = 64.0 * 1024 * 1024 * 1024;
+  /// Sequential disk bandwidth (two spindles, 2012-era).
+  double disk_bytes_per_sec = 180.0 * 1024 * 1024;
+  /// Local scratch capacity (two 840 GB ephemeral disks).
+  double disk_capacity_bytes = 1.6e12;
+};
+
+struct ClusterSpec {
+  int machines = 5;
+  MachineSpec machine;
+  /// Per-machine bisection bandwidth (gigabit ethernet).
+  double net_bytes_per_sec = 115.0 * 1024 * 1024;
+  /// Per-transfer latency floor.
+  double net_latency_s = 0.002;
+
+  /// Total cores across the cluster.
+  int total_cores() const { return machines * machine.cores; }
+  /// Aggregate RAM across the cluster.
+  double total_ram_bytes() const { return machines * machine.ram_bytes; }
+};
+
+/// The fleet used throughout the paper's evaluation (Section 3.4).
+inline ClusterSpec Ec2M2XLargeCluster(int machines) {
+  ClusterSpec spec;
+  spec.machines = machines;
+  return spec;
+}
+
+}  // namespace mlbench::sim

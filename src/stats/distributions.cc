@@ -1,0 +1,234 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace mlbench::stats {
+
+double SampleStandardNormal(Rng& rng) {
+  // Box-Muller; draw u1 away from zero to keep log finite.
+  double u1;
+  do {
+    u1 = rng.NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double SampleNormal(Rng& rng, double mean, double stddev) {
+  return mean + stddev * SampleStandardNormal(rng);
+}
+
+double SampleGamma(Rng& rng, double shape, double scale) {
+  MLBENCH_CHECK_MSG(shape > 0 && scale > 0, "gamma parameters must be > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 and apply the standard power correction.
+    double u;
+    do {
+      u = rng.NextDouble();
+    } while (u <= 0.0);
+    return SampleGamma(rng, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = SampleStandardNormal(rng);
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double SampleInverseGamma(Rng& rng, double shape, double rate) {
+  return rate / SampleGamma(rng, shape, 1.0);
+}
+
+double SampleBeta(Rng& rng, double a, double b) {
+  double x = SampleGamma(rng, a, 1.0);
+  double y = SampleGamma(rng, b, 1.0);
+  return x / (x + y);
+}
+
+double SampleExponential(Rng& rng, double rate) {
+  double u;
+  do {
+    u = rng.NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double SampleInverseGaussian(Rng& rng, double mu, double lambda) {
+  MLBENCH_CHECK_MSG(mu > 0 && lambda > 0, "inverse-Gaussian params must be > 0");
+  double nu = SampleStandardNormal(rng);
+  double y = nu * nu;
+  double x = mu + (mu * mu * y) / (2.0 * lambda) -
+             (mu / (2.0 * lambda)) *
+                 std::sqrt(4.0 * mu * lambda * y + mu * mu * y * y);
+  double u = rng.NextDouble();
+  if (u <= mu / (mu + x)) return x;
+  return mu * mu / x;
+}
+
+double NormalLogPdf(double x, double mean, double stddev) {
+  double z = (x - mean) / stddev;
+  return -0.5 * z * z - std::log(stddev) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+std::size_t SampleCategorical(Rng& rng, const Vector& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  MLBENCH_CHECK_MSG(total > 0, "categorical weights must have positive sum");
+  double u = rng.NextDouble() * total;
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t SampleCategorical(Rng& rng, const std::vector<double>& weights) {
+  return SampleCategorical(rng, Vector(weights));
+}
+
+std::vector<std::uint64_t> SampleMultinomial(Rng& rng,
+                                             const std::vector<double>& probs,
+                                             std::uint64_t trials) {
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  Vector w(probs);
+  for (std::uint64_t t = 0; t < trials; ++t) ++counts[SampleCategorical(rng, w)];
+  return counts;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights)
+    : prob_(weights.size()), alias_(weights.size(), 0) {
+  const std::size_t n = weights.size();
+  MLBENCH_CHECK(n > 0);
+  double total = 0;
+  for (double w : weights) {
+    MLBENCH_CHECK_MSG(w >= 0, "alias weights must be non-negative");
+    total += w;
+  }
+  MLBENCH_CHECK_MSG(total > 0, "alias weights must have positive sum");
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s = small.back();
+    small.pop_back();
+    std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::Sample(Rng& rng) const {
+  std::size_t i = rng.NextBounded(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+std::vector<double> ZipfWeights(std::size_t n, double s) {
+  std::vector<double> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    w[k] = std::pow(static_cast<double>(k + 1), -s);
+  }
+  return w;
+}
+
+Vector SampleDirichlet(Rng& rng, const Vector& alpha) {
+  Vector g(alpha.size());
+  double sum = 0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    MLBENCH_CHECK_MSG(alpha[i] > 0, "Dirichlet concentration must be > 0");
+    g[i] = SampleGamma(rng, alpha[i], 1.0);
+    sum += g[i];
+  }
+  if (sum <= 0) {
+    // Degenerate underflow: fall back to uniform.
+    g.Fill(1.0 / static_cast<double>(alpha.size()));
+    return g;
+  }
+  g /= sum;
+  return g;
+}
+
+Result<Vector> SampleMultivariateNormal(Rng& rng, const Vector& mean,
+                                        const Matrix& cov) {
+  MLBENCH_ASSIGN_OR_RETURN(Matrix l, linalg::Cholesky(cov));
+  return SampleMultivariateNormalChol(rng, mean, l);
+}
+
+Vector SampleMultivariateNormalChol(Rng& rng, const Vector& mean,
+                                    const Matrix& chol_cov) {
+  const std::size_t d = mean.size();
+  Vector z(d);
+  for (std::size_t i = 0; i < d; ++i) z[i] = SampleStandardNormal(rng);
+  Vector x = mean;
+  for (std::size_t r = 0; r < d; ++r) {
+    double s = 0;
+    for (std::size_t c = 0; c <= r; ++c) s += chol_cov(r, c) * z[c];
+    x[r] += s;
+  }
+  return x;
+}
+
+Result<Matrix> SampleWishart(Rng& rng, double dof, const Matrix& scale) {
+  const std::size_t d = scale.rows();
+  if (dof < static_cast<double>(d)) {
+    return Status::InvalidArgument("Wishart dof must be >= dimension");
+  }
+  MLBENCH_ASSIGN_OR_RETURN(Matrix l, linalg::Cholesky(scale));
+  // Bartlett: A lower-triangular with chi draws on the diagonal.
+  Matrix a(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    a(i, i) = std::sqrt(
+        SampleGamma(rng, 0.5 * (dof - static_cast<double>(i)), 2.0));
+    for (std::size_t j = 0; j < i; ++j) a(i, j) = SampleStandardNormal(rng);
+  }
+  Matrix la = linalg::MatMul(l, a);
+  return linalg::MatMul(la, la.Transposed());
+}
+
+Result<Matrix> SampleInverseWishart(Rng& rng, double dof,
+                                    const Matrix& scale) {
+  MLBENCH_ASSIGN_OR_RETURN(Matrix scale_inv, linalg::InverseSpd(scale));
+  MLBENCH_ASSIGN_OR_RETURN(Matrix w, SampleWishart(rng, dof, scale_inv));
+  return linalg::InverseSpd(w);
+}
+
+Result<double> MultivariateNormalLogPdf(const Vector& x, const Vector& mean,
+                                        const Matrix& cov) {
+  const std::size_t d = x.size();
+  MLBENCH_ASSIGN_OR_RETURN(Matrix l, linalg::Cholesky(cov));
+  Vector diff = x - mean;
+  Vector y = linalg::ForwardSubstitute(l, diff);
+  double mahal = linalg::Dot(y, y);
+  double logdet = 0;
+  for (std::size_t i = 0; i < d; ++i) logdet += std::log(l(i, i));
+  logdet *= 2.0;
+  return -0.5 * (mahal + logdet +
+                 static_cast<double>(d) * std::log(2.0 * std::numbers::pi));
+}
+
+}  // namespace mlbench::stats

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/rng.h"
+
+/// \file distributions.h
+/// Samplers and densities for every distribution used by the five MCMC
+/// simulations in the benchmark: Normal / multivariate Normal, Gamma,
+/// inverse-Gamma, Beta, Dirichlet, Categorical / Multinomial, Wishart /
+/// inverse-Wishart, inverse-Gaussian, and Zipf (for the synthetic corpus).
+///
+/// Samplers with parameter-validity or SPD requirements return Result<>;
+/// the simple ones are plain functions.
+
+namespace mlbench::stats {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Scalar distributions
+// ---------------------------------------------------------------------------
+
+/// Standard normal draw (Box-Muller, one value per call).
+double SampleStandardNormal(Rng& rng);
+
+/// Normal(mean, stddev^2) draw.
+double SampleNormal(Rng& rng, double mean, double stddev);
+
+/// Gamma(shape, scale) draw via Marsaglia-Tsang; shape > 0, scale > 0.
+double SampleGamma(Rng& rng, double shape, double scale);
+
+/// InverseGamma(shape, rate): X such that 1/X ~ Gamma(shape, 1/rate).
+/// Parameterized so that E[X] = rate / (shape - 1) for shape > 1.
+double SampleInverseGamma(Rng& rng, double shape, double rate);
+
+/// Beta(a, b) draw.
+double SampleBeta(Rng& rng, double a, double b);
+
+/// Exponential(rate) draw.
+double SampleExponential(Rng& rng, double rate);
+
+/// InverseGaussian(mu, lambda) draw (Michael-Schucany-Haas).
+double SampleInverseGaussian(Rng& rng, double mu, double lambda);
+
+/// Log-density of Normal(mean, stddev^2) at x.
+double NormalLogPdf(double x, double mean, double stddev);
+
+// ---------------------------------------------------------------------------
+// Discrete distributions
+// ---------------------------------------------------------------------------
+
+/// Draws an index in [0, w.size()) with probability proportional to w[i].
+/// Weights must be non-negative with a positive sum.
+std::size_t SampleCategorical(Rng& rng, const Vector& weights);
+std::size_t SampleCategorical(Rng& rng, const std::vector<double>& weights);
+
+/// Draws counts of `trials` categorical draws over `probs` (Multinomial).
+std::vector<std::uint64_t> SampleMultinomial(Rng& rng,
+                                             const std::vector<double>& probs,
+                                             std::uint64_t trials);
+
+/// Walker alias table for O(1) repeated categorical sampling over a fixed
+/// weight vector; used by the synthetic corpus generator (Zipf over a
+/// 10,000-word dictionary).
+class AliasTable {
+ public:
+  /// Builds the table; weights must be non-negative with positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Zipf(s) weights over [1, n]: w_k proportional to k^-s.
+std::vector<double> ZipfWeights(std::size_t n, double s);
+
+// ---------------------------------------------------------------------------
+// Vector / matrix distributions
+// ---------------------------------------------------------------------------
+
+/// Dirichlet(alpha) draw; every alpha[i] must be > 0.
+Vector SampleDirichlet(Rng& rng, const Vector& alpha);
+
+/// Multivariate Normal(mean, cov) draw; cov must be SPD.
+Result<Vector> SampleMultivariateNormal(Rng& rng, const Vector& mean,
+                                        const Matrix& cov);
+
+/// Multivariate Normal draw given a precomputed Cholesky factor of the
+/// covariance (mean + L z). Useful when many draws share one covariance.
+Vector SampleMultivariateNormalChol(Rng& rng, const Vector& mean,
+                                    const Matrix& chol_cov);
+
+/// Wishart(dof, scale) draw via Bartlett decomposition.
+/// Requires dof >= dimension and SPD scale.
+Result<Matrix> SampleWishart(Rng& rng, double dof, const Matrix& scale);
+
+/// InverseWishart(dof, scale): X such that X^-1 ~ Wishart(dof, scale^-1).
+Result<Matrix> SampleInverseWishart(Rng& rng, double dof, const Matrix& scale);
+
+/// Log-density of MultivariateNormal(mean, cov) at x (cov SPD).
+Result<double> MultivariateNormalLogPdf(const Vector& x, const Vector& mean,
+                                        const Matrix& cov);
+
+}  // namespace mlbench::stats

@@ -1,0 +1,58 @@
+#include "stats/rng.h"
+
+namespace mlbench::stats {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+Rng Rng::Split(std::uint64_t index) const {
+  // Mix the base seed with the stream index through splitmix to decorrelate.
+  std::uint64_t x = seed_ ^ (0xA3EC647659359ACDULL * (index + 1));
+  std::uint64_t derived = SplitMix64(x);
+  return Rng(derived);
+}
+
+}  // namespace mlbench::stats

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All randomness in the benchmark flows through Rng (xoshiro256++ seeded
+/// via splitmix64). Engines give each partition / vertex its own stream via
+/// Split(), so results are independent of execution order and thread count.
+
+namespace mlbench::stats {
+
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) with rejection to avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Derives an independent stream for logical substream `index`.
+  ///
+  /// Split streams are stable: Split(i) depends only on this generator's
+  /// seed and i, not on how many values have been drawn.
+  Rng Split(std::uint64_t index) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace mlbench::stats

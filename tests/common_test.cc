@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/str_format.h"
+
+namespace mlbench {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::OutOfMemory("68 GB exceeded");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(st.ToString(), "OutOfMemory: 68 GB exceeded");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfMemory,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Doubled(Result<int> in) {
+  MLBENCH_ASSIGN_OR_RETURN(int v, in);
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::Internal("boom")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(FormatTest, DurationMatchesPaperTableFormat) {
+  EXPECT_EQ(FormatDuration(0), "0:00");
+  EXPECT_EQ(FormatDuration(75), "1:15");
+  EXPECT_EQ(FormatDuration(27 * 60 + 55), "27:55");
+  EXPECT_EQ(FormatDuration(1 * 3600 + 51 * 60 + 12), "1:51:12");
+  EXPECT_EQ(FormatDuration(-1), "-");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(68.0 * 1024 * 1024 * 1024), "68.0 GiB");
+}
+
+TEST(FormatTest, CountSeparators) {
+  EXPECT_EQ(FormatCount(7), "7");
+  EXPECT_EQ(FormatCount(1234), "1,234");
+  EXPECT_EQ(FormatCount(1000000000ULL), "1,000,000,000");
+}
+
+TEST(FormatTest, TableHasHeaderAndAlignedRows) {
+  std::string t = RenderTable({"name", "time"}, {{"SimSQL", "27:55"},
+                                                 {"GraphLab", "Fail"}});
+  EXPECT_NE(t.find("name"), std::string::npos);
+  EXPECT_NE(t.find("-----"), std::string::npos);
+  EXPECT_NE(t.find("GraphLab"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlbench

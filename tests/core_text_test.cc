@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hmm_bsp.h"
+#include "core/hmm_dataflow.h"
+#include "core/hmm_gas.h"
+#include "core/hmm_reldb.h"
+#include "core/lda_bsp.h"
+#include "core/lda_dataflow.h"
+#include "core/lda_gas.h"
+#include "core/lda_reldb.h"
+#include "core/workloads.h"
+
+namespace mlbench::core {
+namespace {
+
+HmmExperiment SmallHmm(TextGranularity gran) {
+  HmmExperiment exp;
+  exp.config.machines = 5;
+  exp.config.iterations = 6;
+  exp.states = 4;
+  exp.vocab = 200;
+  exp.mean_doc_len = 60;
+  exp.granularity = gran;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 30;
+  exp.supers_per_machine = 10;
+  return exp;
+}
+
+LdaExperiment SmallLda(TextGranularity gran) {
+  LdaExperiment exp;
+  exp.config.machines = 5;
+  exp.config.iterations = 6;
+  exp.topics = 5;
+  exp.vocab = 200;
+  exp.mean_doc_len = 60;
+  exp.granularity = gran;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 30;
+  exp.supers_per_machine = 10;
+  return exp;
+}
+
+void ExpectDistributionRows(const models::HmmParams& p) {
+  EXPECT_NEAR(p.delta0.Sum(), 1.0, 1e-6);
+  for (const auto& row : p.delta) EXPECT_NEAR(row.Sum(), 1.0, 1e-6);
+  for (const auto& row : p.psi) EXPECT_NEAR(row.Sum(), 1.0, 1e-6);
+}
+
+TEST(HmmPlatforms, DocumentBasedRunsEverywhere) {
+  models::HmmParams m;
+  ASSERT_TRUE(
+      RunHmmDataflow(SmallHmm(TextGranularity::kDocument), &m).ok());
+  ExpectDistributionRows(m);
+  ASSERT_TRUE(RunHmmRelDb(SmallHmm(TextGranularity::kDocument), &m).ok());
+  ExpectDistributionRows(m);
+  ASSERT_TRUE(RunHmmBsp(SmallHmm(TextGranularity::kDocument), &m).ok());
+  ExpectDistributionRows(m);
+}
+
+TEST(HmmPlatforms, SuperVertexRunsEverywhere) {
+  models::HmmParams m;
+  ASSERT_TRUE(
+      RunHmmDataflow(SmallHmm(TextGranularity::kSuperVertex), &m).ok());
+  ASSERT_TRUE(RunHmmRelDb(SmallHmm(TextGranularity::kSuperVertex), &m).ok());
+  ASSERT_TRUE(RunHmmGas(SmallHmm(TextGranularity::kSuperVertex), &m).ok());
+  ExpectDistributionRows(m);
+  ASSERT_TRUE(RunHmmBsp(SmallHmm(TextGranularity::kSuperVertex), &m).ok());
+  ExpectDistributionRows(m);
+}
+
+TEST(HmmPlatforms, WordBasedOnlySimSqlSurvivesAtPaperScale) {
+  // Paper scale: 2.5M docs/machine. SimSQL is slow but runs; Spark's
+  // self-join and Giraph's word vertices die.
+  HmmExperiment paper;
+  paper.config.machines = 5;
+  paper.config.iterations = 1;
+  paper.granularity = TextGranularity::kWord;
+  paper.config.data.actual_per_machine = 20;
+  EXPECT_TRUE(RunHmmRelDb(paper, nullptr).ok());
+  RunResult spark = RunHmmDataflow(paper, nullptr);
+  ASSERT_FALSE(spark.ok());
+  EXPECT_TRUE(spark.status.IsOutOfMemory());
+  RunResult giraph = RunHmmBsp(paper, nullptr);
+  ASSERT_FALSE(giraph.ok());
+  EXPECT_TRUE(giraph.status.IsOutOfMemory());
+}
+
+TEST(HmmShape, GiraphSuperVertexIsFastestAtPaperScale) {
+  // Figure 3(b)'s headline: Giraph ~2.5 min/iteration, SimSQL ~2 hours,
+  // Spark ~4 hours.
+  HmmExperiment paper;
+  paper.config.machines = 5;
+  paper.config.iterations = 1;
+  paper.granularity = TextGranularity::kSuperVertex;
+  paper.config.data.actual_per_machine = 30;
+  RunResult giraph = RunHmmBsp(paper, nullptr);
+  RunResult simsql = RunHmmRelDb(paper, nullptr);
+  RunResult spark = RunHmmDataflow(paper, nullptr);
+  ASSERT_TRUE(giraph.ok());
+  ASSERT_TRUE(simsql.ok());
+  ASSERT_TRUE(spark.ok());
+  EXPECT_LT(giraph.avg_iteration_seconds() * 5,
+            simsql.avg_iteration_seconds());
+  EXPECT_LT(simsql.avg_iteration_seconds(),
+            spark.avg_iteration_seconds());
+}
+
+TEST(LdaPlatforms, DocumentAndSuperVertexRun) {
+  models::LdaParams m;
+  ASSERT_TRUE(
+      RunLdaDataflow(SmallLda(TextGranularity::kDocument), &m).ok());
+  for (const auto& row : m.phi) EXPECT_NEAR(row.Sum(), 1.0, 1e-6);
+  ASSERT_TRUE(RunLdaRelDb(SmallLda(TextGranularity::kDocument), &m).ok());
+  ASSERT_TRUE(RunLdaBsp(SmallLda(TextGranularity::kDocument), &m).ok());
+  ASSERT_TRUE(RunLdaGas(SmallLda(TextGranularity::kSuperVertex), &m).ok());
+  for (const auto& row : m.phi) EXPECT_NEAR(row.Sum(), 1.0, 1e-6);
+}
+
+TEST(LdaPlatforms, WordBasedIsSimSqlOnly) {
+  LdaExperiment exp = SmallLda(TextGranularity::kWord);
+  EXPECT_TRUE(RunLdaRelDb(exp, nullptr).ok());
+  EXPECT_EQ(RunLdaDataflow(exp, nullptr).status.code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(RunLdaBsp(exp, nullptr).status.code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(LdaShape, EveryoneFailsExceptSimSqlAt100Machines) {
+  // Figure 4(b)'s headline finding.
+  // Three iterations: Spark's death at 100 machines comes from state
+  // accumulating across iterations, not the first pass.
+  auto paper = [](TextGranularity gran) {
+    LdaExperiment exp;
+    exp.config.machines = 100;
+    exp.config.iterations = 3;
+    exp.granularity = gran;
+    exp.config.data.actual_per_machine = 8;
+    return exp;
+  };
+  EXPECT_TRUE(RunLdaRelDb(paper(TextGranularity::kSuperVertex),
+                          nullptr).ok());
+  EXPECT_FALSE(RunLdaBsp(paper(TextGranularity::kSuperVertex),
+                         nullptr).ok());
+  EXPECT_FALSE(RunLdaDataflow(paper(TextGranularity::kSuperVertex),
+                              nullptr).ok());
+  EXPECT_FALSE(RunLdaGas(paper(TextGranularity::kSuperVertex),
+                         nullptr).ok());
+}
+
+TEST(LdaChain, TopicsFitTheCorpusOnDataflow) {
+  // End-to-end statistical sanity: on a topic-free Zipf corpus the
+  // trained word distributions must move toward the empirical unigram
+  // distribution, away from the sparse Dirichlet prior draw.
+  LdaExperiment exp = SmallLda(TextGranularity::kDocument);
+  CorpusGen gen(exp.config.seed, exp.vocab, exp.mean_doc_len);
+  models::Vector unigram(exp.vocab);
+  double total = 0;
+  for (long long j = 0; j < 100; ++j) {
+    for (auto w : gen.Document(0, j)) {
+      unigram[w] += 1;
+      total += 1;
+    }
+  }
+  unigram /= total;
+  auto row_l1 = [&](const models::Vector& row) {
+    double dist = 0;
+    for (std::size_t w = 0; w < row.size(); ++w) {
+      dist += std::fabs(row[w] - unigram[w]);
+    }
+    return dist;
+  };
+  auto avg_l1 = [&](const models::LdaParams& p) {
+    double dist = 0;
+    for (const auto& row : p.phi) dist += row_l1(row);
+    return dist / static_cast<double>(p.phi.size());
+  };
+  auto min_l1 = [&](const models::LdaParams& p) {
+    double best = 1e300;
+    for (const auto& row : p.phi) best = std::min(best, row_l1(row));
+    return best;
+  };
+  exp.config.iterations = 1;
+  models::LdaParams first;
+  ASSERT_TRUE(RunLdaDataflow(exp, &first).ok());
+  exp.config.iterations = 40;
+  models::LdaParams last;
+  ASSERT_TRUE(RunLdaDataflow(exp, &last).ok());
+  // The fit improves overall, and the busiest topics track the corpus
+  // distribution closely (low-traffic topics stay near their sparse
+  // prior, keeping the average high).
+  // (Exact topic recovery is covered by models_test on structured
+  // corpora; this corpus is topic-free, so we assert directional fit.)
+  EXPECT_LT(avg_l1(last), avg_l1(first));
+  EXPECT_LT(min_l1(last), min_l1(first));
+  EXPECT_LT(min_l1(last), 1.2);
+}
+
+}  // namespace
+}  // namespace mlbench::core

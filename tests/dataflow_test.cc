@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "dataflow/rdd.h"
+#include "sim/cluster_sim.h"
+
+namespace mlbench::dataflow {
+namespace {
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  DataflowTest() : sim_(sim::Ec2M2XLargeCluster(4)) {
+    ContextOptions opts;
+    opts.language = sim::Language::kPython;
+    opts.scale = 1000.0;  // each actual record stands for 1000 logical
+    ctx_ = std::make_unique<Context>(&sim_, opts);
+  }
+
+  Rdd<long long> Numbers(long long per_partition) {
+    return Generate<long long>(
+        *ctx_, per_partition,
+        [per_partition](int p, long long i) { return p * per_partition + i; },
+        sizeof(long long));
+  }
+
+  sim::ClusterSim sim_;
+  std::unique_ptr<Context> ctx_;
+};
+
+TEST_F(DataflowTest, GenerateAndCollect) {
+  auto rdd = Numbers(10);
+  auto rows = rdd.Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 40u);
+  long long sum = std::accumulate(rows->begin(), rows->end(), 0LL);
+  EXPECT_EQ(sum, 39 * 40 / 2);
+}
+
+TEST_F(DataflowTest, CountsActualAndLogical) {
+  auto rdd = Numbers(25);
+  auto actual = rdd.CountActual();
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(*actual, 100);
+  auto logical = rdd.CountLogical();
+  ASSERT_TRUE(logical.ok());
+  EXPECT_DOUBLE_EQ(*logical, 100000.0);
+}
+
+TEST_F(DataflowTest, MapTransforms) {
+  auto rdd = Numbers(5).Map([](const long long& x) { return 2 * x; });
+  auto rows = rdd.Collect();
+  ASSERT_TRUE(rows.ok());
+  for (long long v : *rows) EXPECT_EQ(v % 2, 0);
+}
+
+TEST_F(DataflowTest, FilterKeeps) {
+  auto rdd = Numbers(10).Filter([](const long long& x) { return x % 2 == 0; });
+  auto n = rdd.CountActual();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 20);
+}
+
+TEST_F(DataflowTest, FlatMapExpands) {
+  auto rdd = Numbers(3).FlatMap([](const long long& x) {
+    return std::vector<long long>{x, x};
+  });
+  auto n = rdd.CountActual();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 24);
+}
+
+TEST_F(DataflowTest, ReduceSums) {
+  auto total = Numbers(10).Reduce(
+      [](const long long& a, const long long& b) { return a + b; });
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 39 * 40 / 2);
+}
+
+TEST_F(DataflowTest, ReduceByKeyAggregatesAcrossPartitions) {
+  // Key = value % 3; every partition contributes to every key.
+  auto pairs = Numbers(30).Map([](const long long& x) {
+    return std::pair<int, long long>(static_cast<int>(x % 3), 1LL);
+  });
+  auto counts = ReduceByKey(
+      pairs, [](const long long& a, const long long& b) { return a + b; });
+  auto m = CollectAsMap(counts);
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->size(), 3u);
+  EXPECT_EQ((*m)[0] + (*m)[1] + (*m)[2], 120);
+}
+
+TEST_F(DataflowTest, MapValuesKeepsKeys) {
+  auto pairs = Numbers(6).Map([](const long long& x) {
+    return std::pair<int, long long>(static_cast<int>(x % 2), x);
+  });
+  auto doubled = MapValues(pairs, [](const long long& v) { return v * 10; });
+  auto rows = doubled.Collect();
+  ASSERT_TRUE(rows.ok());
+  for (const auto& [k, v] : *rows) {
+    EXPECT_EQ(v % 10, 0);
+    EXPECT_TRUE(k == 0 || k == 1);
+  }
+}
+
+TEST_F(DataflowTest, GroupByKeyCollectsAllValues) {
+  auto pairs = Numbers(10).Map([](const long long& x) {
+    return std::pair<int, long long>(static_cast<int>(x % 2), x);
+  });
+  auto grouped = GroupByKey(pairs);
+  auto rows = grouped.Collect();
+  ASSERT_TRUE(rows.ok());
+  std::size_t total = 0;
+  for (const auto& [k, vs] : *rows) total += vs.size();
+  EXPECT_EQ(total, 40u);
+}
+
+TEST_F(DataflowTest, JoinMatchesKeys) {
+  auto left = Numbers(4).Map([](const long long& x) {
+    return std::pair<int, long long>(static_cast<int>(x % 4), x);
+  });
+  auto right = Parallelize<std::pair<int, std::string>>(
+      *ctx_, {{0, "zero"}, {1, "one"}}, 16);
+  auto joined = Join(left, right, /*out_scale=*/1000.0);
+  auto rows = joined.Collect();
+  ASSERT_TRUE(rows.ok());
+  // 16 left records, keys 0..3 uniformly -> 8 match keys {0, 1}.
+  EXPECT_EQ(rows->size(), 8u);
+  for (const auto& [k, vw] : *rows) EXPECT_TRUE(k == 0 || k == 1);
+}
+
+TEST_F(DataflowTest, CacheAllocatesAndUnpersistFrees) {
+  // First run a trivial job so the lifetime peer buffers are pinned and
+  // the cache delta can be measured cleanly.
+  ASSERT_TRUE(Numbers(1).CountActual().ok());
+  double baseline = 0;
+  for (int m = 0; m < sim_.machines(); ++m) baseline += sim_.used_bytes(m);
+
+  auto rdd = Numbers(100);
+  rdd.Cache();
+  ASSERT_TRUE(rdd.CountActual().ok());
+  double used = 0;
+  for (int m = 0; m < sim_.machines(); ++m) used += sim_.used_bytes(m);
+  // 400 actual * 1000 scale * 8 bytes
+  EXPECT_DOUBLE_EQ(used - baseline, 400.0 * 1000 * 8);
+  // Second evaluation hits the cache (and must give the same answer).
+  auto n = rdd.CountActual();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 400);
+  rdd.Unpersist();
+  used = 0;
+  for (int m = 0; m < sim_.machines(); ++m) used += sim_.used_bytes(m);
+  EXPECT_DOUBLE_EQ(used, baseline);
+}
+
+TEST_F(DataflowTest, ActionsAdvanceSimulatedClock) {
+  auto rdd = Numbers(1000);
+  double before = sim_.elapsed_seconds();
+  ASSERT_TRUE(rdd.CountActual().ok());
+  double after = sim_.elapsed_seconds();
+  // At least the job-launch cost must have elapsed.
+  EXPECT_GT(after - before, ctx_->options().costs.job_launch_s * 0.99);
+}
+
+TEST_F(DataflowTest, PythonSlowerThanJavaOnSameJob) {
+  auto run = [](sim::Language lang) {
+    sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
+    ContextOptions opts;
+    opts.language = lang;
+    opts.scale = 1e6;
+    Context ctx(&sim, opts);
+    auto rdd = Generate<long long>(
+        ctx, 100, [](int p, long long i) { return p + i; }, 8);
+    auto mapped = rdd.Map([](const long long& x) { return x + 1; });
+    EXPECT_TRUE(mapped.CountActual().ok());
+    return sim.elapsed_seconds();
+  };
+  EXPECT_GT(run(sim::Language::kPython), 1.5 * run(sim::Language::kJava));
+}
+
+TEST_F(DataflowTest, OversizedCacheFailsWithOutOfMemory) {
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(1));
+  ContextOptions opts;
+  opts.scale = 1e9;  // 1000 actual -> 1e12 logical records * 8 B = 8 TB
+  Context ctx(&sim, opts);
+  auto rdd = Generate<long long>(
+      ctx, 1000, [](int, long long i) { return i; }, 8);
+  rdd.Cache();
+  auto n = rdd.CountActual();
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsOutOfMemory());
+}
+
+TEST_F(DataflowTest, OversizedGroupByKeyFailsButReduceByKeySucceeds) {
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(1));
+  ContextOptions opts;
+  opts.scale = 2e9;
+  Context ctx(&sim, opts);
+  auto pairs = Generate<std::pair<int, long long>>(
+                   ctx, 1000,
+                   [](int, long long i) {
+                     return std::pair<int, long long>(
+                         static_cast<int>(i % 4), i);
+                   },
+                   48);
+  // groupByKey materializes all logical values: 1000 * 2e9 * 48 B >> RAM.
+  auto grouped = GroupByKey(pairs);
+  auto g = grouped.Collect();
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsOutOfMemory());
+  // reduceByKey combines map-side down to 4 keys and stays tiny.
+  auto reduced = ReduceByKey(
+      pairs, [](const long long& a, const long long& b) { return a + b; });
+  EXPECT_TRUE(reduced.Collect().ok());
+}
+
+TEST_F(DataflowTest, TransientBuffersFreedAfterJob) {
+  ASSERT_TRUE(Numbers(1).CountActual().ok());  // pin lifetime buffers
+  std::vector<double> baseline(sim_.machines());
+  for (int m = 0; m < sim_.machines(); ++m) baseline[m] = sim_.used_bytes(m);
+
+  auto pairs = Numbers(50).Map([](const long long& x) {
+    return std::pair<int, long long>(static_cast<int>(x % 5), x);
+  });
+  auto reduced = ReduceByKey(
+      pairs, [](const long long& a, const long long& b) { return a + b; });
+  ASSERT_TRUE(reduced.Collect().ok());
+  for (int m = 0; m < sim_.machines(); ++m) {
+    EXPECT_DOUBLE_EQ(sim_.used_bytes(m), baseline[m]) << "machine " << m;
+  }
+}
+
+TEST_F(DataflowTest, ReleaseLifetimeStateFreesPeersAndResiduals) {
+  ASSERT_TRUE(Numbers(1).CountActual().ok());
+  ctx_->BeginJob("broadcast", 4);
+  ASSERT_TRUE(ctx_->BroadcastClosure(1e6).ok());
+  ctx_->EndJob();
+  double used = 0;
+  for (int m = 0; m < sim_.machines(); ++m) used += sim_.used_bytes(m);
+  EXPECT_GT(used, 0.0);  // peers + closure residuals
+  ctx_->ReleaseLifetimeState();
+  used = 0;
+  for (int m = 0; m < sim_.machines(); ++m) used += sim_.used_bytes(m);
+  EXPECT_DOUBLE_EQ(used, 0.0);
+}
+
+}  // namespace
+}  // namespace mlbench::dataflow

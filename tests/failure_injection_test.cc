@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "bsp/engine.h"
+#include "dataflow/rdd.h"
+#include "gas/engine.h"
+#include "sim/cluster_sim.h"
+
+// Failure injection (DESIGN.md testing strategy): shrink the simulated
+// machines' RAM and verify every engine surfaces Status::OutOfMemory at
+// the right phase instead of crashing, and that failed operations leave
+// the memory ledger consistent.
+
+namespace mlbench {
+namespace {
+
+sim::ClusterSpec TinyCluster(int machines, double ram_bytes) {
+  sim::ClusterSpec spec = sim::Ec2M2XLargeCluster(machines);
+  spec.machine.ram_bytes = ram_bytes;
+  return spec;
+}
+
+TEST(FailureInjection, DataflowCacheReportsOomAndRollsBack) {
+  sim::ClusterSim sim(TinyCluster(2, 4.0e9));
+  dataflow::ContextOptions opts;
+  opts.scale = 1e6;
+  dataflow::Context ctx(&sim, opts);
+  auto rdd = dataflow::Generate<long long>(
+      ctx, 1000, [](int, long long i) { return i; }, 8);
+  rdd.Cache();
+  auto n = rdd.CountActual();  // 1000 * 1e6 * 8 B = 8 GB > 2 x 4 GB - peers
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsOutOfMemory());
+}
+
+TEST(FailureInjection, DataflowPeerBuffersCanExceedTinyRam) {
+  // Even an empty job fails when the lifetime buffers don't fit.
+  sim::ClusterSim sim(TinyCluster(64, 1.0e9));
+  dataflow::ContextOptions opts;
+  dataflow::Context ctx(&sim, opts);
+  auto rdd = dataflow::Generate<long long>(
+      ctx, 4, [](int, long long i) { return i; }, 8);
+  ASSERT_TRUE(rdd.CountActual().ok());  // jobs run...
+  EXPECT_FALSE(ctx.lifetime_status().ok());  // ...but the app is doomed
+  EXPECT_TRUE(ctx.lifetime_status().IsOutOfMemory());
+}
+
+TEST(FailureInjection, GasSweepFreesViewsAfterOom) {
+  sim::ClusterSim sim(TinyCluster(2, 1.0e9));
+  struct VData {
+    double v = 0;
+  };
+  gas::Graph<VData> graph;
+  std::size_t hub = graph.AddVertex(0, VData{}, 1.0, 64, 4096);
+  for (int i = 1; i <= 32; ++i) {
+    std::size_t d = graph.AddVertex(i, VData{}, /*scale=*/1e5, 64, 64);
+    graph.AddEdge(hub, d);
+  }
+  gas::GasEngine<VData> engine(&sim, &graph);
+  ASSERT_TRUE(engine.Boot().ok());
+  double pinned = sim.used_bytes(0) + sim.used_bytes(1);
+  class Prog : public gas::GasProgram<VData, double> {
+    double Gather(const gas::Graph<VData>::Vertex&,
+                  const gas::Graph<VData>::Vertex& n) override {
+      return n.data.v;
+    }
+    double Merge(double a, const double& b) override { return a + b; }
+    void Apply(gas::Graph<VData>::Vertex&, const double&) override {}
+  } prog;
+  Status st = engine.RunSweep<double>(prog);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfMemory());
+  // The failed sweep released whatever views it had reserved.
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0) + sim.used_bytes(1), pinned);
+}
+
+TEST(FailureInjection, GasBootRollsBackWhenGraphDoesNotFit) {
+  sim::ClusterSim sim(TinyCluster(2, 1.0e6));
+  struct VData {};
+  gas::Graph<VData> graph;
+  for (int i = 0; i < 64; ++i) {
+    graph.AddVertex(i, VData{}, /*scale=*/1e5, /*state=*/64, 64);
+  }
+  gas::GasEngine<VData> engine(&sim, &graph);
+  Status st = engine.Boot();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0) + sim.used_bytes(1), 0.0);
+}
+
+TEST(FailureInjection, BspBootFailsCleanlyOnTinyRam) {
+  sim::ClusterSim sim(TinyCluster(4, 1.0e9));  // < 3 peers x 600 MB
+  bsp::BspEngine<int, int> engine(&sim);
+  engine.AddVertex(0, 0, 1.0, 64);
+  Status st = engine.Boot();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfMemory());
+}
+
+TEST(FailureInjection, BspSuperstepOomFreesWorkingSet) {
+  sim::ClusterSim sim(TinyCluster(2, 2.5e9));
+  bsp::BspEngine<int, double> engine(&sim);
+  engine.AddVertex(0, 0, 1.0, 64);
+  for (int i = 1; i <= 16; ++i) engine.AddVertex(i, 0, /*scale=*/1e6, 64);
+  ASSERT_TRUE(engine.Boot().ok());
+  double pinned = sim.used_bytes(0) + sim.used_bytes(1);
+  auto flood = [](bsp::BspEngine<int, double>::Vertex& v,
+                  const std::vector<double>&,
+                  bsp::BspEngine<int, double>::Context& ctx) {
+    if (v.id != 0) ctx.Send(v.id, 1.0, 256.0);
+  };
+  ASSERT_TRUE(engine.RunSuperstep(flood, {}).ok());
+  Status st = engine.RunSuperstep(flood, {});
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0) + sim.used_bytes(1), pinned);
+}
+
+}  // namespace
+}  // namespace mlbench

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/rng.h"
+
+namespace mlbench::linalg {
+namespace {
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1, 2, 3};
+  Vector b{4, 5, 6};
+  EXPECT_EQ((a + b), (Vector{5, 7, 9}));
+  EXPECT_EQ((b - a), (Vector{3, 3, 3}));
+  EXPECT_EQ((a * 2.0), (Vector{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ((Vector{3, 4}).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 27.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(i.Trace(), 3.0);
+  Matrix d = Matrix::Diagonal(Vector{2, 5});
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  Matrix o = Matrix::Outer(Vector{1, 2}, Vector{3, 4, 5});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b = MatMul(a, a);
+  EXPECT_DOUBLE_EQ(b(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(b(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(b(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 22.0);
+}
+
+TEST(MatrixTest, MatVecAndQuadraticForm) {
+  Matrix a = Matrix::Identity(2);
+  a(0, 1) = 1;
+  Vector x{2, 3};
+  Vector y = MatVec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  // x^T A x = 2*5 + 3*3
+  EXPECT_DOUBLE_EQ(QuadraticForm(a, x), 19.0);
+}
+
+TEST(MatrixTest, TransposeBlockRowCol) {
+  Matrix a(2, 3);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = 10.0 * r + c;
+  Matrix t = a.Transposed();
+  EXPECT_DOUBLE_EQ(t(2, 1), a(1, 2));
+  EXPECT_EQ(a.Row(1), (Vector{10, 11, 12}));
+  EXPECT_EQ(a.Col(2), (Vector{2, 12}));
+  Matrix b = a.Block(0, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(b(1, 0), 11.0);
+}
+
+Matrix RandomSpd(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.NextDouble() - 0.5;
+  Matrix spd = MatMul(b, b.Transposed());
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+class CholeskySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySweep, ReconstructsInput) {
+  const std::size_t n = GetParam();
+  Matrix a = RandomSpd(n, 7 + n);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  Matrix back = MatMul(*l, l->Transposed());
+  EXPECT_LT((back - a).MaxAbs(), 1e-9 * a.MaxAbs());
+}
+
+TEST_P(CholeskySweep, SolveSatisfiesSystem) {
+  const std::size_t n = GetParam();
+  Matrix a = RandomSpd(n, 100 + n);
+  stats::Rng rng(n);
+  Vector b(n);
+  for (auto& v : b) v = rng.NextDouble();
+  auto x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector back = MatVec(a, *x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-8);
+}
+
+TEST_P(CholeskySweep, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  Matrix a = RandomSpd(n, 200 + n);
+  auto inv = InverseSpd(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = MatMul(a, *inv);
+  EXPECT_LT((prod - Matrix::Identity(n)).MaxAbs(), 1e-8);
+}
+
+TEST_P(CholeskySweep, LogDetMatchesDiagonalCase) {
+  const std::size_t n = GetParam();
+  Vector d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 + static_cast<double>(i);
+  auto ld = LogDetSpd(Matrix::Diagonal(d));
+  ASSERT_TRUE(ld.ok());
+  double expect = 0;
+  for (std::size_t i = 0; i < n; ++i) expect += std::log(d[i]);
+  EXPECT_NEAR(*ld, expect, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CholeskySweep,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 10, 25,
+                                                        50, 100));
+
+TEST(MatrixTest, CholeskyRejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  EXPECT_FALSE(Cholesky(a).ok());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(Cholesky(rect).ok());
+}
+
+TEST(MatrixTest, TriangularSubstitution) {
+  Matrix l(2, 2);
+  l(0, 0) = 2;
+  l(1, 0) = 1;
+  l(1, 1) = 3;
+  Vector y = ForwardSubstitute(l, Vector{4, 7});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0 / 3.0);
+  // L^T x = y round trip: solve then multiply back.
+  Vector x = BackSubstituteTransposed(l, y);
+  EXPECT_NEAR(l(0, 0) * x[0] + l(1, 0) * x[1], y[0], 1e-12);
+  EXPECT_NEAR(l(1, 1) * x[1], y[1], 1e-12);
+}
+
+}  // namespace
+}  // namespace mlbench::linalg

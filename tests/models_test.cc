@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/gmm.h"
+#include "models/hmm.h"
+#include "models/imputation.h"
+#include "models/lasso.h"
+#include "models/lda.h"
+#include "stats/distributions.h"
+
+namespace mlbench::models {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GMM
+// ---------------------------------------------------------------------------
+
+std::vector<Vector> TwoClusterData(stats::Rng& rng, int n_per, double sep) {
+  std::vector<Vector> data;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < n_per; ++i) {
+      Vector x(2);
+      for (int d = 0; d < 2; ++d) {
+        x[d] = stats::SampleNormal(rng, c == 0 ? -sep : sep, 1.0);
+      }
+      data.push_back(std::move(x));
+    }
+  }
+  return data;
+}
+
+TEST(GmmTest, EmpiricalHyperMatchesDataMoments) {
+  stats::Rng rng(1);
+  auto data = TwoClusterData(rng, 2000, 3.0);
+  GmmHyper h = EmpiricalHyper(2, data);
+  EXPECT_NEAR(h.mu0[0], 0.0, 0.15);
+  // Per-dimension variance ~ sep^2 + 1 = 10.
+  EXPECT_NEAR(h.psi(0, 0), 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.v, 4.0);
+}
+
+TEST(GmmTest, SuffStatsAddAndMerge) {
+  GmmSuffStats a(2), b(2);
+  a.Add(Vector{1, 2});
+  b.Add(Vector{3, 4});
+  b.Add(Vector{5, 6});
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.n, 3.0);
+  EXPECT_DOUBLE_EQ(a.sum_x[0], 9.0);
+  EXPECT_DOUBLE_EQ(a.sum_outer(1, 1), 4.0 + 16.0 + 36.0);
+}
+
+TEST(GmmTest, MembershipPrefersNearCluster) {
+  stats::Rng rng(2);
+  GmmParams p;
+  p.pi = Vector{0.5, 0.5};
+  p.mu = {Vector{-3, -3}, Vector{3, 3}};
+  p.sigma = {Matrix::Identity(2), Matrix::Identity(2)};
+  int near = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto c = SampleMembership(rng, Vector{3.1, 2.9}, p);
+    ASSERT_TRUE(c.ok());
+    near += *c == 1;
+  }
+  EXPECT_GT(near, 195);
+}
+
+TEST(GmmTest, GibbsChainRecoversSeparatedClusters) {
+  stats::Rng rng(3);
+  auto data = TwoClusterData(rng, 400, 4.0);
+  GmmHyper hyper = EmpiricalHyper(2, data);
+  auto params = SamplePrior(rng, hyper);
+  ASSERT_TRUE(params.ok());
+  std::vector<std::size_t> memb(data.size());
+
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<GmmSuffStats> stats(2, GmmSuffStats(2));
+    std::vector<double> counts(2, 0);
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      auto c = SampleMembership(rng, data[j], *params);
+      ASSERT_TRUE(c.ok());
+      memb[j] = *c;
+      stats[*c].Add(data[j]);
+      counts[*c] += 1;
+    }
+    for (int k = 0; k < 2; ++k) {
+      auto post = SampleClusterPosterior(rng, hyper, stats[k]);
+      ASSERT_TRUE(post.ok());
+      params->mu[k] = post->first;
+      params->sigma[k] = post->second;
+    }
+    params->pi = SampleMixingProportions(rng, hyper, counts);
+  }
+  // The two component means must sit near (-4,-4) and (4,4) in some order.
+  double lo = std::min(params->mu[0][0], params->mu[1][0]);
+  double hi = std::max(params->mu[0][0], params->mu[1][0]);
+  EXPECT_NEAR(lo, -4.0, 0.5);
+  EXPECT_NEAR(hi, 4.0, 0.5);
+  EXPECT_NEAR(params->pi[0], 0.5, 0.1);
+}
+
+TEST(GmmTest, FlopDeclarationsScale) {
+  EXPECT_GT(MembershipFlops(10, 100), 50 * MembershipFlops(10, 10));
+  EXPECT_GT(ClusterUpdateFlops(100), 100 * ClusterUpdateFlops(10));
+  EXPECT_GT(SuffStatFlops(10), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bayesian Lasso
+// ---------------------------------------------------------------------------
+
+TEST(LassoTest, AccumulateBuildsGramMatrix) {
+  LassoSuffStats stats;
+  AccumulateLasso(Vector{1, 2}, 3.0, &stats);
+  AccumulateLasso(Vector{0, 1}, -1.0, &stats);
+  EXPECT_DOUBLE_EQ(stats.n, 2.0);
+  EXPECT_DOUBLE_EQ(stats.xtx(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.xtx(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(stats.xtx(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(stats.xty[1], 5.0);
+  EXPECT_DOUBLE_EQ(stats.yty, 10.0);
+}
+
+TEST(LassoTest, ResidualSumOfSquaresMatchesDirect) {
+  stats::Rng rng(4);
+  LassoSuffStats stats;
+  std::vector<std::pair<Vector, double>> data;
+  Vector beta{0.5, -1.0, 2.0};
+  for (int i = 0; i < 50; ++i) {
+    Vector x(3);
+    for (auto& v : x) v = stats::SampleNormal(rng, 0, 1);
+    double y = stats::SampleNormal(rng, linalg::Dot(beta, x), 0.1);
+    AccumulateLasso(x, y, &stats);
+    data.emplace_back(std::move(x), y);
+  }
+  double direct = 0;
+  for (const auto& [x, y] : data) {
+    double r = y - linalg::Dot(beta, x);
+    direct += r * r;
+  }
+  EXPECT_NEAR(ResidualSumOfSquares(stats, beta), direct, 1e-8);
+}
+
+TEST(LassoTest, ChainRecoversSparseSignal) {
+  stats::Rng rng(5);
+  const std::size_t p = 10;
+  LassoHyper hyper{p, 1.0};
+  Vector true_beta(p);
+  true_beta[2] = 3.0;
+  true_beta[7] = -2.0;
+  LassoSuffStats stats;
+  for (int i = 0; i < 400; ++i) {
+    Vector x(p);
+    for (auto& v : x) v = stats::SampleNormal(rng, 0, 1);
+    double y = stats::SampleNormal(rng, linalg::Dot(true_beta, x), 0.5);
+    AccumulateLasso(x, y, &stats);
+  }
+  auto state = InitLasso(rng, hyper);
+  ASSERT_TRUE(state.ok());
+  for (int iter = 0; iter < 50; ++iter) {
+    for (std::size_t j = 0; j < p; ++j) {
+      state->inv_tau2[j] =
+          SampleInvTau2(rng, hyper, state->sigma2, state->beta[j]);
+    }
+    auto beta = SampleBeta(rng, stats, state->inv_tau2, state->sigma2);
+    ASSERT_TRUE(beta.ok());
+    state->beta = *beta;
+    double sse = ResidualSumOfSquares(stats, state->beta);
+    state->sigma2 =
+        SampleSigma2(rng, hyper, stats, state->beta, state->inv_tau2, sse);
+  }
+  EXPECT_NEAR(state->beta[2], 3.0, 0.3);
+  EXPECT_NEAR(state->beta[7], -2.0, 0.3);
+  EXPECT_NEAR(state->beta[0], 0.0, 0.3);
+  EXPECT_NEAR(state->sigma2, 0.25, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// HMM
+// ---------------------------------------------------------------------------
+
+TEST(HmmTest, CountsMergeElementwise) {
+  HmmCounts a(2, 3), b(2, 3);
+  a.f[0][1] = 2;
+  b.f[0][1] = 3;
+  b.g[1] = 1;
+  b.h[1][0] = 4;
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.f[0][1], 5.0);
+  EXPECT_DOUBLE_EQ(a.g[1], 1.0);
+  EXPECT_DOUBLE_EQ(a.h[1][0], 4.0);
+}
+
+TEST(HmmTest, AlternatingUpdateOnlyTouchesMatchingParity) {
+  stats::Rng rng(6);
+  HmmHyper hyper{2, 5, 1.0, 1.0};
+  HmmParams params = SampleHmmPrior(rng, hyper);
+  HmmDocument doc;
+  doc.words = {0, 1, 2, 3, 4, 0, 1, 2};
+  InitHmmStates(rng, 2, &doc);
+  auto before = doc.states;
+  ResampleHmmStates(rng, params, /*iteration=*/0, &doc);
+  for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
+    if ((0 + pos) % 2 != 1) {
+      EXPECT_EQ(doc.states[pos], before[pos]) << "pos " << pos;
+    }
+  }
+}
+
+TEST(HmmTest, CountsMatchDocument) {
+  HmmDocument doc;
+  doc.words = {3, 1, 3};
+  doc.states = {0, 1, 0};
+  HmmCounts counts(2, 5);
+  AccumulateHmmCounts(doc, &counts);
+  EXPECT_DOUBLE_EQ(counts.g[0], 1.0);
+  EXPECT_DOUBLE_EQ(counts.f[0][3], 2.0);
+  EXPECT_DOUBLE_EQ(counts.f[1][1], 1.0);
+  EXPECT_DOUBLE_EQ(counts.h[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(counts.h[1][0], 1.0);
+}
+
+TEST(HmmTest, PosteriorRowsAreDistributions) {
+  stats::Rng rng(7);
+  HmmHyper hyper{3, 6, 1.0, 0.5};
+  HmmCounts counts(3, 6);
+  counts.f[1][2] = 50;
+  counts.g[0] = 10;
+  counts.h[2][1] = 20;
+  HmmParams p = SampleHmmPosterior(rng, hyper, counts);
+  EXPECT_NEAR(p.delta0.Sum(), 1.0, 1e-9);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(p.delta[s].Sum(), 1.0, 1e-9);
+    EXPECT_NEAR(p.psi[s].Sum(), 1.0, 1e-9);
+  }
+  // Heavy f(2|s=1) count dominates that emission row.
+  EXPECT_GT(p.psi[1][2], 0.8);
+}
+
+TEST(HmmTest, ChainSeparatesDisjointVocabularies) {
+  // Two states emitting disjoint word ranges with strong self-transition:
+  // the learned emission rows must concentrate on one range each.
+  stats::Rng rng(8);
+  HmmHyper hyper{2, 10, 0.5, 0.1};
+  // Build synthetic docs from a known HMM.
+  std::vector<HmmDocument> docs(60);
+  for (auto& doc : docs) {
+    int s = 0;
+    for (int w = 0; w < 40; ++w) {
+      if (rng.NextDouble() < 0.1) s = 1 - s;
+      doc.words.push_back(static_cast<std::uint32_t>(
+          s * 5 + rng.NextBounded(5)));
+    }
+    InitHmmStates(rng, 2, &doc);
+  }
+  HmmParams params = SampleHmmPrior(rng, hyper);
+  for (int iter = 0; iter < 60; ++iter) {
+    HmmCounts counts(2, 10);
+    for (auto& doc : docs) {
+      ResampleHmmStates(rng, params, iter, &doc);
+      AccumulateHmmCounts(doc, &counts);
+    }
+    params = SampleHmmPosterior(rng, hyper, counts);
+  }
+  // Each state's emission mass must concentrate on one half of the vocab.
+  for (int s = 0; s < 2; ++s) {
+    double low = 0, high = 0;
+    for (int w = 0; w < 5; ++w) low += params.psi[s][w];
+    for (int w = 5; w < 10; ++w) high += params.psi[s][w];
+    EXPECT_GT(std::max(low, high), 0.85) << "state " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LDA
+// ---------------------------------------------------------------------------
+
+TEST(LdaTest, InitAssignsTopicsAndUniformTheta) {
+  stats::Rng rng(9);
+  LdaHyper hyper{4, 20, 0.5, 0.1};
+  LdaDocument doc;
+  doc.words = {1, 2, 3, 4, 5};
+  InitLdaDocument(rng, hyper, &doc);
+  EXPECT_EQ(doc.topics.size(), 5u);
+  EXPECT_NEAR(doc.theta.Sum(), 1.0, 1e-9);
+  for (auto t : doc.topics) EXPECT_LT(t, 4);
+}
+
+TEST(LdaTest, ResampleAccumulatesCounts) {
+  stats::Rng rng(10);
+  LdaHyper hyper{2, 6, 0.5, 0.1};
+  LdaParams params = SampleLdaPrior(rng, hyper);
+  LdaDocument doc;
+  doc.words = {0, 1, 2, 3};
+  InitLdaDocument(rng, hyper, &doc);
+  LdaCounts counts(2, 6);
+  ResampleLdaDocument(rng, hyper, params, &doc, &counts);
+  double total = 0;
+  for (const auto& row : counts.g) total += row.Sum();
+  EXPECT_DOUBLE_EQ(total, 4.0);
+  EXPECT_NEAR(doc.theta.Sum(), 1.0, 1e-9);
+}
+
+TEST(LdaTest, ChainImprovesLogLikelihood) {
+  stats::Rng rng(11);
+  LdaHyper hyper{2, 10, 0.5, 0.1};
+  // Two topics over disjoint vocab halves; docs are topic-pure.
+  std::vector<LdaDocument> docs(40);
+  for (std::size_t j = 0; j < docs.size(); ++j) {
+    int topic = j % 2;
+    for (int w = 0; w < 30; ++w) {
+      docs[j].words.push_back(
+          static_cast<std::uint32_t>(topic * 5 + rng.NextBounded(5)));
+    }
+    InitLdaDocument(rng, hyper, &docs[j]);
+  }
+  LdaParams params = SampleLdaPrior(rng, hyper);
+  double ll_first = 0, ll_last = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    LdaCounts counts(2, 10);
+    double ll = 0;
+    for (auto& doc : docs) {
+      ResampleLdaDocument(rng, hyper, params, &doc, &counts);
+      ll += LdaDocLogLikelihood(doc, params);
+    }
+    params = SampleLdaPosterior(rng, hyper, counts);
+    if (iter == 0) ll_first = ll;
+    ll_last = ll;
+  }
+  EXPECT_GT(ll_last, ll_first + 100.0);
+  // Topics separate the two vocab halves.
+  for (int t = 0; t < 2; ++t) {
+    double low = 0, high = 0;
+    for (int w = 0; w < 5; ++w) low += params.phi[t][w];
+    for (int w = 5; w < 10; ++w) high += params.phi[t][w];
+    EXPECT_GT(std::max(low, high), 0.9) << "topic " << t;
+  }
+}
+
+TEST(LdaTest, ModelBytesMatchShape) {
+  LdaHyper hyper{100, 10000, 0.5, 0.1};
+  EXPECT_DOUBLE_EQ(LdaModelBytes(hyper), 8.0 * 100 * 10000);
+  HmmHyper hh{20, 10000, 1.0, 0.1};
+  EXPECT_DOUBLE_EQ(HmmModelBytes(hh), 8.0 * (20.0 * 10000 + 400 + 20));
+}
+
+// ---------------------------------------------------------------------------
+// Imputation
+// ---------------------------------------------------------------------------
+
+TEST(ImputationTest, CensorMasksExpectedFraction) {
+  stats::Rng rng(12);
+  int censored = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto cp = Censor(rng, Vector(10, 1.0), 0.5);
+    for (bool m : cp.missing) {
+      censored += m;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(censored / static_cast<double>(total), 0.5, 0.03);
+}
+
+TEST(ImputationTest, NoMissingIsNoOp) {
+  stats::Rng rng(13);
+  CensoredPoint cp;
+  cp.x = Vector{1, 2};
+  cp.missing = {false, false};
+  ASSERT_TRUE(
+      ImputeMissing(rng, Vector{0, 0}, Matrix::Identity(2), &cp).ok());
+  EXPECT_DOUBLE_EQ(cp.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(cp.x[1], 2.0);
+}
+
+TEST(ImputationTest, FullyMissingDrawsFromMarginal) {
+  stats::Rng rng(14);
+  Vector mu{5, -5};
+  Matrix sigma = Matrix::Identity(2) * 0.01;
+  CensoredPoint cp;
+  cp.x = Vector{0, 0};
+  cp.missing = {true, true};
+  ASSERT_TRUE(ImputeMissing(rng, mu, sigma, &cp).ok());
+  EXPECT_NEAR(cp.x[0], 5.0, 0.5);
+  EXPECT_NEAR(cp.x[1], -5.0, 0.5);
+}
+
+TEST(ImputationTest, ConditionalMeanTracksCorrelation) {
+  // With correlation 0.9 and observed x2 = 2, E[x1 | x2] = 1.8.
+  stats::Rng rng(15);
+  Vector mu{0, 0};
+  Matrix sigma(2, 2);
+  sigma(0, 0) = sigma(1, 1) = 1.0;
+  sigma(0, 1) = sigma(1, 0) = 0.9;
+  double sum = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    CensoredPoint cp;
+    cp.x = Vector{0, 2.0};
+    cp.missing = {true, false};
+    ASSERT_TRUE(ImputeMissing(rng, mu, sigma, &cp).ok());
+    sum += cp.x[0];
+  }
+  EXPECT_NEAR(sum / n, 1.8, 0.03);
+}
+
+TEST(ImputationTest, ImputedValuesReduceRmseVersusZeroFill) {
+  stats::Rng rng(16);
+  Vector mu{3, 3, 3};
+  Matrix sigma = Matrix::Identity(3);
+  sigma(0, 1) = sigma(1, 0) = 0.7;
+  double rmse_imputed = 0, rmse_zero = 0;
+  int count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto truth = stats::SampleMultivariateNormal(rng, mu, sigma);
+    ASSERT_TRUE(truth.ok());
+    CensoredPoint cp = Censor(rng, *truth, 0.5);
+    auto zero_fill = cp;
+    ASSERT_TRUE(ImputeMissing(rng, mu, sigma, &cp).ok());
+    for (std::size_t d = 0; d < 3; ++d) {
+      if (!cp.missing[d]) continue;
+      rmse_imputed += std::pow(cp.x[d] - (*truth)[d], 2);
+      rmse_zero += std::pow(zero_fill.x[d] - (*truth)[d], 2);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_LT(rmse_imputed / count, 0.7 * rmse_zero / count);
+}
+
+}  // namespace
+}  // namespace mlbench::models

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+#include "sim/cost_profile.h"
+#include "sim/machine.h"
+
+namespace mlbench::sim {
+namespace {
+
+TEST(MachineTest, Ec2FleetSpecs) {
+  ClusterSpec spec = Ec2M2XLargeCluster(100);
+  EXPECT_EQ(spec.machines, 100);
+  EXPECT_EQ(spec.machine.cores, 8);
+  EXPECT_EQ(spec.total_cores(), 800);
+  EXPECT_GT(spec.total_ram_bytes(), 6e12);  // the paper's "7 TB of RAM"
+}
+
+TEST(ClusterSimTest, AllocateWithinRamSucceeds) {
+  ClusterSim sim(Ec2M2XLargeCluster(2));
+  EXPECT_TRUE(sim.Allocate(0, 1e9, "data").ok());
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0), 1e9);
+  EXPECT_DOUBLE_EQ(sim.used_bytes(1), 0.0);
+}
+
+TEST(ClusterSimTest, OverAllocationReturnsOutOfMemory) {
+  ClusterSim sim(Ec2M2XLargeCluster(1));
+  Status st = sim.Allocate(0, 100e9, "giant gather views");
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_NE(st.message().find("giant gather views"), std::string::npos);
+  // Failed allocation must not change the ledger.
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0), 0.0);
+}
+
+TEST(ClusterSimTest, AllocateEverywhereRollsBackOnFailure) {
+  ClusterSim sim(Ec2M2XLargeCluster(3));
+  ASSERT_TRUE(sim.Allocate(2, 60e9, "hog").ok());
+  Status st = sim.AllocateEverywhere(20e9, "partitioned data");
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0), 0.0);
+  EXPECT_DOUBLE_EQ(sim.used_bytes(1), 0.0);
+  EXPECT_DOUBLE_EQ(sim.used_bytes(2), 60e9);
+}
+
+TEST(ClusterSimTest, FreeClampsAtZero) {
+  ClusterSim sim(Ec2M2XLargeCluster(1));
+  ASSERT_TRUE(sim.Allocate(0, 5.0, "x").ok());
+  sim.Free(0, 100.0);
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0), 0.0);
+}
+
+TEST(ClusterSimTest, PeakTracksHighWaterMark) {
+  ClusterSim sim(Ec2M2XLargeCluster(2));
+  ASSERT_TRUE(sim.Allocate(0, 10e9, "a").ok());
+  sim.Free(0, 10e9);
+  ASSERT_TRUE(sim.Allocate(1, 4e9, "b").ok());
+  EXPECT_DOUBLE_EQ(sim.peak_bytes(), 10e9);
+}
+
+TEST(ClusterSimTest, PhaseTimeIsSlowestMachine) {
+  ClusterSim sim(Ec2M2XLargeCluster(3));
+  sim.BeginPhase("map");
+  sim.ChargeCpu(0, 1.0);
+  sim.ChargeCpu(1, 5.0);
+  sim.ChargeCpu(2, 2.0);
+  double t = sim.EndPhase();
+  EXPECT_DOUBLE_EQ(t, 5.0);
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 5.0);
+}
+
+TEST(ClusterSimTest, NetworkAddsTransferAndLatency) {
+  ClusterSpec spec = Ec2M2XLargeCluster(2);
+  ClusterSim sim(spec);
+  sim.BeginPhase("shuffle");
+  sim.ChargeNetwork(0, spec.net_bytes_per_sec * 2.0);  // 2 seconds of traffic
+  double t = sim.EndPhase();
+  EXPECT_NEAR(t, 2.0 + spec.net_latency_s, 1e-12);
+}
+
+TEST(ClusterSimTest, FixedCostAddsSerially) {
+  ClusterSim sim(Ec2M2XLargeCluster(2));
+  sim.BeginPhase("job");
+  sim.ChargeFixed(27.0);  // Hadoop job launch
+  sim.ChargeCpu(0, 3.0);
+  EXPECT_DOUBLE_EQ(sim.EndPhase(), 30.0);
+}
+
+TEST(ClusterSimTest, ParallelCpuDividesAcrossAllCores) {
+  ClusterSim sim(Ec2M2XLargeCluster(5));  // 40 cores
+  sim.BeginPhase("compute");
+  sim.ChargeParallelCpu(80.0);
+  EXPECT_DOUBLE_EQ(sim.EndPhase(), 2.0);
+}
+
+TEST(ClusterSimTest, ParallelCpuOnMachineDividesByCores) {
+  ClusterSim sim(Ec2M2XLargeCluster(2));
+  sim.BeginPhase("local");
+  sim.ChargeParallelCpuOnMachine(1, 16.0);
+  EXPECT_DOUBLE_EQ(sim.EndPhase(), 2.0);
+}
+
+TEST(ClusterSimTest, ResetClockKeepsLedger) {
+  ClusterSim sim(Ec2M2XLargeCluster(1));
+  ASSERT_TRUE(sim.Allocate(0, 7.0, "x").ok());
+  sim.BeginPhase("init");
+  sim.ChargeCpu(0, 9.0);
+  sim.EndPhase();
+  sim.ResetClock();
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0), 7.0);
+}
+
+TEST(ClusterSimTest, HistoryRecordsPhases) {
+  ClusterSim sim(Ec2M2XLargeCluster(1));
+  sim.BeginPhase("a");
+  sim.ChargeCpu(0, 1.0);
+  sim.EndPhase();
+  sim.BeginPhase("b");
+  sim.ChargeFixed(2.0);
+  sim.EndPhase();
+  ASSERT_EQ(sim.history().size(), 2u);
+  EXPECT_EQ(sim.history()[0].name, "a");
+  EXPECT_DOUBLE_EQ(sim.history()[1].fixed_seconds, 2.0);
+}
+
+TEST(ClusterSimTest, NoiseIsMultiplicativeAndSeeded) {
+  auto run = [](std::uint64_t seed) {
+    ClusterSim sim(Ec2M2XLargeCluster(1));
+    sim.SetNoise(0.02, seed);
+    sim.BeginPhase("p");
+    sim.ChargeCpu(0, 100.0);
+    return sim.EndPhase();
+  };
+  double a = run(1), b = run(1), c = run(2);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NEAR(a, 100.0, 10.0);
+}
+
+TEST(CostProfileTest, LanguageOrderings) {
+  // The orderings the paper measures: Python record handling slowest,
+  // Java linalg degrades with dimension, C++ fastest everywhere.
+  auto cpp = CppModel(), java = JavaModel(), py = PythonModel();
+  EXPECT_LT(cpp.per_record_s, java.per_record_s);
+  EXPECT_LT(java.per_record_s, py.per_record_s);
+  EXPECT_LT(cpp.LinalgSeconds(1e6, 1, 10), java.LinalgSeconds(1e6, 1, 10));
+  // Java/Mallet is moderately slower at d=10 but collapses at d=100 while
+  // NumPy stays vectorized (Section 5.6 "Java vs. Python").
+  double java10 = java.LinalgSeconds(1e6, 10, 10);
+  double java100 = java.LinalgSeconds(1e6, 10, 100);
+  EXPECT_GT(java100 / java10, 1.5);
+  double py100 = py.LinalgSeconds(1e6, 10, 100);
+  EXPECT_GT(java100, py100);
+}
+
+TEST(CostProfileTest, Names) {
+  EXPECT_STREQ(LanguageName(Language::kPython), "Python");
+  EXPECT_STREQ(LanguageName(Language::kJava), "Java");
+  EXPECT_STREQ(LanguageName(Language::kCpp), "C++");
+}
+
+}  // namespace
+}  // namespace mlbench::sim

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+
+namespace mlbench::core {
+namespace {
+
+TEST(GmmDataGenTest, DeterministicByIndex) {
+  GmmDataGen a(7, 10, 10), b(7, 10, 10);
+  EXPECT_EQ(a.Point(3, 41), b.Point(3, 41));
+  EXPECT_NE(a.Point(3, 41), a.Point(3, 42));
+  EXPECT_NE(a.Point(2, 41), a.Point(3, 41));
+}
+
+TEST(GmmDataGenTest, PointsClusterAroundTrueMeans) {
+  GmmDataGen gen(9, 4, 3);
+  // Every point should be within a few sigma of SOME true mean.
+  for (long long j = 0; j < 200; ++j) {
+    auto x = gen.Point(0, j);
+    double best = 1e300;
+    for (const auto& mu : gen.true_means()) {
+      best = std::min(best, linalg::SquaredDistance(x, mu));
+    }
+    EXPECT_LT(best, 36.0) << "point " << j;  // within 6 sigma in 3-d
+  }
+}
+
+TEST(LassoDataGenTest, ResponseFollowsSparseModel) {
+  LassoDataGen gen(11, 50, 5);
+  int nonzero = 0;
+  for (std::size_t i = 0; i < 50; ++i) nonzero += gen.true_beta()[i] != 0;
+  EXPECT_LE(nonzero, 5);
+  EXPECT_GE(nonzero, 1);
+  // Residual variance under the true beta must be ~1 (the noise).
+  double sse = 0;
+  const int n = 500;
+  for (int j = 0; j < n; ++j) {
+    auto [x, y] = gen.Sample(0, j);
+    double r = y - linalg::Dot(gen.true_beta(), x);
+    sse += r * r;
+  }
+  EXPECT_NEAR(sse / n, 1.0, 0.25);
+}
+
+TEST(CorpusGenTest, DocumentsHaveExpectedShape) {
+  CorpusGen gen(13, 1000, 210);
+  double total_len = 0;
+  for (long long j = 0; j < 200; ++j) {
+    auto doc = gen.Document(0, j);
+    total_len += static_cast<double>(doc.size());
+    for (auto w : doc) ASSERT_LT(w, 1000u);
+  }
+  EXPECT_NEAR(total_len / 200.0, 210.0, 15.0);
+}
+
+TEST(CorpusGenTest, WordFrequenciesAreZipfLike) {
+  CorpusGen gen(17, 100, 200, 1.0);
+  std::vector<int> counts(100, 0);
+  for (long long j = 0; j < 300; ++j) {
+    for (auto w : gen.Document(0, j)) ++counts[w];
+  }
+  // Rank-1 word must dominate rank-50 by roughly the Zipf ratio.
+  EXPECT_GT(counts[0], 10 * counts[49]);
+}
+
+TEST(CensorPointTest, DeterministicAndPartial) {
+  linalg::Vector x(10, 5.0);
+  auto a = CensorPoint(3, 1, 2, x);
+  auto b = CensorPoint(3, 1, 2, x);
+  EXPECT_EQ(a.missing, b.missing);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.x[i], a.missing[i] ? 0.0 : 5.0);
+  }
+}
+
+TEST(CensorPointTest, AboutHalfCensoredOverall) {
+  linalg::Vector x(10, 1.0);
+  int censored = 0;
+  for (long long j = 0; j < 400; ++j) {
+    auto cp = CensorPoint(21, 0, j, x);
+    for (bool m : cp.missing) censored += m;
+  }
+  EXPECT_NEAR(censored / 4000.0, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace mlbench::core
