@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collapsed_lda.dir/ablation_collapsed_lda.cc.o"
+  "CMakeFiles/ablation_collapsed_lda.dir/ablation_collapsed_lda.cc.o.d"
+  "ablation_collapsed_lda"
+  "ablation_collapsed_lda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collapsed_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_collapsed_lda.
+# This may be replaced when dependencies are built.

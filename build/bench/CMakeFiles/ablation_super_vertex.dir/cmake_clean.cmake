@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_super_vertex.dir/ablation_super_vertex.cc.o"
+  "CMakeFiles/ablation_super_vertex.dir/ablation_super_vertex.cc.o.d"
+  "ablation_super_vertex"
+  "ablation_super_vertex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_super_vertex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gmm.dir/fig1_gmm.cc.o"
+  "CMakeFiles/fig1_gmm.dir/fig1_gmm.cc.o.d"
+  "fig1_gmm"
+  "fig1_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lasso.dir/fig2_lasso.cc.o"
+  "CMakeFiles/fig2_lasso.dir/fig2_lasso.cc.o.d"
+  "fig2_lasso"
+  "fig2_lasso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hmm.dir/fig3_hmm.cc.o"
+  "CMakeFiles/fig3_hmm.dir/fig3_hmm.cc.o.d"
+  "fig3_hmm"
+  "fig3_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

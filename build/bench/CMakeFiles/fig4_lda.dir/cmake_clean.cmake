@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lda.dir/fig4_lda.cc.o"
+  "CMakeFiles/fig4_lda.dir/fig4_lda.cc.o.d"
+  "fig4_lda"
+  "fig4_lda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

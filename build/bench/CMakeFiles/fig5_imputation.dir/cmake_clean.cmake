@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_imputation.dir/fig5_imputation.cc.o"
+  "CMakeFiles/fig5_imputation.dir/fig5_imputation.cc.o.d"
+  "fig5_imputation"
+  "fig5_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lda_spark_java.dir/fig6_lda_spark_java.cc.o"
+  "CMakeFiles/fig6_lda_spark_java.dir/fig6_lda_spark_java.cc.o.d"
+  "fig6_lda_spark_java"
+  "fig6_lda_spark_java.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lda_spark_java.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_lda_spark_java.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_check.dir/variance_check.cc.o"
+  "CMakeFiles/variance_check.dir/variance_check.cc.o.d"
+  "variance_check"
+  "variance_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_data_imputation.dir/missing_data_imputation.cpp.o"
+  "CMakeFiles/missing_data_imputation.dir/missing_data_imputation.cpp.o.d"
+  "missing_data_imputation"
+  "missing_data_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_data_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

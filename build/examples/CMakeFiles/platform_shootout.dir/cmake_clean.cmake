@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_shootout.dir/platform_shootout.cpp.o"
+  "CMakeFiles/platform_shootout.dir/platform_shootout.cpp.o.d"
+  "platform_shootout"
+  "platform_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_lasso.dir/regression_lasso.cpp.o"
+  "CMakeFiles/regression_lasso.dir/regression_lasso.cpp.o.d"
+  "regression_lasso"
+  "regression_lasso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/simsql_queries.cpp" "examples/CMakeFiles/simsql_queries.dir/simsql_queries.cpp.o" "gcc" "examples/CMakeFiles/simsql_queries.dir/simsql_queries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mlbench_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/reldb/CMakeFiles/mlbench_reldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlbench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlbench_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mlbench_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsql_queries.dir/simsql_queries.cpp.o"
+  "CMakeFiles/simsql_queries.dir/simsql_queries.cpp.o.d"
+  "simsql_queries"
+  "simsql_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsql_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

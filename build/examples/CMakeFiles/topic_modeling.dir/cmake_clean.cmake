@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_modeling.dir/topic_modeling.cpp.o"
+  "CMakeFiles/topic_modeling.dir/topic_modeling.cpp.o.d"
+  "topic_modeling"
+  "topic_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlbench_common.dir/loc_counter.cc.o"
+  "CMakeFiles/mlbench_common.dir/loc_counter.cc.o.d"
+  "CMakeFiles/mlbench_common.dir/status.cc.o"
+  "CMakeFiles/mlbench_common.dir/status.cc.o.d"
+  "CMakeFiles/mlbench_common.dir/str_format.cc.o"
+  "CMakeFiles/mlbench_common.dir/str_format.cc.o.d"
+  "libmlbench_common.a"
+  "libmlbench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlbench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gmm_bsp.cc" "src/core/CMakeFiles/mlbench_core.dir/gmm_bsp.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/gmm_bsp.cc.o.d"
+  "/root/repo/src/core/gmm_dataflow.cc" "src/core/CMakeFiles/mlbench_core.dir/gmm_dataflow.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/gmm_dataflow.cc.o.d"
+  "/root/repo/src/core/gmm_gas.cc" "src/core/CMakeFiles/mlbench_core.dir/gmm_gas.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/gmm_gas.cc.o.d"
+  "/root/repo/src/core/gmm_reldb.cc" "src/core/CMakeFiles/mlbench_core.dir/gmm_reldb.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/gmm_reldb.cc.o.d"
+  "/root/repo/src/core/hmm_bsp.cc" "src/core/CMakeFiles/mlbench_core.dir/hmm_bsp.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/hmm_bsp.cc.o.d"
+  "/root/repo/src/core/hmm_dataflow.cc" "src/core/CMakeFiles/mlbench_core.dir/hmm_dataflow.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/hmm_dataflow.cc.o.d"
+  "/root/repo/src/core/hmm_gas.cc" "src/core/CMakeFiles/mlbench_core.dir/hmm_gas.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/hmm_gas.cc.o.d"
+  "/root/repo/src/core/hmm_reldb.cc" "src/core/CMakeFiles/mlbench_core.dir/hmm_reldb.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/hmm_reldb.cc.o.d"
+  "/root/repo/src/core/lasso_bsp.cc" "src/core/CMakeFiles/mlbench_core.dir/lasso_bsp.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/lasso_bsp.cc.o.d"
+  "/root/repo/src/core/lasso_dataflow.cc" "src/core/CMakeFiles/mlbench_core.dir/lasso_dataflow.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/lasso_dataflow.cc.o.d"
+  "/root/repo/src/core/lasso_gas.cc" "src/core/CMakeFiles/mlbench_core.dir/lasso_gas.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/lasso_gas.cc.o.d"
+  "/root/repo/src/core/lasso_reldb.cc" "src/core/CMakeFiles/mlbench_core.dir/lasso_reldb.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/lasso_reldb.cc.o.d"
+  "/root/repo/src/core/lda_bsp.cc" "src/core/CMakeFiles/mlbench_core.dir/lda_bsp.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/lda_bsp.cc.o.d"
+  "/root/repo/src/core/lda_dataflow.cc" "src/core/CMakeFiles/mlbench_core.dir/lda_dataflow.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/lda_dataflow.cc.o.d"
+  "/root/repo/src/core/lda_gas.cc" "src/core/CMakeFiles/mlbench_core.dir/lda_gas.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/lda_gas.cc.o.d"
+  "/root/repo/src/core/lda_reldb.cc" "src/core/CMakeFiles/mlbench_core.dir/lda_reldb.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/lda_reldb.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/mlbench_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/report.cc.o.d"
+  "/root/repo/src/core/workloads.cc" "src/core/CMakeFiles/mlbench_core.dir/workloads.cc.o" "gcc" "src/core/CMakeFiles/mlbench_core.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/mlbench_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/reldb/CMakeFiles/mlbench_reldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlbench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlbench_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mlbench_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

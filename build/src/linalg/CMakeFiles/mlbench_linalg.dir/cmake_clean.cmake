@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlbench_linalg.dir/matrix.cc.o"
+  "CMakeFiles/mlbench_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/mlbench_linalg.dir/vector.cc.o"
+  "CMakeFiles/mlbench_linalg.dir/vector.cc.o.d"
+  "libmlbench_linalg.a"
+  "libmlbench_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlbench_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

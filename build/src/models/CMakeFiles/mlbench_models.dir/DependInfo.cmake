@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/collapsed_lda.cc" "src/models/CMakeFiles/mlbench_models.dir/collapsed_lda.cc.o" "gcc" "src/models/CMakeFiles/mlbench_models.dir/collapsed_lda.cc.o.d"
+  "/root/repo/src/models/gmm.cc" "src/models/CMakeFiles/mlbench_models.dir/gmm.cc.o" "gcc" "src/models/CMakeFiles/mlbench_models.dir/gmm.cc.o.d"
+  "/root/repo/src/models/hmm.cc" "src/models/CMakeFiles/mlbench_models.dir/hmm.cc.o" "gcc" "src/models/CMakeFiles/mlbench_models.dir/hmm.cc.o.d"
+  "/root/repo/src/models/imputation.cc" "src/models/CMakeFiles/mlbench_models.dir/imputation.cc.o" "gcc" "src/models/CMakeFiles/mlbench_models.dir/imputation.cc.o.d"
+  "/root/repo/src/models/lasso.cc" "src/models/CMakeFiles/mlbench_models.dir/lasso.cc.o" "gcc" "src/models/CMakeFiles/mlbench_models.dir/lasso.cc.o.d"
+  "/root/repo/src/models/lda.cc" "src/models/CMakeFiles/mlbench_models.dir/lda.cc.o" "gcc" "src/models/CMakeFiles/mlbench_models.dir/lda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/mlbench_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mlbench_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlbench_models.dir/collapsed_lda.cc.o"
+  "CMakeFiles/mlbench_models.dir/collapsed_lda.cc.o.d"
+  "CMakeFiles/mlbench_models.dir/gmm.cc.o"
+  "CMakeFiles/mlbench_models.dir/gmm.cc.o.d"
+  "CMakeFiles/mlbench_models.dir/hmm.cc.o"
+  "CMakeFiles/mlbench_models.dir/hmm.cc.o.d"
+  "CMakeFiles/mlbench_models.dir/imputation.cc.o"
+  "CMakeFiles/mlbench_models.dir/imputation.cc.o.d"
+  "CMakeFiles/mlbench_models.dir/lasso.cc.o"
+  "CMakeFiles/mlbench_models.dir/lasso.cc.o.d"
+  "CMakeFiles/mlbench_models.dir/lda.cc.o"
+  "CMakeFiles/mlbench_models.dir/lda.cc.o.d"
+  "libmlbench_models.a"
+  "libmlbench_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlbench_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

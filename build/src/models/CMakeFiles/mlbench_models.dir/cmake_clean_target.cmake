@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlbench_models.a"
+)

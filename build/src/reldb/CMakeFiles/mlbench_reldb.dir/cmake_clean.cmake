@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlbench_reldb.dir/rel.cc.o"
+  "CMakeFiles/mlbench_reldb.dir/rel.cc.o.d"
+  "CMakeFiles/mlbench_reldb.dir/sql.cc.o"
+  "CMakeFiles/mlbench_reldb.dir/sql.cc.o.d"
+  "libmlbench_reldb.a"
+  "libmlbench_reldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlbench_reldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mlbench_reldb.
+# This may be replaced when dependencies are built.

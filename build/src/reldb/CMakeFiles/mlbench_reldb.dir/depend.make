@@ -1,0 +1,2 @@
+# Empty dependencies file for mlbench_reldb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlbench_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/mlbench_sim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/mlbench_sim.dir/cost_profile.cc.o"
+  "CMakeFiles/mlbench_sim.dir/cost_profile.cc.o.d"
+  "libmlbench_sim.a"
+  "libmlbench_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlbench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlbench_stats.dir/distributions.cc.o"
+  "CMakeFiles/mlbench_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/mlbench_stats.dir/rng.cc.o"
+  "CMakeFiles/mlbench_stats.dir/rng.cc.o.d"
+  "libmlbench_stats.a"
+  "libmlbench_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlbench_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapsed_lda_test.dir/collapsed_lda_test.cc.o"
+  "CMakeFiles/collapsed_lda_test.dir/collapsed_lda_test.cc.o.d"
+  "collapsed_lda_test"
+  "collapsed_lda_test.pdb"
+  "collapsed_lda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapsed_lda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

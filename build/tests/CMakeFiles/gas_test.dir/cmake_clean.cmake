@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_test.dir/gas_test.cc.o"
+  "CMakeFiles/gas_test.dir/gas_test.cc.o.d"
+  "gas_test"
+  "gas_test.pdb"
+  "gas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldb_test.dir/reldb_test.cc.o"
+  "CMakeFiles/reldb_test.dir/reldb_test.cc.o.d"
+  "reldb_test"
+  "reldb_test.pdb"
+  "reldb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
