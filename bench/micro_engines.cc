@@ -5,8 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
 #include "bsp/engine.h"
 #include "dataflow/rdd.h"
+#include "exec/thread_pool.h"
 #include "gas/engine.h"
 #include "reldb/database.h"
 #include "reldb/rel.h"
@@ -15,6 +20,17 @@
 namespace {
 
 using namespace mlbench;
+
+// Host thread counts for the scaling axis: serial vs all hardware threads.
+// MLBENCH_BENCH_THREADS overrides the upper point (e.g. to probe
+// oversubscription, or pin a count on shared CI runners).
+int HwThreads() {
+  if (const char* env = std::getenv("MLBENCH_BENCH_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
 
 void BM_RddMapReduceByKey(benchmark::State& state) {
   for (auto _ : state) {
@@ -63,6 +79,7 @@ BENCHMARK(BM_RelJoinGroupBy)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_BspSuperstep(benchmark::State& state) {
+  exec::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
   sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
   bsp::BspEngine<int, double> engine(&sim);
   engine.AddVertex(0, 0, 1.0, 64);
@@ -81,8 +98,11 @@ void BM_BspSuperstep(benchmark::State& state) {
     benchmark::DoNotOptimize(st);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  exec::ThreadPool::SetGlobalThreads(1);
 }
-BENCHMARK(BM_BspSuperstep)->Arg(1000)->Arg(10000)
+BENCHMARK(BM_BspSuperstep)
+    ->ArgsProduct({{1000, 10000}, {1, HwThreads()}})
+    ->ArgNames({"vertices", "threads"})
     ->Unit(benchmark::kMicrosecond);
 
 struct GasData {
@@ -102,6 +122,7 @@ class SumProgram : public gas::GasProgram<GasData, double> {
 };
 
 void BM_GasSweep(benchmark::State& state) {
+  exec::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
   sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
   gas::Graph<GasData> graph;
   std::size_t hub = graph.AddVertex(0, GasData{1.0}, 1.0, 64, 64);
@@ -117,8 +138,11 @@ void BM_GasSweep(benchmark::State& state) {
     benchmark::DoNotOptimize(st);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  exec::ThreadPool::SetGlobalThreads(1);
 }
-BENCHMARK(BM_GasSweep)->Arg(1000)->Arg(10000)
+BENCHMARK(BM_GasSweep)
+    ->ArgsProduct({{1000, 10000}, {1, HwThreads()}})
+    ->ArgNames({"vertices", "threads"})
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

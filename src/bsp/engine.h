@@ -8,6 +8,8 @@
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "exec/parallel_for.h"
+#include "sim/charge_ledger.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_profile.h"
 
@@ -58,16 +60,45 @@ class BspEngine {
     double state_bytes = 64;  ///< resident bytes per logical vertex
   };
 
+  struct PendingMsg {
+    std::size_t dst_slot;
+    Msg msg;
+    double bytes;
+    double logical;  ///< logical multiplicity (sender scale)
+    int src_machine;
+    bool replicated;  ///< one copy per logical recipient (broadcast)
+  };
+
+  /// One recorded Context::Aggregate call, replayed in vertex order.
+  struct AggCall {
+    std::string name;
+    std::vector<double> value;
+    double bytes;
+    std::size_t sender;
+  };
+
+  /// Everything one ParallelFor chunk of the compute loop emits: messages,
+  /// aggregator calls, and sim charges. Merged in chunk-index order after
+  /// the loop, which reproduces the serial engine's state exactly.
+  struct ChunkOutbox {
+    std::vector<PendingMsg> pending;
+    std::vector<AggCall> agg_calls;
+    sim::ChargeLedger ledger;
+  };
+
   /// Context handed to compute functions for sending messages and using
-  /// aggregators.
+  /// aggregators. During the (possibly parallel) compute loop, emissions
+  /// land in the chunk's outbox and are merged engine-side in vertex order
+  /// afterwards, so results never depend on worker scheduling.
   class Context {
    public:
     /// Sends `m` (of `bytes` serialized bytes) to vertex `dst`, on behalf
     /// of all `sender.scale` logical copies of the sending vertex.
     void Send(VertexId dst, Msg m, double bytes) {
-      engine_->EnqueueMessage(sender_, dst, std::move(m), bytes,
-                              engine_->vertices_[sender_].scale,
-                              /*replicated=*/false);
+      outbox_->pending.push_back(
+          engine_->MakePending(sender_, dst, std::move(m), bytes,
+                               engine_->vertices_[sender_].scale,
+                               /*replicated=*/false));
     }
 
     /// Sends `m` standing for `logical_copies` logical messages addressed
@@ -76,8 +107,9 @@ class BspEngine {
     /// collapse the per-recipient replication.
     void SendReplicated(VertexId dst, Msg m, double bytes,
                         double logical_copies) {
-      engine_->EnqueueMessage(sender_, dst, std::move(m), bytes,
-                              logical_copies, /*replicated=*/true);
+      outbox_->pending.push_back(
+          engine_->MakePending(sender_, dst, std::move(m), bytes,
+                               logical_copies, /*replicated=*/true));
     }
 
     /// Adds `value` into the named aggregator (summed element-wise across
@@ -85,7 +117,7 @@ class BspEngine {
     /// serialized size of one aggregator copy.
     void Aggregate(const std::string& name, const std::vector<double>& value,
                    double bytes) {
-      engine_->AggregateInto(name, value, bytes, sender_);
+      outbox_->agg_calls.push_back(AggCall{name, value, bytes, sender_});
     }
 
     /// Reads an aggregator's value from the previous superstep.
@@ -97,9 +129,11 @@ class BspEngine {
 
    private:
     friend class BspEngine;
-    Context(BspEngine* e, std::size_t sender) : engine_(e), sender_(sender) {}
+    Context(BspEngine* e, std::size_t sender, ChunkOutbox* outbox)
+        : engine_(e), sender_(sender), outbox_(outbox) {}
     BspEngine* engine_;
     std::size_t sender_;
+    ChunkOutbox* outbox_;
   };
 
   using ComputeFn =
@@ -253,20 +287,39 @@ class BspEngine {
     pending_.clear();
 
     // Execute compute on every vertex; charge JVM record + declared flops.
+    // The loop is chunked across the host pool: each chunk emits into its
+    // own outbox (messages, aggregator calls, sim charges), and outboxes
+    // commit below in chunk-index order — the exact serial sequence.
     static const std::vector<Msg> kEmpty;
-    for (std::size_t i = 0; i < vertices_.size(); ++i) {
-      auto& v = vertices_[i];
-      Context ctx(this, i);
-      const auto& in = inboxes.size() > i ? inboxes[i] : kEmpty;
-      compute(v, in, ctx);
-      double logical = v.scale;
-      sim_->ChargeParallelCpuOnMachine(
-          MachineOf(i),
-          logical * lang_.per_record_s +
-              lang_.LinalgSeconds(logical * cost.flops_per_vertex,
-                                  logical * cost.linalg_calls_per_vertex,
-                                  cost.dim,
-                                  logical * cost.elements_per_vertex));
+    const std::int64_t n = static_cast<std::int64_t>(vertices_.size());
+    std::vector<ChunkOutbox> outboxes(
+        static_cast<std::size_t>(exec::NumChunks(n, kComputeGrain)));
+    exec::ParallelFor(n, kComputeGrain, [&](const exec::Chunk& chunk) {
+      ChunkOutbox& out = outboxes[static_cast<std::size_t>(chunk.index)];
+      sim::ScopedLedger bind(&out.ledger);
+      for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+        std::size_t s = static_cast<std::size_t>(i);
+        auto& v = vertices_[s];
+        Context ctx(this, s, &out);
+        const auto& in = inboxes.size() > s ? inboxes[s] : kEmpty;
+        compute(v, in, ctx);
+        double logical = v.scale;
+        sim_->ChargeParallelCpuOnMachine(
+            MachineOf(s),
+            logical * lang_.per_record_s +
+                lang_.LinalgSeconds(logical * cost.flops_per_vertex,
+                                    logical * cost.linalg_calls_per_vertex,
+                                    cost.dim,
+                                    logical * cost.elements_per_vertex));
+      }
+    });
+    for (auto& out : outboxes) {
+      // Compute contexts can only charge CPU, so commit cannot fail.
+      MLBENCH_CHECK(sim_->CommitLedger(out.ledger).ok());
+      for (auto& p : out.pending) pending_.push_back(std::move(p));
+      for (auto& a : out.agg_calls) {
+        AggregateInto(a.name, a.value, a.bytes, a.sender);
+      }
     }
 
     // Route pending messages: combine per (sender machine, dst), then ship.
@@ -291,6 +344,11 @@ class BspEngine {
  private:
   friend class Context;
 
+  /// Vertices per compute chunk. Chunk boundaries are a pure function of
+  /// the vertex count, so results are identical at any thread count; small
+  /// (test-sized) graphs fall into one chunk and run inline.
+  static constexpr std::int64_t kComputeGrain = 256;
+
   struct Aggregate {
     std::vector<double> value;
     double bytes = 0;
@@ -301,17 +359,10 @@ class BspEngine {
     double total_bytes = 0;
   };
 
-  struct PendingMsg {
-    std::size_t dst_slot;
-    Msg msg;
-    double bytes;
-    double logical;  ///< logical multiplicity (sender scale)
-    int src_machine;
-    bool replicated;  ///< one copy per logical recipient (broadcast)
-  };
-
-  void EnqueueMessage(std::size_t sender, VertexId dst, Msg m, double bytes,
-                      double logical, bool replicated) {
+  /// Builds a routed message. Only reads vertex placement and the (frozen
+  /// during compute) slot map, so it is safe from concurrent chunks.
+  PendingMsg MakePending(std::size_t sender, VertexId dst, Msg m, double bytes,
+                         double logical, bool replicated) const {
     auto it = slot_of_.find(dst);
     MLBENCH_CHECK_MSG(it != slot_of_.end(), "message to unknown vertex");
     PendingMsg p;
@@ -321,7 +372,7 @@ class BspEngine {
     p.logical = logical;
     p.src_machine = MachineOf(sender);
     p.replicated = replicated;
-    pending_.push_back(std::move(p));
+    return p;
   }
 
   void AggregateInto(const std::string& name, const std::vector<double>& v,

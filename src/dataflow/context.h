@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "sim/charge_ledger.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_profile.h"
 
@@ -91,11 +92,28 @@ class Context {
   }
 
   /// Allocates job-scoped memory (shuffle buffers, driver collect buffers);
-  /// released automatically by EndJob.
+  /// released automatically by EndJob. Inside a parallel partition task
+  /// (charge ledger bound), the allocation is recorded on the ledger and
+  /// registered as a transient when the task's charges commit — OOM, if
+  /// any, then surfaces from CommitTaskCharges at the serial partition
+  /// order's exact failure point.
   Status AllocateTransient(int machine, double bytes, std::string_view what) {
+    if (auto* ledger = sim::ChargeLedger::Bound()) {
+      ledger->LogTransientAlloc(machine, bytes, what);
+      return Status::OK();
+    }
     MLBENCH_RETURN_NOT_OK(sim_->Allocate(machine, bytes, what));
     transients_.emplace_back(machine, bytes);
     return Status::OK();
+  }
+
+  /// Commits one parallel task's recorded charges (see ParallelPartitions
+  /// in rdd.h), registering its successful transient allocations for
+  /// EndJob release.
+  Status CommitTaskCharges(sim::ChargeLedger& ledger) {
+    return sim_->CommitLedger(ledger, [this](int machine, double bytes) {
+      transients_.emplace_back(machine, bytes);
+    });
   }
 
   /// Starts a job phase (scheduler launch + one task wave per machine).

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -9,6 +10,8 @@
 
 #include "common/status.h"
 #include "dataflow/context.h"
+#include "exec/parallel_for.h"
+#include "sim/charge_ledger.h"
 
 /// \file rdd.h
 /// A lazy, lineage-tracked Resilient Distributed Dataset (paper Section 4.1).
@@ -56,11 +59,22 @@ struct RddNode {
   std::function<Result<std::vector<T>>(int)> compute;
 
   bool cached = false;
-  bool cache_populated = false;
+  /// Cache state. Partition tasks may materialize concurrently, so the
+  /// fill flags are guarded by a mutex; `cache_store` is presized before
+  /// any fill (never reallocated mid-job) and each slot is written by
+  /// exactly one task, then immutable.
+  std::mutex cache_mu;
+  std::vector<char> cache_filled;
   std::vector<std::vector<T>> cache_store;
 
+  bool CacheHit(int p) {
+    if (!cached) return false;
+    std::lock_guard<std::mutex> lock(cache_mu);
+    return !cache_filled.empty() && cache_filled[p] != 0;
+  }
+
   Result<std::vector<T>> Materialize(int p) {
-    if (cached && cache_populated) {
+    if (CacheHit(p)) {
       // Reading a cached partition costs memory bandwidth only.
       double bytes =
           static_cast<double>(cache_store[p].size()) * scale * record_bytes;
@@ -72,17 +86,57 @@ struct RddNode {
     Result<std::vector<T>> r = compute(p);
     if (!r.ok()) return r;
     if (cached) {
-      if (cache_store.empty()) cache_store.resize(num_partitions);
-      cache_store[p] = *r;
+      {
+        std::lock_guard<std::mutex> lock(cache_mu);
+        if (cache_store.empty()) {
+          cache_store.resize(static_cast<std::size_t>(num_partitions));
+          cache_filled.assign(static_cast<std::size_t>(num_partitions), 0);
+        }
+        cache_store[p] = *r;
+        cache_filled[p] = 1;
+      }
       // Persist: charge this partition's logical bytes on its machine.
       double bytes = static_cast<double>(r->size()) * scale * record_bytes;
       MLBENCH_RETURN_NOT_OK(ctx->sim().Allocate(
           ctx->MachineOf(p, num_partitions), bytes, "cached RDD partition"));
-      if (p == num_partitions - 1) cache_populated = true;
     }
     return r;
   }
 };
+
+/// Evaluates `fn(p)` (Status-returning) for every partition of a job stage.
+///
+/// Partition 0 runs first, alone, on the calling thread: evaluating one
+/// partition forces every shuffle and side-state block in the lineage to
+/// complete deterministically before other partitions can observe it. The
+/// remaining partitions then fan out across the host pool, each recording
+/// its sim charges on a private ChargeLedger; ledgers commit in partition
+/// order afterwards, so the simulator sees the exact charge sequence (and
+/// the exact OOM point, if any) of the serial loop.
+template <typename Fn>
+Status ParallelPartitions(Context* ctx, int parts, Fn&& fn) {
+  if (parts <= 0) return Status::OK();
+  MLBENCH_RETURN_NOT_OK(fn(0));
+  if (parts == 1) return Status::OK();
+  const std::int64_t rest = parts - 1;
+  std::vector<sim::ChargeLedger> ledgers(static_cast<std::size_t>(rest));
+  std::vector<Status> statuses(static_cast<std::size_t>(rest));
+  exec::ParallelFor(rest, 1, [&](const exec::Chunk& chunk) {
+    for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+      std::size_t s = static_cast<std::size_t>(i);
+      sim::ScopedLedger bind(&ledgers[s]);
+      statuses[s] = fn(static_cast<int>(i) + 1);
+    }
+  });
+  for (std::int64_t i = 0; i < rest; ++i) {
+    std::size_t s = static_cast<std::size_t>(i);
+    // Commit before inspecting the task status: a failed task's charges up
+    // to its failure point were applied in the serial run too.
+    MLBENCH_RETURN_NOT_OK(ctx->CommitTaskCharges(ledgers[s]));
+    MLBENCH_RETURN_NOT_OK(statuses[s]);
+  }
+  return Status::OK();
+}
 
 }  // namespace detail
 
@@ -108,8 +162,9 @@ class Rdd {
 
   /// Releases the cached partitions and their simulated memory.
   void Unpersist() {
-    if (node_->cached && node_->cache_populated) {
+    if (node_->cached && !node_->cache_filled.empty()) {
       for (int p = 0; p < node_->num_partitions; ++p) {
+        if (!node_->cache_filled[p]) continue;
         double bytes = static_cast<double>(node_->cache_store[p].size()) *
                        node_->scale * node_->record_bytes;
         ctx_->sim().Free(ctx_->MachineOf(p, node_->num_partitions), bytes);
@@ -117,7 +172,7 @@ class Rdd {
       node_->cache_store.clear();
     }
     node_->cached = false;
-    node_->cache_populated = false;
+    node_->cache_filled.clear();
   }
 
   /// Element-wise transformation. `out_bytes` < 0 inherits this RDD's
@@ -216,20 +271,22 @@ class Rdd {
 
   /// Actual (laptop-scale) record count; also charges the scan.
   Result<long long> CountActual() const {
-    ctx_->BeginJob("count", node_->num_partitions);
-    long long n = 0;
-    for (int p = 0; p < node_->num_partitions; ++p) {
+    const int parts = node_->num_partitions;
+    ctx_->BeginJob("count", parts);
+    std::vector<long long> counts(static_cast<std::size_t>(parts), 0);
+    Status st = detail::ParallelPartitions(ctx_, parts, [&](int p) -> Status {
       auto r = node_->Materialize(p);
-      if (!r.ok()) {
-        ctx_->EndJob();
-        return r.status();
-      }
-      ctx_->ChargeClosureScaled(ctx_->MachineOf(p, node_->num_partitions),
+      if (!r.ok()) return r.status();
+      ctx_->ChargeClosureScaled(ctx_->MachineOf(p, parts),
                                 static_cast<double>(r->size()), node_->scale,
                                 OpCost{});
-      n += static_cast<long long>(r->size());
-    }
+      counts[static_cast<std::size_t>(p)] = static_cast<long long>(r->size());
+      return Status::OK();
+    });
     ctx_->EndJob();
+    if (!st.ok()) return st;
+    long long n = 0;
+    for (long long c : counts) n += c;
     return n;
   }
 
@@ -240,22 +297,30 @@ class Rdd {
     return static_cast<double>(*n) * node_->scale;
   }
 
-  /// Folds all records with a commutative, associative combiner.
+  /// Folds all records with a commutative, associative combiner. Partitions
+  /// materialize in parallel; the fold itself runs serially in partition
+  /// and record order afterwards, so the result is the serial loop's, bit
+  /// for bit, even for non-associative floating-point combiners.
   template <typename F>
   Result<T> Reduce(F f, OpCost cost = {}) const {
-    ctx_->BeginJob("reduce", node_->num_partitions);
-    bool first = true;
-    T acc{};
-    for (int p = 0; p < node_->num_partitions; ++p) {
+    const int parts = node_->num_partitions;
+    ctx_->BeginJob("reduce", parts);
+    std::vector<std::vector<T>> outs(static_cast<std::size_t>(parts));
+    Status st = detail::ParallelPartitions(ctx_, parts, [&](int p) -> Status {
       auto r = node_->Materialize(p);
-      if (!r.ok()) {
-        ctx_->EndJob();
-        return r.status();
-      }
-      ctx_->ChargeClosureScaled(ctx_->MachineOf(p, node_->num_partitions),
+      if (!r.ok()) return r.status();
+      ctx_->ChargeClosureScaled(ctx_->MachineOf(p, parts),
                                 static_cast<double>(r->size()), node_->scale,
                                 cost);
-      for (const auto& x : *r) {
+      outs[static_cast<std::size_t>(p)] = std::move(*r);
+      return Status::OK();
+    });
+    ctx_->EndJob();
+    if (!st.ok()) return st;
+    bool first = true;
+    T acc{};
+    for (const auto& part : outs) {
+      for (const auto& x : part) {
         if (first) {
           acc = x;
           first = false;
@@ -264,26 +329,32 @@ class Rdd {
         }
       }
     }
-    ctx_->EndJob();
     if (first) return Status::FailedPrecondition("Reduce of empty RDD");
     return acc;
   }
 
   /// Collect without opening a job phase; used by actions that batch
-  /// several lineage evaluations into one phase.
+  /// several lineage evaluations into one phase. Partitions materialize in
+  /// parallel and concatenate at the driver in partition order.
   Result<std::vector<T>> CollectNoJob() const {
-    std::vector<T> all;
-    for (int p = 0; p < node_->num_partitions; ++p) {
+    const int parts = node_->num_partitions;
+    std::vector<std::vector<T>> outs(static_cast<std::size_t>(parts));
+    Status st = detail::ParallelPartitions(ctx_, parts, [&](int p) -> Status {
       auto r = node_->Materialize(p);
       if (!r.ok()) return r.status();
       // Results cross the cluster to the driver.
       double bytes = static_cast<double>(r->size()) * node_->scale *
                      node_->record_bytes;
-      ctx_->sim().ChargeNetwork(ctx_->MachineOf(p, node_->num_partitions),
-                                bytes);
+      ctx_->sim().ChargeNetwork(ctx_->MachineOf(p, parts), bytes);
       MLBENCH_RETURN_NOT_OK(
           ctx_->AllocateTransient(0, bytes, "driver collect buffer"));
-      for (auto& x : *r) all.push_back(std::move(x));
+      outs[static_cast<std::size_t>(p)] = std::move(*r);
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
+    std::vector<T> all;
+    for (auto& part : outs) {
+      for (auto& x : part) all.push_back(std::move(x));
     }
     return all;
   }
@@ -372,9 +443,14 @@ Result<std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
     Merge* merge, OpCost map_cost, double out_record_bytes,
     double combined_scale = 1.0) {
   const int parts = parent->num_partitions;
-  std::vector<std::vector<std::pair<K, V>>> buckets(parts);
-  HashOf<K> hasher;
-  for (int p = 0; p < parts; ++p) {
+  // Map tasks fan out across the host pool (partition 0 first, see
+  // ParallelPartitions); each task hash-partitions into its own bucket set,
+  // and the per-task sets concatenate in partition order below — the exact
+  // record order the serial loop produced.
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> task_buckets(
+      static_cast<std::size_t>(parts));
+  Status st = ParallelPartitions(ctx, parts, [&](int p) -> Status {
+    HashOf<K> hasher;
     auto in = parent->Materialize(p);
     if (!in.ok()) return in.status();
     int machine = ctx->MachineOf(p, parts);
@@ -407,9 +483,23 @@ Result<std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
     // Framework shuffle handling per record.
     ctx->sim().ChargeParallelCpuOnMachine(
         machine, logical_out * ctx->options().costs.shuffle_record_s);
+    auto& local = task_buckets[static_cast<std::size_t>(p)];
+    local.resize(static_cast<std::size_t>(parts));
     for (auto& kv : combined) {
       int dest = static_cast<int>(hasher(kv.first) % parts);
-      buckets[static_cast<std::size_t>(dest)].push_back(std::move(kv));
+      local[static_cast<std::size_t>(dest)].push_back(std::move(kv));
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::vector<std::vector<std::pair<K, V>>> buckets(parts);
+  for (auto& local : task_buckets) {
+    if (local.empty()) continue;
+    for (int dest = 0; dest < parts; ++dest) {
+      auto& dst = buckets[static_cast<std::size_t>(dest)];
+      auto& src = local[static_cast<std::size_t>(dest)];
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
     }
   }
   return buckets;
@@ -450,28 +540,32 @@ Rdd<std::pair<K, V>> ReduceByKey(const Rdd<std::pair<K, V>>& in, Merge merge,
       if (!buckets.ok()) return buckets.status();
       const int parts = parent->num_partitions;
       state->resize(parts);
-      for (int q = 0; q < parts; ++q) {
-        int machine = ctx->MachineOf(q, parts);
-        std::unordered_map<K, V, detail::HashOf<K>> agg;
-        for (auto& kv : (*buckets)[q]) {
-          auto it = agg.find(kv.first);
-          if (it == agg.end()) {
-            agg.emplace(kv.first, std::move(kv.second));
-          } else {
-            it->second = merge(it->second, kv.second);
-          }
-        }
-        // Reduce-side buffer: logical bytes of the aggregate, transient.
-        double logical = static_cast<double>(agg.size()) * self->scale;
-        MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
-            machine, logical * self->record_bytes, "shuffle reduce buffer"));
-        ctx->sim().ChargeParallelCpuOnMachine(
-            machine,
-            logical * (ctx->lang().per_record_s +
-                       reduce_flops_per_record * ctx->lang().flop_s));
-        (*state)[q].assign(std::make_move_iterator(agg.begin()),
-                           std::make_move_iterator(agg.end()));
-      }
+      // Reduce tasks are independent per output partition; fan out.
+      MLBENCH_RETURN_NOT_OK(
+          detail::ParallelPartitions(ctx, parts, [&](int q) -> Status {
+            int machine = ctx->MachineOf(q, parts);
+            std::unordered_map<K, V, detail::HashOf<K>> agg;
+            for (auto& kv : (*buckets)[q]) {
+              auto it = agg.find(kv.first);
+              if (it == agg.end()) {
+                agg.emplace(kv.first, std::move(kv.second));
+              } else {
+                it->second = merge(it->second, kv.second);
+              }
+            }
+            // Reduce-side buffer: logical bytes of the aggregate, transient.
+            double logical = static_cast<double>(agg.size()) * self->scale;
+            MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
+                machine, logical * self->record_bytes,
+                "shuffle reduce buffer"));
+            ctx->sim().ChargeParallelCpuOnMachine(
+                machine,
+                logical * (ctx->lang().per_record_s +
+                           reduce_flops_per_record * ctx->lang().flop_s));
+            (*state)[q].assign(std::make_move_iterator(agg.begin()),
+                               std::make_move_iterator(agg.end()));
+            return Status::OK();
+          }));
       *done = true;
     }
     return (*state)[p];
@@ -532,22 +626,24 @@ Rdd<std::pair<K, std::vector<V>>> GroupByKey(const Rdd<std::pair<K, V>>& in,
       if (!buckets.ok()) return buckets.status();
       const int parts = parent->num_partitions;
       state->resize(parts);
-      for (int q = 0; q < parts; ++q) {
-        int machine = ctx->MachineOf(q, parts);
-        std::unordered_map<K, std::vector<V>, detail::HashOf<K>> groups;
-        double n_in = static_cast<double>((*buckets)[q].size());
-        for (auto& kv : (*buckets)[q]) {
-          groups[kv.first].push_back(std::move(kv.second));
-        }
-        // All grouped values are resident on the reduce machine.
-        MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
-            machine, n_in * value_scale * self->record_bytes,
-            "groupByKey buffer"));
-        ctx->sim().ChargeParallelCpuOnMachine(
-            machine, n_in * value_scale * ctx->lang().per_record_s);
-        (*state)[q].assign(std::make_move_iterator(groups.begin()),
-                           std::make_move_iterator(groups.end()));
-      }
+      MLBENCH_RETURN_NOT_OK(
+          detail::ParallelPartitions(ctx, parts, [&](int q) -> Status {
+            int machine = ctx->MachineOf(q, parts);
+            std::unordered_map<K, std::vector<V>, detail::HashOf<K>> groups;
+            double n_in = static_cast<double>((*buckets)[q].size());
+            for (auto& kv : (*buckets)[q]) {
+              groups[kv.first].push_back(std::move(kv.second));
+            }
+            // All grouped values are resident on the reduce machine.
+            MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
+                machine, n_in * value_scale * self->record_bytes,
+                "groupByKey buffer"));
+            ctx->sim().ChargeParallelCpuOnMachine(
+                machine, n_in * value_scale * ctx->lang().per_record_s);
+            (*state)[q].assign(std::make_move_iterator(groups.begin()),
+                               std::make_move_iterator(groups.end()));
+            return Status::OK();
+          }));
       *done = true;
     }
     return (*state)[p];
@@ -591,31 +687,33 @@ Rdd<std::pair<K, std::pair<V, W>>> Join(const Rdd<std::pair<K, V>>& left,
       if (!rb.ok()) return rb.status();
       const int parts = lparent->num_partitions;
       state->resize(parts);
-      for (int q = 0; q < parts; ++q) {
-        int machine = ctx->MachineOf(q, parts);
-        double l_n = static_cast<double>((*lb)[q].size());
-        double r_n = static_cast<double>((*rb)[q].size());
-        // Cogroup: both sides resident.
-        MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
-            machine,
-            l_n * lparent->scale * lparent->record_bytes +
-                r_n * rparent->scale * rparent->record_bytes,
-            "join cogroup buffer"));
-        ctx->sim().ChargeParallelCpuOnMachine(
-            machine, (l_n * lparent->scale + r_n * rparent->scale) *
-                         ctx->lang().per_record_s);
-        std::unordered_map<K, std::vector<V>, detail::HashOf<K>> build;
-        for (auto& kv : (*lb)[q]) build[kv.first].push_back(kv.second);
-        std::vector<Out> out;
-        for (auto& kw : (*rb)[q]) {
-          auto it = build.find(kw.first);
-          if (it == build.end()) continue;
-          for (const auto& v : it->second) {
-            out.emplace_back(kw.first, std::make_pair(v, kw.second));
-          }
-        }
-        (*state)[q] = std::move(out);
-      }
+      MLBENCH_RETURN_NOT_OK(
+          detail::ParallelPartitions(ctx, parts, [&](int q) -> Status {
+            int machine = ctx->MachineOf(q, parts);
+            double l_n = static_cast<double>((*lb)[q].size());
+            double r_n = static_cast<double>((*rb)[q].size());
+            // Cogroup: both sides resident.
+            MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
+                machine,
+                l_n * lparent->scale * lparent->record_bytes +
+                    r_n * rparent->scale * rparent->record_bytes,
+                "join cogroup buffer"));
+            ctx->sim().ChargeParallelCpuOnMachine(
+                machine, (l_n * lparent->scale + r_n * rparent->scale) *
+                             ctx->lang().per_record_s);
+            std::unordered_map<K, std::vector<V>, detail::HashOf<K>> build;
+            for (auto& kv : (*lb)[q]) build[kv.first].push_back(kv.second);
+            std::vector<Out> out;
+            for (auto& kw : (*rb)[q]) {
+              auto it = build.find(kw.first);
+              if (it == build.end()) continue;
+              for (const auto& v : it->second) {
+                out.emplace_back(kw.first, std::make_pair(v, kw.second));
+              }
+            }
+            (*state)[q] = std::move(out);
+            return Status::OK();
+          }));
       *done = true;
     }
     return (*state)[p];

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+/// \file parallel_for.h
+/// Deterministic parallel loops over index ranges.
+///
+/// The determinism contract (see DESIGN.md, "Host execution model"):
+///   1. Chunk boundaries are a pure function of (n, grain) — never of the
+///      thread count or of scheduling. Chunk c covers
+///      [c * grain, min((c + 1) * grain, n)).
+///   2. Every chunk therefore maps to a stable identity: chunk index for
+///      scratch/output slots, and (via Rng::Split) a stable RNG substream.
+///   3. Anything order-sensitive (floating-point folds, sim charges,
+///      message emission) is produced into per-chunk storage and committed
+///      *in chunk-index order* on the calling thread after the loop.
+/// Under these rules results are bit-identical at any MLBENCH_THREADS.
+
+namespace mlbench::exec {
+
+/// A half-open index range assigned to one chunk.
+struct Chunk {
+  std::int64_t index;  ///< chunk number in [0, NumChunks(n, grain))
+  std::int64_t begin;
+  std::int64_t end;
+};
+
+/// Number of chunks a range of n items splits into at the given grain.
+inline std::int64_t NumChunks(std::int64_t n, std::int64_t grain) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+/// The c-th chunk of [0, n) at the given grain.
+inline Chunk ChunkAt(std::int64_t n, std::int64_t grain, std::int64_t c) {
+  if (grain < 1) grain = 1;
+  std::int64_t begin = c * grain;
+  std::int64_t end = begin + grain < n ? begin + grain : n;
+  return Chunk{c, begin, end};
+}
+
+/// Runs `fn(chunk)` once per chunk of [0, n), spread across the global
+/// pool. Blocks until every chunk has run. `fn` must tolerate concurrent
+/// invocation on distinct chunks; use the chunk index for any per-chunk
+/// output slot so results can be committed in index order afterwards.
+template <typename Fn>
+void ParallelFor(std::int64_t n, std::int64_t grain, Fn&& fn) {
+  std::int64_t chunks = NumChunks(n, grain);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    fn(ChunkAt(n, grain, 0));
+    return;
+  }
+  const std::function<void(std::int64_t)> body = [&](std::int64_t c) {
+    fn(ChunkAt(n, grain, c));
+  };
+  ThreadPool::Global().Run(chunks, body);
+}
+
+/// Parallel map + ordered fold. `map(chunk)` runs concurrently and returns
+/// a per-chunk partial of type T; `reduce(acc, partial)` folds the partials
+/// into `init` strictly in chunk-index order on the calling thread, so
+/// floating-point results are bit-identical at any thread count.
+template <typename T, typename Map, typename Reduce>
+T ParallelReduce(std::int64_t n, std::int64_t grain, T init, Map&& map,
+                 Reduce&& reduce) {
+  std::int64_t chunks = NumChunks(n, grain);
+  if (chunks == 0) return init;
+  std::vector<T> partials(static_cast<std::size_t>(chunks));
+  ParallelFor(n, grain, [&](const Chunk& chunk) {
+    partials[static_cast<std::size_t>(chunk.index)] = map(chunk);
+  });
+  T acc = std::move(init);
+  for (auto& partial : partials) acc = reduce(std::move(acc), std::move(partial));
+  return acc;
+}
+
+}  // namespace mlbench::exec

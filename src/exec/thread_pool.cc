@@ -1,0 +1,118 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace mlbench::exec {
+
+#ifndef MLBENCH_DEFAULT_THREADS
+#define MLBENCH_DEFAULT_THREADS 0  // 0 = follow hardware_concurrency()
+#endif
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  job_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Participate(Job* job) {
+  for (;;) {
+    std::int64_t chunk = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job->num_chunks) return;
+    (*job->fn)(chunk);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_available_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && job_seq_ != seen_seq);
+      });
+      if (stopping_) return;
+      seen_seq = job_seq_;
+      job = job_;
+      // Register under the lock: Run() cannot observe completion until
+      // this worker has deregistered, so `job` stays alive throughout.
+      job->active += 1;
+    }
+    Participate(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->active -= 1;
+    }
+    job_finished_.notify_all();
+  }
+}
+
+void ThreadPool::Run(std::int64_t num_chunks,
+                     const std::function<void(std::int64_t)>& fn) {
+  if (num_chunks <= 0) return;
+  if (threads_ == 1 || num_chunks == 1) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  Job job;
+  job.num_chunks = num_chunks;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  job_available_.notify_all();
+  Participate(&job);
+  // The cursor is exhausted: every chunk has been claimed, and the chunks
+  // this thread claimed have finished. Retract the job so no new worker
+  // registers, then wait for registered workers to drain their chunks.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = nullptr;
+    job_finished_.wait(lock, [&] { return job.active == 0; });
+  }
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("MLBENCH_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  if (MLBENCH_DEFAULT_THREADS >= 1) return MLBENCH_DEFAULT_THREADS;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Global() {
+  auto& slot = GlobalSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreads());
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  GlobalSlot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace mlbench::exec

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// Host-side worker pool for mlbench engines.
+///
+/// This is *host* parallelism, not simulated parallelism: the ClusterSim
+/// still charges the paper's per-machine costs exactly as before. The pool
+/// only spreads the real (laptop-scale) per-vertex / per-partition /
+/// per-tuple work across host cores, so bigger actual scales fit in the
+/// same wall-clock budget.
+///
+/// Work distribution is chunk-claiming: a job exposes `num_chunks` units of
+/// work behind an atomic cursor, and every participating thread (workers
+/// *and* the submitting caller) repeatedly claims the next unclaimed chunk
+/// until none remain. Idle workers steal whatever chunks are left, so load
+/// balances like classic work stealing without per-thread deques. The
+/// caller always participates, which also makes nested parallel sections
+/// safe: an inner ParallelFor issued from a worker simply runs on the
+/// threads that reach it, and degenerates to serial execution when every
+/// worker is busy.
+///
+/// Determinism contract: the pool never influences *what* is computed, only
+/// *when*. Chunk boundaries are a pure function of (range, grain) — see
+/// parallel_for.h — and all commit steps happen in chunk-index order on the
+/// calling thread.
+
+namespace mlbench::exec {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` total execution contexts (the submitting caller
+  /// counts as one, so `threads - 1` background workers are spawned).
+  /// `threads <= 1` means fully serial: no workers, Run executes inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution contexts (caller + workers), >= 1.
+  int threads() const { return threads_; }
+
+  /// Runs `fn(chunk_index)` for every chunk_index in [0, num_chunks),
+  /// each exactly once, across the caller and the pool's workers. Blocks
+  /// until all chunks have finished. `fn` must be safe to invoke
+  /// concurrently with itself on distinct chunk indices.
+  void Run(std::int64_t num_chunks,
+           const std::function<void(std::int64_t)>& fn);
+
+  /// The process-wide pool used by ParallelFor / ParallelReduce. Sized on
+  /// first use from, in priority order: SetGlobalThreads() if it was
+  /// called, the MLBENCH_THREADS environment variable, the
+  /// MLBENCH_DEFAULT_THREADS compile-time option, hardware_concurrency().
+  static ThreadPool& Global();
+
+  /// Re-sizes the global pool (tests and benchmarks use this to pin the
+  /// thread count). Not safe to call while a Run is in flight.
+  static void SetGlobalThreads(int threads);
+
+  /// The thread count Global() would use absent SetGlobalThreads().
+  static int DefaultThreads();
+
+ private:
+  struct Job {
+    std::int64_t num_chunks = 0;
+    std::atomic<std::int64_t> next{0};
+    int active = 0;  ///< workers currently inside the job, guarded by mu_
+    const std::function<void(std::int64_t)>* fn = nullptr;
+  };
+
+  void WorkerLoop();
+  /// Claims and runs chunks of `job` until the cursor is exhausted.
+  static void Participate(Job* job);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_available_;
+  std::condition_variable job_finished_;
+  Job* job_ = nullptr;          ///< current job, guarded by mu_
+  std::uint64_t job_seq_ = 0;   ///< bumped per job so workers spot new work
+  bool stopping_ = false;
+};
+
+}  // namespace mlbench::exec

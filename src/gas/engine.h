@@ -1,8 +1,11 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
+#include "exec/parallel_for.h"
 #include "gas/graph.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_profile.h"
@@ -133,38 +136,63 @@ class GasEngine {
     //    exporter's arriving view before folding (the paper's HMM: counts
     //    "arrive at a state vertex from each of the 10,000 super
     //    vertices" and 100 GB materializes).
-    std::vector<double> view_bytes(machines, 0.0);
-    double total_core_s = 0;
-    double net_bytes_total = 0;
-    std::vector<bool> touched(machines, false);
-    for (std::size_t i = 0; i < graph_->size(); ++i) {
-      const auto& v = graph_->vertex(i);
-      int home = graph_->MachineOf(i, machines);
-      double in_view = 0;
-      for (std::size_t nidx : v.out) {
-        const auto& nbr = graph_->vertex(nidx);
-        in_view += nbr.export_bytes * nbr.scale;
-        total_core_s += costs_.per_gather_edge_s * v.scale * nbr.scale;
-      }
-      if (v.scale > 1.0) {
-        // Per-logical-consumer gather cache.
-        view_bytes[home] += costs_.gather_residency * in_view * v.scale;
-      }
-      total_core_s += costs_.per_apply_s * v.scale;
-      // Exporter side: this vertex's view ships once per machine hosting
-      // neighbors (mirror replication) and is buffered there when the
-      // consumer is a scale-1 vertex.
-      std::fill(touched.begin(), touched.end(), false);
-      int remote = 0;
-      for (std::size_t nidx : v.out) {
-        int nm = graph_->MachineOf(nidx, machines);
-        if (nm != home && !touched[nm]) {
-          touched[nm] = true;
-          ++remote;
-        }
-      }
-      net_bytes_total += v.export_bytes * remote;
-    }
+    // Pure accounting, so it runs as a chunked reduction over vertices:
+    // per-chunk partials fold in chunk-index order, making the totals a
+    // function of the chunking (fixed by kVertexGrain) and never of the
+    // thread count.
+    struct Residency {
+      std::vector<double> view_bytes;
+      double total_core_s = 0;
+      double net_bytes_total = 0;
+    };
+    Residency res = exec::ParallelReduce<Residency>(
+        static_cast<std::int64_t>(graph_->size()), kVertexGrain,
+        Residency{std::vector<double>(machines, 0.0), 0, 0},
+        [&](const exec::Chunk& chunk) {
+          Residency part{std::vector<double>(machines, 0.0), 0, 0};
+          std::vector<bool> touched(machines, false);
+          for (std::int64_t c = chunk.begin; c < chunk.end; ++c) {
+            std::size_t i = static_cast<std::size_t>(c);
+            const auto& v = graph_->vertex(i);
+            int home = graph_->MachineOf(i, machines);
+            double in_view = 0;
+            for (std::size_t nidx : v.out) {
+              const auto& nbr = graph_->vertex(nidx);
+              in_view += nbr.export_bytes * nbr.scale;
+              part.total_core_s += costs_.per_gather_edge_s * v.scale * nbr.scale;
+            }
+            if (v.scale > 1.0) {
+              // Per-logical-consumer gather cache.
+              part.view_bytes[home] += costs_.gather_residency * in_view * v.scale;
+            }
+            part.total_core_s += costs_.per_apply_s * v.scale;
+            // Exporter side: this vertex's view ships once per machine
+            // hosting neighbors (mirror replication) and is buffered there
+            // when the consumer is a scale-1 vertex.
+            std::fill(touched.begin(), touched.end(), false);
+            int remote = 0;
+            for (std::size_t nidx : v.out) {
+              int nm = graph_->MachineOf(nidx, machines);
+              if (nm != home && !touched[nm]) {
+                touched[nm] = true;
+                ++remote;
+              }
+            }
+            part.net_bytes_total += v.export_bytes * remote;
+          }
+          return part;
+        },
+        [&](Residency acc, Residency part) {
+          for (int m = 0; m < machines; ++m) {
+            acc.view_bytes[m] += part.view_bytes[m];
+          }
+          acc.total_core_s += part.total_core_s;
+          acc.net_bytes_total += part.net_bytes_total;
+          return acc;
+        });
+    std::vector<double> view_bytes = std::move(res.view_bytes);
+    double total_core_s = res.total_core_s;
+    double net_bytes_total = res.net_bytes_total;
     // Arriving-view buffers at machines hosting scale-1 consumers: every
     // exporter's logical views land once per such machine.
     {
@@ -204,19 +232,46 @@ class GasEngine {
     }
 
     // Phase 2: actually run the user program on the actual vertices.
+    //
+    // The outer vertex loop stays serial on purpose: GraphLab's engine (and
+    // our programs, e.g. the GMM where cluster vertices must Apply before
+    // data vertices gather the fresh model) relies on the Gauss-Seidel
+    // sweep order. Host parallelism goes *inside* a vertex instead: when a
+    // vertex has many edges (the super-vertex / hub layouts that dominate
+    // sweep time), its Gather calls — pure reads of two vertices — are
+    // materialized across the pool into an edge-indexed buffer, then folded
+    // serially in edge order. The fold order matches the streaming serial
+    // loop exactly, so results are bit-identical at any thread count.
     double flops = 0;
+    std::vector<GatherT> gathered;
     for (std::size_t i = 0; i < graph_->size(); ++i) {
       auto& v = graph_->vertex(i);
       if (v.out.empty()) continue;
-      bool first = true;
+      const std::int64_t n_edges = static_cast<std::int64_t>(v.out.size());
       GatherT acc{};
-      for (std::size_t nidx : v.out) {
-        GatherT g = program.Gather(v, graph_->vertex(nidx));
-        if (first) {
-          acc = std::move(g);
-          first = false;
-        } else {
-          acc = program.Merge(std::move(acc), g);
+      if (n_edges >= kEdgeParallelThreshold) {
+        gathered.clear();
+        gathered.resize(static_cast<std::size_t>(n_edges));
+        exec::ParallelFor(n_edges, kEdgeGrain, [&](const exec::Chunk& chunk) {
+          for (std::int64_t e = chunk.begin; e < chunk.end; ++e) {
+            std::size_t j = static_cast<std::size_t>(e);
+            gathered[j] = program.Gather(v, graph_->vertex(v.out[j]));
+          }
+        });
+        acc = std::move(gathered[0]);
+        for (std::size_t j = 1; j < gathered.size(); ++j) {
+          acc = program.Merge(std::move(acc), gathered[j]);
+        }
+      } else {
+        bool first = true;
+        for (std::size_t nidx : v.out) {
+          GatherT g = program.Gather(v, graph_->vertex(nidx));
+          if (first) {
+            acc = std::move(g);
+            first = false;
+          } else {
+            acc = program.Merge(std::move(acc), g);
+          }
         }
       }
       program.Apply(v, acc);
@@ -249,6 +304,8 @@ class GasEngine {
 
   /// GraphLab's map_reduce_vertices: folds a value over all vertices
   /// (used by the Lasso code to compute invariant statistics up front).
+  /// Runs serially: callers pass side-effecting map functions whose
+  /// evaluation order is observable, so the fold must stay sequential.
   template <typename T, typename MapFn, typename ReduceFn>
   T MapReduceVertices(MapFn map, ReduceFn reduce, T init,
                       double flops_per_vertex = 0,
@@ -268,19 +325,27 @@ class GasEngine {
     return acc;
   }
 
-  /// GraphLab's transform_vertices: in-place update of every vertex.
+  /// GraphLab's transform_vertices: in-place update of every vertex. The
+  /// transform touches only its own vertex, so chunks run across the host
+  /// pool; per-chunk core-second partials fold in chunk-index order.
   template <typename Fn>
   void TransformVertices(Fn fn, double flops_per_vertex = 0,
                          const std::string& name = "transform_vertices") {
     sim_->BeginPhase("gas:" + name);
     sim_->ChargeFixed(costs_.sweep_launch_s);
-    double total_core_s = 0;
-    for (std::size_t i = 0; i < graph_->size(); ++i) {
-      auto& v = graph_->vertex(i);
-      fn(v);
-      total_core_s += v.scale * (costs_.per_apply_s +
-                                 flops_per_vertex * sim::CppModel().flop_s);
-    }
+    double total_core_s = exec::ParallelReduce<double>(
+        static_cast<std::int64_t>(graph_->size()), kVertexGrain, 0.0,
+        [&](const exec::Chunk& chunk) {
+          double part = 0;
+          for (std::int64_t c = chunk.begin; c < chunk.end; ++c) {
+            auto& v = graph_->vertex(static_cast<std::size_t>(c));
+            fn(v);
+            part += v.scale * (costs_.per_apply_s +
+                               flops_per_vertex * sim::CppModel().flop_s);
+          }
+          return part;
+        },
+        [](double acc, double part) { return acc + part; });
     sim_->ChargeParallelCpu(total_core_s / costs_.async_core_utilization);
     sim_->EndPhase();
   }
@@ -288,6 +353,14 @@ class GasEngine {
   bool booted() const { return booted_; }
 
  private:
+  /// Vertices per accounting / transform chunk (pure function of the
+  /// vertex count — never of the thread count).
+  static constexpr std::int64_t kVertexGrain = 256;
+  /// Minimum edge count before a vertex's gathers fan out across the pool,
+  /// and the edge-chunk size when they do.
+  static constexpr std::int64_t kEdgeParallelThreshold = 512;
+  static constexpr std::int64_t kEdgeGrain = 256;
+
   sim::ClusterSim* sim_;
   Graph<VData>* graph_;
   sim::GasCosts costs_;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "exec/parallel_for.h"
+
 namespace mlbench::reldb {
 
 namespace {
@@ -15,6 +17,12 @@ std::vector<std::size_t> ResolveAll(const Schema& schema,
   for (const auto& c : cols) idx.push_back(schema.IndexOf(c));
   return idx;
 }
+
+/// Rows per host-parallel chunk of a tuple loop. Simulated charges are bulk
+/// (outside the loops), so chunks only need their outputs stitched back in
+/// chunk-index order to match the serial operator exactly. Test-sized
+/// tables (hundreds of rows) stay in one chunk and run inline.
+constexpr std::int64_t kRowGrain = 1024;
 
 }  // namespace
 
@@ -50,9 +58,20 @@ void Rel::ChargeShuffle(double bytes) const {
 
 Rel Rel::Filter(const std::function<bool(const Tuple&)>& pred) const {
   ChargeTuples(table_->logical_rows(), db_->costs().per_tuple_s);
+  const auto& rows = table_->rows();
+  const std::int64_t n = static_cast<std::int64_t>(rows.size());
+  std::vector<std::vector<Tuple>> parts(
+      static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
+  exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+    auto& out = parts[static_cast<std::size_t>(chunk.index)];
+    for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+      const auto& row = rows[static_cast<std::size_t>(i)];
+      if (pred(row)) out.push_back(row);
+    }
+  });
   Table out(table_->schema(), table_->scale());
-  for (const auto& row : table_->rows()) {
-    if (pred(row)) out.Append(row);
+  for (auto& part : parts) {
+    for (auto& row : part) out.Append(std::move(row));
   }
   return Rel(db_, std::make_shared<Table>(std::move(out)));
 }
@@ -60,8 +79,21 @@ Rel Rel::Filter(const std::function<bool(const Tuple&)>& pred) const {
 Rel Rel::Project(Schema out_schema,
                  const std::function<Tuple(const Tuple&)>& fn) const {
   ChargeTuples(table_->logical_rows(), db_->costs().per_tuple_s);
+  const auto& rows = table_->rows();
+  const std::int64_t n = static_cast<std::int64_t>(rows.size());
+  std::vector<std::vector<Tuple>> parts(
+      static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
+  exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+    auto& out = parts[static_cast<std::size_t>(chunk.index)];
+    out.reserve(static_cast<std::size_t>(chunk.end - chunk.begin));
+    for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+      out.push_back(fn(rows[static_cast<std::size_t>(i)]));
+    }
+  });
   Table out(std::move(out_schema), table_->scale());
-  for (const auto& row : table_->rows()) out.Append(fn(row));
+  for (auto& part : parts) {
+    for (auto& row : part) out.Append(std::move(row));
+  }
   return Rel(db_, std::make_shared<Table>(std::move(out)));
 }
 
@@ -97,14 +129,28 @@ Rel Rel::HashJoin(const Rel& right, const std::vector<std::string>& left_keys,
   for (const auto& row : table_->rows()) {
     build[KeyOf(row, lidx)].push_back(&row);
   }
-  for (const auto& rrow : right.table().rows()) {
-    auto it = build.find(KeyOf(rrow, ridx));
-    if (it == build.end()) continue;
-    for (const Tuple* lrow : it->second) {
-      Tuple joined = *lrow;
-      for (std::size_t c : right_keep) joined.push_back(rrow[c]);
-      out.Append(std::move(joined));
+  // Probe side fans out across the host pool: the build map is read-only
+  // here, and per-chunk outputs concatenate in chunk order, matching the
+  // serial probe's row order exactly.
+  const auto& rrows = right.table().rows();
+  const std::int64_t n = static_cast<std::int64_t>(rrows.size());
+  std::vector<std::vector<Tuple>> parts(
+      static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
+  exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+    auto& local = parts[static_cast<std::size_t>(chunk.index)];
+    for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+      const auto& rrow = rrows[static_cast<std::size_t>(i)];
+      auto it = build.find(KeyOf(rrow, ridx));
+      if (it == build.end()) continue;
+      for (const Tuple* lrow : it->second) {
+        Tuple joined = *lrow;
+        for (std::size_t c : right_keep) joined.push_back(rrow[c]);
+        local.push_back(std::move(joined));
+      }
     }
+  });
+  for (auto& part : parts) {
+    for (auto& row : part) out.Append(std::move(row));
   }
   Rel result(db_, std::make_shared<Table>(std::move(out)));
   if (!co_partitioned) {
@@ -130,23 +176,63 @@ Rel Rel::GroupBy(const std::vector<std::string>& keys,
     double min = std::numeric_limits<double>::infinity();
     double max = -std::numeric_limits<double>::infinity();
   };
+  // Each chunk aggregates its row range into a private map (recording key
+  // first-occurrence order); chunk partials then fold in chunk-index
+  // order. The chunking is a pure function of the row count, so both the
+  // accumulators and the output's key order are identical at any thread
+  // count.
+  struct ChunkGroups {
+    std::unordered_map<Tuple, std::vector<Acc>, TupleHash, TupleEq> groups;
+    std::vector<Tuple> order;
+  };
+  const auto& rows = table_->rows();
+  const std::int64_t n = static_cast<std::int64_t>(rows.size());
+  std::vector<ChunkGroups> parts(
+      static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
+  exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+    auto& local = parts[static_cast<std::size_t>(chunk.index)];
+    for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+      const auto& row = rows[static_cast<std::size_t>(i)];
+      Tuple key = KeyOf(row, kidx);
+      auto& accs = local.groups[key];
+      if (accs.empty()) {
+        accs.resize(aggs.size());
+        local.order.push_back(std::move(key));
+      }
+      for (std::size_t a = 0; a < aggs.size(); ++a) {
+        double v = aggs[a].op == AggOp::kCount ? 1.0 : AsDouble(row[aidx[a]]);
+        accs[a].sum += v;
+        accs[a].count += 1;
+        accs[a].min = std::min(accs[a].min, v);
+        accs[a].max = std::max(accs[a].max, v);
+      }
+    }
+  });
   std::unordered_map<Tuple, std::vector<Acc>, TupleHash, TupleEq> groups;
-  for (const auto& row : table_->rows()) {
-    auto& accs = groups[KeyOf(row, kidx)];
-    if (accs.empty()) accs.resize(aggs.size());
-    for (std::size_t a = 0; a < aggs.size(); ++a) {
-      double v = aggs[a].op == AggOp::kCount ? 1.0 : AsDouble(row[aidx[a]]);
-      accs[a].sum += v;
-      accs[a].count += 1;
-      accs[a].min = std::min(accs[a].min, v);
-      accs[a].max = std::max(accs[a].max, v);
+  std::vector<Tuple> group_order;
+  for (auto& part : parts) {
+    for (auto& key : part.order) {
+      auto& accs = part.groups[key];
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        group_order.push_back(key);
+        groups.emplace(std::move(key), std::move(accs));
+      } else {
+        for (std::size_t a = 0; a < aggs.size(); ++a) {
+          it->second[a].sum += accs[a].sum;
+          it->second[a].count += accs[a].count;
+          it->second[a].min = std::min(it->second[a].min, accs[a].min);
+          it->second[a].max = std::max(it->second[a].max, accs[a].max);
+        }
+      }
     }
   }
 
   std::vector<std::string> out_cols = keys;
   for (const auto& a : aggs) out_cols.push_back(a.out_name);
   Table out(Schema(std::move(out_cols)), out_scale);
-  for (auto& [key, accs] : groups) {
+  for (const auto& key : group_order) {
+    auto& accs = groups[key];
     Tuple row = key;
     for (std::size_t a = 0; a < aggs.size(); ++a) {
       switch (aggs[a].op) {
@@ -183,6 +269,8 @@ Rel Rel::GroupBy(const std::vector<std::string>& keys,
 
 Rel Rel::VgApply(VgFunction& vg, const std::vector<std::string>& group_cols,
                  double out_scale, double flops_per_out_tuple) const {
+  // Stays serial: VG functions draw from the database's shared RNG stream,
+  // whose consumption order is part of the deterministic contract.
   auto gidx = ResolveAll(schema(), group_cols);
 
   // Partition parameter rows into invocation groups (stable order).

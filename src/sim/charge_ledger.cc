@@ -1,0 +1,41 @@
+#include "sim/charge_ledger.h"
+
+#include <iterator>
+#include <utility>
+
+namespace mlbench::sim {
+
+namespace {
+thread_local ChargeLedger* g_bound = nullptr;
+}  // namespace
+
+ChargeLedger* ChargeLedger::Bound() { return g_bound; }
+
+void ChargeLedger::LogTransientAlloc(int machine, double bytes,
+                                     std::string_view what) {
+  Op op;
+  op.kind = OpKind::kAlloc;
+  op.transient = true;
+  op.machine = machine;
+  op.a = bytes;
+  op.what = std::string(what);
+  ops_.push_back(std::move(op));
+}
+
+void ChargeLedger::Splice(ChargeLedger&& other) {
+  if (ops_.empty()) {
+    ops_ = std::move(other.ops_);
+  } else {
+    ops_.insert(ops_.end(), std::make_move_iterator(other.ops_.begin()),
+                std::make_move_iterator(other.ops_.end()));
+    other.ops_.clear();
+  }
+}
+
+ScopedLedger::ScopedLedger(ChargeLedger* ledger) : prev_(g_bound) {
+  g_bound = ledger;
+}
+
+ScopedLedger::~ScopedLedger() { g_bound = prev_; }
+
+}  // namespace mlbench::sim

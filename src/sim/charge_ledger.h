@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file charge_ledger.h
+/// Thread-local charge capture for parallel engine loops.
+///
+/// ClusterSim is single-writer by design: phase accumulators, the memory
+/// ledger and peak tracking all assume charges arrive in one deterministic
+/// sequence. When an engine parallelises a sweep with exec::ParallelFor,
+/// each chunk binds a ChargeLedger to its thread (ScopedLedger); every
+/// ClusterSim mutation the chunk performs is then *recorded* instead of
+/// applied. After the loop, the engine commits the ledgers in chunk-index
+/// order (ClusterSim::CommitLedger), which replays the recorded ops through
+/// the real methods. The sim therefore sees exactly the op sequence the
+/// serial loop would have produced — same floating-point accumulation
+/// order, same peak-memory trajectory, same OOM point — at any thread
+/// count.
+///
+/// Allocation failures are deferred: a logged Allocate optimistically
+/// returns OK, and the OutOfMemory surfaces from CommitLedger at the same
+/// op where the serial run would have died (replay stops there; later ops
+/// in that ledger are discarded, mirroring the serial early-return).
+
+namespace mlbench::sim {
+
+class ClusterSim;
+
+class ChargeLedger {
+ public:
+  /// The ledger bound to the current thread, or nullptr.
+  static ChargeLedger* Bound();
+
+  bool empty() const { return ops_.empty(); }
+  void Clear() { ops_.clear(); }
+
+  /// Records an allocation that, when successfully committed, should be
+  /// reported to CommitLedger's on_transient callback (dataflow uses this
+  /// for job-scoped transients it must free at job end).
+  void LogTransientAlloc(int machine, double bytes, std::string_view what);
+
+  /// Appends another ledger's ops (used when a commit happens while an
+  /// outer ledger is bound: the ops re-queue instead of touching the sim).
+  void Splice(ChargeLedger&& other);
+
+ private:
+  friend class ClusterSim;
+  friend class ScopedLedger;
+
+  enum class OpKind : std::uint8_t {
+    kCpu,       // ChargeCpu(machine, a)
+    kCpuAll,    // ChargeCpuAllMachines(a)
+    kNet,       // ChargeNetwork(machine, a)
+    kNetAll,    // ChargeNetworkAll(a)
+    kFixed,     // ChargeFixed(a)
+    kAlloc,     // Allocate(machine, a, what)
+    kAllocAll,  // AllocateEverywhere(a, what)
+    kFree,      // Free(machine, a)
+    kFreeAll,   // FreeEverywhere(a)
+  };
+
+  struct Op {
+    OpKind kind;
+    bool transient = false;  // successful kAlloc reported to on_transient
+    int machine = 0;
+    double a = 0;
+    std::string what;  // only for kAlloc / kAllocAll
+  };
+
+  std::vector<Op> ops_;
+};
+
+/// RAII binding of a ledger to the current thread. Saves and restores the
+/// previous binding, so nested parallel sections compose: an inner commit
+/// that finds an outer ledger bound splices into it instead of mutating
+/// the sim.
+class ScopedLedger {
+ public:
+  explicit ScopedLedger(ChargeLedger* ledger);
+  ~ScopedLedger();
+
+  ScopedLedger(const ScopedLedger&) = delete;
+  ScopedLedger& operator=(const ScopedLedger&) = delete;
+
+ private:
+  ChargeLedger* prev_;
+};
+
+}  // namespace mlbench::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/str_format.h"
@@ -18,9 +19,29 @@ ClusterSim::ClusterSim(ClusterSpec spec)
   MLBENCH_CHECK(spec.machines > 0);
 }
 
+// Logs the call on the thread's bound ledger (if any) instead of applying
+// it; see charge_ledger.h. Ops replay through these same methods from
+// CommitLedger, at which point no ledger is bound.
+#define MLBENCH_LEDGER_OP(kind_, transient_, machine_, a_, what_) \
+  do {                                                            \
+    if (ChargeLedger* led_ = ChargeLedger::Bound()) {             \
+      ChargeLedger::Op op_;                                       \
+      op_.kind = ChargeLedger::OpKind::kind_;                     \
+      op_.transient = (transient_);                               \
+      op_.machine = (machine_);                                   \
+      op_.a = (a_);                                               \
+      op_.what = std::string(what_);                              \
+      led_->ops_.push_back(std::move(op_));                       \
+    }                                                             \
+  } while (0)
+
 Status ClusterSim::Allocate(int machine, double bytes, std::string_view what) {
   MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
   MLBENCH_CHECK(bytes >= 0);
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kAlloc, false, machine, bytes, what);
+    return Status::OK();  // OOM, if any, surfaces from CommitLedger
+  }
   double next = used_bytes_[machine] + bytes;
   if (next > spec_.machine.ram_bytes) {
     return Status::OutOfMemory(
@@ -36,6 +57,11 @@ Status ClusterSim::Allocate(int machine, double bytes, std::string_view what) {
 
 Status ClusterSim::AllocateEverywhere(double bytes_per_machine,
                                       std::string_view what) {
+  // Logged as one op so replay preserves the roll-back-on-failure below.
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kAllocAll, false, 0, bytes_per_machine, what);
+    return Status::OK();
+  }
   for (int m = 0; m < spec_.machines; ++m) {
     Status st = Allocate(m, bytes_per_machine, what);
     if (!st.ok()) {
@@ -50,10 +76,18 @@ Status ClusterSim::AllocateEverywhere(double bytes_per_machine,
 
 void ClusterSim::Free(int machine, double bytes) {
   MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kFree, false, machine, bytes, "");
+    return;
+  }
   used_bytes_[machine] = std::max(0.0, used_bytes_[machine] - bytes);
 }
 
 void ClusterSim::FreeEverywhere(double bytes_per_machine) {
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kFreeAll, false, 0, bytes_per_machine, "");
+    return;
+  }
   for (int m = 0; m < spec_.machines; ++m) Free(m, bytes_per_machine);
 }
 
@@ -69,11 +103,19 @@ void ClusterSim::BeginPhase(std::string name) {
 void ClusterSim::ChargeCpu(int machine, double busy_seconds) {
   MLBENCH_CHECK(in_phase_);
   MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kCpu, false, machine, busy_seconds, "");
+    return;
+  }
   phase_cpu_[machine] += busy_seconds;
 }
 
 void ClusterSim::ChargeCpuAllMachines(double busy_seconds_each) {
   MLBENCH_CHECK(in_phase_);
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kCpuAll, false, 0, busy_seconds_each, "");
+    return;
+  }
   for (auto& c : phase_cpu_) c += busy_seconds_each;
 }
 
@@ -89,16 +131,28 @@ void ClusterSim::ChargeParallelCpuOnMachine(int machine, double core_seconds) {
 void ClusterSim::ChargeNetwork(int machine, double bytes_out) {
   MLBENCH_CHECK(in_phase_);
   MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kNet, false, machine, bytes_out, "");
+    return;
+  }
   phase_net_[machine] += bytes_out;
 }
 
 void ClusterSim::ChargeNetworkAll(double bytes_out_each) {
   MLBENCH_CHECK(in_phase_);
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kNetAll, false, 0, bytes_out_each, "");
+    return;
+  }
   for (auto& n : phase_net_) n += bytes_out_each;
 }
 
 void ClusterSim::ChargeFixed(double seconds) {
   MLBENCH_CHECK(in_phase_);
+  if (ChargeLedger::Bound()) {
+    MLBENCH_LEDGER_OP(kFixed, false, 0, seconds, "");
+    return;
+  }
   phase_fixed_ += seconds;
 }
 
@@ -140,6 +194,64 @@ void ClusterSim::ResetClock() {
 void ClusterSim::SetNoise(double stddev_fraction, std::uint64_t seed) {
   noise_stddev_ = stddev_fraction;
   noise_rng_ = stats::Rng(seed);
+}
+
+Status ClusterSim::CommitLedger(ChargeLedger& ledger,
+                                const TransientFn& on_transient) {
+  if (ledger.ops_.empty()) return Status::OK();
+  if (ChargeLedger* outer = ChargeLedger::Bound()) {
+    // Nested parallel section: re-queue on the outer chunk's ledger. The
+    // outer commit replays these ops (and fires on_transient) later.
+    outer->Splice(std::move(ledger));
+    return Status::OK();
+  }
+  using OpKind = ChargeLedger::OpKind;
+  for (auto& op : ledger.ops_) {
+    switch (op.kind) {
+      case OpKind::kCpu:
+        ChargeCpu(op.machine, op.a);
+        break;
+      case OpKind::kCpuAll:
+        ChargeCpuAllMachines(op.a);
+        break;
+      case OpKind::kNet:
+        ChargeNetwork(op.machine, op.a);
+        break;
+      case OpKind::kNetAll:
+        ChargeNetworkAll(op.a);
+        break;
+      case OpKind::kFixed:
+        ChargeFixed(op.a);
+        break;
+      case OpKind::kAlloc: {
+        Status st = Allocate(op.machine, op.a, op.what);
+        if (!st.ok()) {
+          // The serial run dies at exactly this op; everything the chunk
+          // logged after it would never have executed.
+          ledger.Clear();
+          return st;
+        }
+        if (op.transient && on_transient) on_transient(op.machine, op.a);
+        break;
+      }
+      case OpKind::kAllocAll: {
+        Status st = AllocateEverywhere(op.a, op.what);
+        if (!st.ok()) {
+          ledger.Clear();
+          return st;
+        }
+        break;
+      }
+      case OpKind::kFree:
+        Free(op.machine, op.a);
+        break;
+      case OpKind::kFreeAll:
+        FreeEverywhere(op.a);
+        break;
+    }
+  }
+  ledger.Clear();
+  return Status::OK();
 }
 
 }  // namespace mlbench::sim

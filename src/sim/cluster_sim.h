@@ -1,10 +1,12 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "sim/charge_ledger.h"
 #include "sim/machine.h"
 #include "stats/rng.h"
 
@@ -96,6 +98,30 @@ class ClusterSim {
   /// Enables multiplicative run-to-run noise on phase times, modeling EC2
   /// day-to-day variance (Section 3.4). Disabled (0) by default.
   void SetNoise(double stddev_fraction, std::uint64_t seed);
+
+  // ---- Parallel charge capture ---------------------------------------------
+  //
+  // All mutating methods above check ChargeLedger::Bound(): when a ledger
+  // is bound to the calling thread (engines bind one per ParallelFor
+  // chunk), the call is recorded instead of applied, and Allocate returns
+  // OK optimistically. Committing the ledgers in chunk-index order replays
+  // the exact serial op sequence, keeping simulated times, peak memory and
+  // OOM points bit-identical at any host thread count (see
+  // charge_ledger.h).
+
+  /// Invoked for each committed allocation that was logged with
+  /// ChargeLedger::LogTransientAlloc, with (machine, bytes).
+  using TransientFn = std::function<void(int, double)>;
+
+  /// Replays `ledger` through the real methods in recorded order and
+  /// clears it. Stops at the first allocation failure and returns it,
+  /// discarding the remaining ops (the serial run would have died at that
+  /// exact op). If a ledger is bound to the calling thread — i.e. this
+  /// commit happens inside an outer parallel chunk — the ops are spliced
+  /// into the bound ledger instead and OK is returned; transient flags
+  /// travel with the ops, so the outer commit's callback sees them.
+  Status CommitLedger(ChargeLedger& ledger,
+                      const TransientFn& on_transient = nullptr);
 
  private:
   ClusterSpec spec_;

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/gmm_bsp.h"
+#include "core/gmm_dataflow.h"
+#include "core/gmm_gas.h"
+#include "core/gmm_reldb.h"
+#include "core/lda_bsp.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "sim/charge_ledger.h"
+#include "sim/cluster_sim.h"
+#include "sim/machine.h"
+
+namespace mlbench {
+namespace {
+
+using core::GmmExperiment;
+using core::LdaExperiment;
+using core::RunResult;
+
+// ---- ThreadPool / ParallelFor mechanics ------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    exec::ThreadPool pool(threads);
+    constexpr std::int64_t kChunks = 1000;
+    std::vector<std::atomic<int>> hits(kChunks);
+    pool.Run(kChunks, [&](std::int64_t c) { hits[c].fetch_add(1); });
+    for (std::int64_t c = 0; c < kChunks; ++c) {
+      ASSERT_EQ(hits[c].load(), 1) << "chunk " << c << " @" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedRunCompletes) {
+  exec::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.Run(8, [&](std::int64_t) {
+    exec::ThreadPool inner(2);
+    inner.Run(8, [&](std::int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ChunkingTest, BoundariesDependOnlyOnRangeAndGrain) {
+  EXPECT_EQ(exec::NumChunks(0, 10), 0);
+  EXPECT_EQ(exec::NumChunks(1, 10), 1);
+  EXPECT_EQ(exec::NumChunks(10, 10), 1);
+  EXPECT_EQ(exec::NumChunks(11, 10), 2);
+  exec::Chunk last = exec::ChunkAt(11, 10, 1);
+  EXPECT_EQ(last.begin, 10);
+  EXPECT_EQ(last.end, 11);
+  // Chunks tile [0, n) exactly.
+  std::int64_t covered = 0;
+  for (std::int64_t c = 0; c < exec::NumChunks(1234, 17); ++c) {
+    exec::Chunk ch = exec::ChunkAt(1234, 17, c);
+    EXPECT_EQ(ch.begin, covered);
+    covered = ch.end;
+  }
+  EXPECT_EQ(covered, 1234);
+}
+
+// A floating-point fold whose result depends on summation order; if chunk
+// partials were folded in completion order instead of index order, runs at
+// different thread counts would disagree in the low bits.
+double OrderSensitiveSum(std::int64_t n, std::int64_t grain) {
+  return exec::ParallelReduce<double>(
+      n, grain, 0.0,
+      [](const exec::Chunk& chunk) {
+        double s = 0;
+        for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+          s += 1.0 / (1.0 + static_cast<double>(i) * 1e-3);
+        }
+        return s;
+      },
+      [](double acc, double partial) { return acc + partial; });
+}
+
+TEST(ParallelReduceTest, BitIdenticalAcrossThreadCounts) {
+  exec::ThreadPool::SetGlobalThreads(1);
+  double serial = OrderSensitiveSum(100000, 64);
+  exec::ThreadPool::SetGlobalThreads(4);
+  double parallel = OrderSensitiveSum(100000, 64);
+  exec::ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(serial, parallel);  // bit-exact, not NEAR
+}
+
+// ---- ChargeLedger replay ---------------------------------------------------
+
+TEST(ChargeLedgerTest, CommitReplaysSerialSequence) {
+  sim::ClusterSim direct(sim::Ec2M2XLargeCluster(2));
+  direct.BeginPhase("p");
+  direct.ChargeCpu(0, 3.0);
+  direct.ChargeNetwork(1, 5e8);
+  direct.ChargeFixed(1.5);
+  ASSERT_TRUE(direct.Allocate(1, 2e9, "buf").ok());
+  double direct_t = direct.EndPhase();
+
+  sim::ClusterSim replayed(sim::Ec2M2XLargeCluster(2));
+  replayed.BeginPhase("p");
+  sim::ChargeLedger ledger;
+  {
+    sim::ScopedLedger bind(&ledger);
+    replayed.ChargeCpu(0, 3.0);
+    replayed.ChargeNetwork(1, 5e8);
+    replayed.ChargeFixed(1.5);
+    ASSERT_TRUE(replayed.Allocate(1, 2e9, "buf").ok());
+    // Nothing reached the sim yet.
+    EXPECT_DOUBLE_EQ(replayed.used_bytes(1), 0.0);
+  }
+  ASSERT_TRUE(replayed.CommitLedger(ledger).ok());
+  EXPECT_EQ(replayed.EndPhase(), direct_t);
+  EXPECT_EQ(replayed.used_bytes(1), direct.used_bytes(1));
+  EXPECT_EQ(replayed.peak_bytes(), direct.peak_bytes());
+}
+
+TEST(ChargeLedgerTest, DeferredOomSurfacesAtCommitAndDiscardsTail) {
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(1));
+  sim.BeginPhase("p");
+  sim::ChargeLedger ledger;
+  {
+    sim::ScopedLedger bind(&ledger);
+    // Optimistically OK inside the chunk...
+    ASSERT_TRUE(sim.Allocate(0, 1e15, "giant").ok());
+    // ...ops after the failure point must be discarded by the replay,
+    // matching the serial early-return.
+    sim.ChargeCpu(0, 100.0);
+  }
+  Status st = sim.CommitLedger(ledger);
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_DOUBLE_EQ(sim.used_bytes(0), 0.0);
+  EXPECT_DOUBLE_EQ(sim.EndPhase(), 0.0);  // the tail's CPU charge never landed
+}
+
+TEST(ChargeLedgerTest, TransientAllocationsReportedOnCommit) {
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(2));
+  sim::ChargeLedger ledger;
+  {
+    sim::ScopedLedger bind(&ledger);
+    ledger.LogTransientAlloc(1, 7e8, "shuffle buf");
+  }
+  std::vector<std::pair<int, double>> seen;
+  ASSERT_TRUE(sim.CommitLedger(ledger, [&](int machine, double bytes) {
+                    seen.emplace_back(machine, bytes);
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, 1);
+  EXPECT_DOUBLE_EQ(seen[0].second, 7e8);
+  EXPECT_DOUBLE_EQ(sim.used_bytes(1), 7e8);
+}
+
+TEST(ChargeLedgerTest, NestedCommitSplicesIntoOuterLedger) {
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(1));
+  sim.BeginPhase("p");
+  sim::ChargeLedger outer;
+  {
+    sim::ScopedLedger bind_outer(&outer);
+    sim::ChargeLedger inner;
+    {
+      sim::ScopedLedger bind_inner(&inner);
+      sim.ChargeCpu(0, 2.0);
+    }
+    // Inner commit happens while the outer ledger is bound: ops re-queue.
+    ASSERT_TRUE(sim.CommitLedger(inner).ok());
+    EXPECT_TRUE(inner.empty());
+    EXPECT_FALSE(outer.empty());
+  }
+  ASSERT_TRUE(sim.CommitLedger(outer).ok());
+  EXPECT_GT(sim.EndPhase(), 0.0);
+}
+
+// ---- Engine-level determinism ----------------------------------------------
+//
+// The PR's contract: model state AND simulated timing are bit-identical at
+// any MLBENCH_THREADS. Run each experiment at 1 and 4 host threads and
+// compare every observable of the run exactly (EXPECT_EQ on doubles — no
+// tolerance).
+
+GmmExperiment SmallGmm(bool super) {
+  GmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 4;
+  exp.dim = 3;
+  exp.k = 2;
+  exp.super_vertex = super;
+  exp.config.data.logical_per_machine = 1e6;
+  exp.config.data.actual_per_machine = 300;
+  exp.config.seed = 77;
+  return exp;
+}
+
+void ExpectSameRun(const RunResult& a, const RunResult& b) {
+  ASSERT_TRUE(a.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.ok()) << b.status.ToString();
+  EXPECT_EQ(a.init_seconds, b.init_seconds);
+  ASSERT_EQ(a.iteration_seconds.size(), b.iteration_seconds.size());
+  for (std::size_t i = 0; i < a.iteration_seconds.size(); ++i) {
+    EXPECT_EQ(a.iteration_seconds[i], b.iteration_seconds[i]) << "iter " << i;
+  }
+  EXPECT_EQ(a.peak_machine_bytes, b.peak_machine_bytes);
+}
+
+void ExpectSameModel(const models::GmmParams& a, const models::GmmParams& b) {
+  EXPECT_EQ(a.pi.raw(), b.pi.raw());
+  ASSERT_EQ(a.mu.size(), b.mu.size());
+  for (std::size_t k = 0; k < a.mu.size(); ++k) {
+    EXPECT_EQ(a.mu[k].raw(), b.mu[k].raw()) << "mu " << k;
+    for (std::size_t r = 0; r < a.sigma[k].rows(); ++r) {
+      for (std::size_t c = 0; c < a.sigma[k].cols(); ++c) {
+        EXPECT_EQ(a.sigma[k](r, c), b.sigma[k](r, c))
+            << "sigma " << k << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+using GmmRunner = RunResult (*)(const GmmExperiment&, models::GmmParams*);
+
+struct GmmDeterminismCase {
+  const char* name;
+  GmmRunner runner;
+  bool super;
+};
+
+class GmmThreadDeterminism
+    : public ::testing::TestWithParam<GmmDeterminismCase> {
+ protected:
+  void TearDown() override { exec::ThreadPool::SetGlobalThreads(1); }
+};
+
+TEST_P(GmmThreadDeterminism, BitIdenticalAt1And4Threads) {
+  auto [name, runner, super] = GetParam();
+  GmmExperiment exp = SmallGmm(super);
+
+  exec::ThreadPool::SetGlobalThreads(1);
+  models::GmmParams model1;
+  RunResult r1 = runner(exp, &model1);
+
+  exec::ThreadPool::SetGlobalThreads(4);
+  models::GmmParams model4;
+  RunResult r4 = runner(exp, &model4);
+
+  ExpectSameRun(r1, r4);
+  ExpectSameModel(model1, model4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, GmmThreadDeterminism,
+    ::testing::Values(
+        GmmDeterminismCase{"giraph", &core::RunGmmBsp, false},
+        GmmDeterminismCase{"graphlab", &core::RunGmmGas, true},
+        GmmDeterminismCase{"spark", &core::RunGmmDataflow, false},
+        GmmDeterminismCase{"simsql", &core::RunGmmRelDb, false}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(LdaThreadDeterminism, BspBitIdenticalAt1And4Threads) {
+  LdaExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 3;
+  exp.topics = 5;
+  exp.vocab = 60;
+  exp.mean_doc_len = 20;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 30;
+  exp.config.seed = 31;
+
+  exec::ThreadPool::SetGlobalThreads(1);
+  models::LdaParams model1;
+  RunResult r1 = core::RunLdaBsp(exp, &model1);
+
+  exec::ThreadPool::SetGlobalThreads(4);
+  models::LdaParams model4;
+  RunResult r4 = core::RunLdaBsp(exp, &model4);
+  exec::ThreadPool::SetGlobalThreads(1);
+
+  ExpectSameRun(r1, r4);
+  ASSERT_EQ(model1.phi.size(), model4.phi.size());
+  for (std::size_t t = 0; t < model1.phi.size(); ++t) {
+    EXPECT_EQ(model1.phi[t].raw(), model4.phi[t].raw()) << "topic " << t;
+  }
+}
+
+}  // namespace
+}  // namespace mlbench
