@@ -1,0 +1,134 @@
+#pragma once
+
+// Machine-readable output for the google-benchmark micro suites: a
+// collecting reporter that keeps the normal console output and, at exit,
+// writes one JSON file with every run's ns/op plus derived speedup rows
+// for <Name>_Naive / <Name>_Kernel benchmark pairs.
+//
+// Usage (replaces BENCHMARK_MAIN):
+//   int main(int argc, char** argv) {
+//     return mlbench::bench::RunWithJson(argc, argv, "BENCH_kernels.json");
+//   }
+// The output path can be overridden with MLBENCH_BENCH_JSON.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mlbench::bench {
+
+struct BenchRecord {
+  std::string name;
+  double ns_per_op = 0;
+  std::int64_t iterations = 0;
+};
+
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      BenchRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = run.iterations;
+      if (run.iterations > 0) {
+        rec.ns_per_op =
+            run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations);
+      }
+      records_.push_back(std::move(rec));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Strips the "_Naive" / "_Kernel" token from a benchmark name, keeping
+/// any "/arg" suffix, so the two variants of one pair map to one key.
+/// Returns empty if the name contains neither token.
+inline std::string PairKey(const std::string& name, bool* is_kernel) {
+  for (const char* token : {"_Naive", "_Kernel"}) {
+    auto at = name.find(token);
+    if (at != std::string::npos) {
+      *is_kernel = token[1] == 'K';
+      return name.substr(0, at) + name.substr(at + std::string(token).size());
+    }
+  }
+  return "";
+}
+
+inline void WriteJson(const std::vector<BenchRecord>& records,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+    return;
+  }
+  int threads = 1;
+  if (const char* env = std::getenv("MLBENCH_BENCH_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) threads = n;
+  } else {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  std::fprintf(f, "{\n  \"hw_threads\": %d,\n  \"benchmarks\": [\n", threads);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                 "\"iterations\": %lld}%s\n",
+                 records[i].name.c_str(), records[i].ns_per_op,
+                 static_cast<long long>(records[i].iterations),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedups\": [\n");
+  // Pair naive/kernel variants by stripped name; emit naive/kernel ratios.
+  struct Pair {
+    double naive_ns = 0, kernel_ns = 0;
+  };
+  std::map<std::string, Pair> pairs;
+  for (const auto& rec : records) {
+    bool is_kernel = false;
+    std::string key = PairKey(rec.name, &is_kernel);
+    if (key.empty()) continue;
+    if (is_kernel) {
+      pairs[key].kernel_ns = rec.ns_per_op;
+    } else {
+      pairs[key].naive_ns = rec.ns_per_op;
+    }
+  }
+  bool first = true;
+  for (const auto& [key, p] : pairs) {
+    if (p.naive_ns <= 0 || p.kernel_ns <= 0) continue;
+    std::fprintf(f,
+                 "%s    {\"name\": \"%s\", \"naive_ns_per_op\": %.3f, "
+                 "\"kernel_ns_per_op\": %.3f, \"speedup\": %.3f}",
+                 first ? "" : ",\n", key.c_str(), p.naive_ns, p.kernel_ns,
+                 p.naive_ns / p.kernel_ns);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("bench_json: wrote %s\n", path.c_str());
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN's body with JSON output.
+inline int RunWithJson(int argc, char** argv, const char* default_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("MLBENCH_BENCH_JSON");
+  WriteJson(reporter.records(), path != nullptr ? path : default_path);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mlbench::bench

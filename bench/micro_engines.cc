@@ -9,6 +9,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "bench_json.h"
+
 #include "bsp/engine.h"
 #include "dataflow/rdd.h"
 #include "exec/thread_pool.h"
@@ -147,4 +149,6 @@ BENCHMARK(BM_GasSweep)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mlbench::bench::RunWithJson(argc, argv, "BENCH_engines.json");
+}

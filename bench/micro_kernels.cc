@@ -1,0 +1,452 @@
+// Microbenchmarks for the hot-path kernel library: every fused/batched
+// kernel against the naive path it replaced (in-bench copies of the
+// pre-kernel implementations, so the comparison survives future cleanups
+// of the reference code). Writes BENCH_kernels.json with per-pair speedups
+// via bench_json.h.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_json.h"
+#include "kernels/categorical.h"
+#include "kernels/gaussian.h"
+#include "kernels/lda_token.h"
+#include "linalg/blocked.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "models/collapsed_lda.h"
+#include "models/gmm.h"
+#include "models/hmm.h"
+#include "models/lda.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace mlbench;
+using linalg::Matrix;
+using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Categorical draw: two-pass Vector weights + SampleCategorical vs fused
+// ---------------------------------------------------------------------------
+
+void BM_Categorical_Naive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> w(n);
+  stats::Rng wr(1);
+  for (auto& v : w) v = wr.NextDouble() + 0.01;
+  stats::Rng rng(2);
+  for (auto _ : state) {
+    Vector weights(n);
+    for (std::size_t i = 0; i < n; ++i) weights[i] = w[i];
+    benchmark::DoNotOptimize(stats::SampleCategorical(rng, weights));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Categorical_Naive)->Arg(100)->Unit(benchmark::kNanosecond);
+
+void BM_Categorical_Kernel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> w(n);
+  stats::Rng wr(1);
+  for (auto& v : w) v = wr.NextDouble() + 0.01;
+  stats::Rng rng(2);
+  kernels::CategoricalScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::FusedCategorical(
+        rng, n, &scratch, [&](std::size_t i) { return w[i]; }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Categorical_Kernel)->Arg(100)->Unit(benchmark::kNanosecond);
+
+// ---------------------------------------------------------------------------
+// GMM membership: allocating two-pass sampler vs fused scratch kernel
+// ---------------------------------------------------------------------------
+
+models::GmmParams BenchGmmParams(std::size_t k, std::size_t dim) {
+  stats::Rng rng(7);
+  models::GmmParams p;
+  p.pi = Vector(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    p.pi[c] = rng.NextDouble() + 0.1;
+    Vector mu(dim);
+    for (auto& v : mu) v = 4.0 * (rng.NextDouble() - 0.5);
+    p.mu.push_back(std::move(mu));
+    Matrix s(dim, dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double v = 0.1 * (rng.NextDouble() - 0.5);
+        s(i, j) = v;
+        s(j, i) = v;
+      }
+      s(i, i) = 1.0 + rng.NextDouble();
+    }
+    p.sigma.push_back(std::move(s));
+  }
+  return p;
+}
+
+std::vector<Vector> BenchGmmPoints(std::size_t n, std::size_t dim) {
+  stats::Rng rng(9);
+  std::vector<Vector> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector x(dim);
+    for (auto& v : x) v = 8.0 * (rng.NextDouble() - 0.5);
+    pts.push_back(std::move(x));
+  }
+  return pts;
+}
+
+void BM_GmmMembership_Naive(benchmark::State& state) {
+  const std::size_t k = 10, dim = 10;
+  auto params = BenchGmmParams(k, dim);
+  auto sampler = models::GmmMembershipSampler::Build(params);
+  if (!sampler.ok()) state.SkipWithError("build failed");
+  auto points = BenchGmmPoints(256, dim);
+  stats::Rng rng(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Sample(rng, points[i]));
+    i = (i + 1) % points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmmMembership_Naive)->Unit(benchmark::kNanosecond);
+
+void BM_GmmMembership_Kernel(benchmark::State& state) {
+  const std::size_t k = 10, dim = 10;
+  auto params = BenchGmmParams(k, dim);
+  auto sampler = models::GmmMembershipSampler::Build(params);
+  if (!sampler.ok()) state.SkipWithError("build failed");
+  auto points = BenchGmmPoints(256, dim);
+  stats::Rng rng(3);
+  models::GmmMembershipSampler::Scratch scratch;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Sample(rng, points[i], &scratch));
+    i = (i + 1) % points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmmMembership_Kernel)->Unit(benchmark::kNanosecond);
+
+// ---------------------------------------------------------------------------
+// Collapsed-LDA sweep: row-major two-pass reference vs word-major kernel
+// ---------------------------------------------------------------------------
+
+struct LdaBenchSetup {
+  models::LdaHyper hyper;
+  std::vector<models::LdaDocument> docs;
+};
+
+LdaBenchSetup BenchCorpus(std::size_t topics, std::size_t vocab,
+                          std::size_t n_docs, std::size_t doc_len) {
+  LdaBenchSetup s;
+  s.hyper = models::LdaHyper{topics, vocab, 0.5, 0.1};
+  stats::Rng rng(17);
+  for (std::size_t d = 0; d < n_docs; ++d) {
+    models::LdaDocument doc;
+    for (std::size_t i = 0; i < doc_len; ++i) {
+      doc.words.push_back(
+          static_cast<std::uint32_t>(rng.NextBounded(vocab)));
+    }
+    models::InitLdaDocument(rng, s.hyper, &doc);
+    s.docs.push_back(std::move(doc));
+  }
+  return s;
+}
+
+/// In-bench copy of the pre-kernel collapsed sampler (row-major nested
+/// vectors, two-pass weights + SampleCategorical).
+class NaiveCollapsedLda {
+ public:
+  NaiveCollapsedLda(const models::LdaHyper& hyper,
+                    std::vector<models::LdaDocument> docs, std::uint64_t seed)
+      : hyper_(hyper), docs_(std::move(docs)), rng_(seed) {
+    n_tw_.assign(hyper_.topics, std::vector<double>(hyper_.vocab, 0.0));
+    n_t_.assign(hyper_.topics, 0.0);
+    n_dt_.assign(docs_.size(), std::vector<double>(hyper_.topics, 0.0));
+    for (std::size_t d = 0; d < docs_.size(); ++d) {
+      for (std::size_t pos = 0; pos < docs_[d].words.size(); ++pos) {
+        std::size_t t = docs_[d].topics[pos];
+        n_tw_[t][docs_[d].words[pos]] += 1;
+        n_t_[t] += 1;
+        n_dt_[d][t] += 1;
+      }
+    }
+  }
+
+  void Sweep() {
+    Vector w(hyper_.topics);
+    double v = static_cast<double>(hyper_.vocab);
+    for (std::size_t d = 0; d < docs_.size(); ++d) {
+      auto& doc = docs_[d];
+      for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
+        std::uint32_t word = doc.words[pos];
+        std::size_t old_t = doc.topics[pos];
+        n_tw_[old_t][word] -= 1;
+        n_t_[old_t] -= 1;
+        n_dt_[d][old_t] -= 1;
+        for (std::size_t t = 0; t < hyper_.topics; ++t) {
+          w[t] = (n_dt_[d][t] + hyper_.alpha) *
+                 (n_tw_[t][word] + hyper_.beta) /
+                 (n_t_[t] + hyper_.beta * v);
+        }
+        std::size_t new_t = stats::SampleCategorical(rng_, w);
+        doc.topics[pos] = static_cast<std::uint8_t>(new_t);
+        n_tw_[new_t][word] += 1;
+        n_t_[new_t] += 1;
+        n_dt_[d][new_t] += 1;
+      }
+    }
+  }
+
+ private:
+  models::LdaHyper hyper_;
+  std::vector<models::LdaDocument> docs_;
+  stats::Rng rng_;
+  std::vector<std::vector<double>> n_tw_;
+  std::vector<double> n_t_;
+  std::vector<std::vector<double>> n_dt_;
+};
+
+void BM_CollapsedLdaSweep_Naive(benchmark::State& state) {
+  auto setup = BenchCorpus(/*topics=*/50, /*vocab=*/5000, /*docs=*/100,
+                           /*doc_len=*/100);
+  NaiveCollapsedLda model(setup.hyper, setup.docs, 5);
+  for (auto _ : state) {
+    model.Sweep();
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 100);
+}
+BENCHMARK(BM_CollapsedLdaSweep_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_CollapsedLdaSweep_Kernel(benchmark::State& state) {
+  auto setup = BenchCorpus(/*topics=*/50, /*vocab=*/5000, /*docs=*/100,
+                           /*doc_len=*/100);
+  models::CollapsedLda model(setup.hyper, setup.docs, 5);
+  for (auto _ : state) {
+    model.Sweep();
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 100);
+}
+BENCHMARK(BM_CollapsedLdaSweep_Kernel)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// HMM state resampling: reference vs prepared kernel sampler
+// ---------------------------------------------------------------------------
+
+struct HmmBenchSetup {
+  models::HmmParams params;
+  std::vector<models::HmmDocument> docs;
+};
+
+HmmBenchSetup BenchHmm(std::size_t states, std::size_t vocab,
+                       std::size_t n_docs, std::size_t doc_len) {
+  HmmBenchSetup s;
+  models::HmmHyper hyper{states, vocab, 1.0, 0.1};
+  stats::Rng rng(23);
+  s.params = models::SampleHmmPrior(rng, hyper);
+  for (std::size_t d = 0; d < n_docs; ++d) {
+    models::HmmDocument doc;
+    for (std::size_t i = 0; i < doc_len; ++i) {
+      doc.words.push_back(
+          static_cast<std::uint32_t>(rng.NextBounded(vocab)));
+    }
+    models::InitHmmStates(rng, states, &doc);
+    s.docs.push_back(std::move(doc));
+  }
+  return s;
+}
+
+void BM_HmmResample_Naive(benchmark::State& state) {
+  auto setup = BenchHmm(/*states=*/20, /*vocab=*/10000, /*docs=*/50,
+                        /*doc_len=*/200);
+  stats::Rng rng(31);
+  int iter = 0;
+  for (auto _ : state) {
+    for (auto& doc : setup.docs) {
+      models::ResampleHmmStates(rng, setup.params, iter, &doc);
+    }
+    ++iter;
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 200 / 2);
+}
+BENCHMARK(BM_HmmResample_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_HmmResample_Kernel(benchmark::State& state) {
+  auto setup = BenchHmm(/*states=*/20, /*vocab=*/10000, /*docs=*/50,
+                        /*doc_len=*/200);
+  stats::Rng rng(31);
+  models::HmmSampler sampler;
+  sampler.Prepare(setup.params, 50 * 200);
+  int iter = 0;
+  for (auto _ : state) {
+    for (auto& doc : setup.docs) {
+      sampler.Resample(rng, iter, &doc);
+    }
+    ++iter;
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 200 / 2);
+}
+BENCHMARK(BM_HmmResample_Kernel)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// LDA document resampling: reference vs prepared kernel sampler
+// ---------------------------------------------------------------------------
+
+void BM_LdaDocResample_Naive(benchmark::State& state) {
+  auto setup = BenchCorpus(/*topics=*/100, /*vocab=*/10000, /*docs=*/50,
+                           /*doc_len=*/200);
+  stats::Rng prior(29);
+  auto params = models::SampleLdaPrior(prior, setup.hyper);
+  stats::Rng rng(37);
+  for (auto _ : state) {
+    for (auto& doc : setup.docs) {
+      models::ResampleLdaDocument(rng, setup.hyper, params, &doc, nullptr);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 200);
+}
+BENCHMARK(BM_LdaDocResample_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_LdaDocResample_Kernel(benchmark::State& state) {
+  auto setup = BenchCorpus(/*topics=*/100, /*vocab=*/10000, /*docs=*/50,
+                           /*doc_len=*/200);
+  stats::Rng prior(29);
+  auto params = models::SampleLdaPrior(prior, setup.hyper);
+  stats::Rng rng(37);
+  models::LdaDocSampler sampler;
+  sampler.Prepare(setup.hyper, params, 50 * 200);
+  for (auto _ : state) {
+    for (auto& doc : setup.docs) {
+      sampler.Resample(rng, &doc, nullptr);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 200);
+}
+BENCHMARK(BM_LdaDocResample_Kernel)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Alias table: fresh construction vs batch refill; loop vs batch sampling
+// ---------------------------------------------------------------------------
+
+void BM_AliasRebuild_Naive(benchmark::State& state) {
+  auto weights = stats::ZipfWeights(10000, 1.1);
+  for (auto _ : state) {
+    stats::AliasTable table(weights);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_AliasRebuild_Naive)->Unit(benchmark::kMicrosecond);
+
+void BM_AliasRebuild_Kernel(benchmark::State& state) {
+  auto weights = stats::ZipfWeights(10000, 1.1);
+  stats::AliasTable table(weights);
+  for (auto _ : state) {
+    table.Rebuild(weights);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_AliasRebuild_Kernel)->Unit(benchmark::kMicrosecond);
+
+void BM_AliasSample_Naive(benchmark::State& state) {
+  stats::AliasTable table(stats::ZipfWeights(10000, 1.1));
+  stats::Rng rng(41);
+  std::vector<std::uint32_t> out(1024);
+  for (auto _ : state) {
+    for (auto& v : out) v = static_cast<std::uint32_t>(table.Sample(rng));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_AliasSample_Naive)->Unit(benchmark::kMicrosecond);
+
+void BM_AliasSample_Kernel(benchmark::State& state) {
+  stats::AliasTable table(stats::ZipfWeights(10000, 1.1));
+  stats::Rng rng(41);
+  std::vector<std::uint32_t> out(1024);
+  for (auto _ : state) {
+    table.SampleBatch(rng, out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_AliasSample_Kernel)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Batched Gaussian log-density vs scalar NormalLogPdf loop
+// ---------------------------------------------------------------------------
+
+void BM_NormalLogPdf_Naive(benchmark::State& state) {
+  stats::Rng rng(43);
+  std::vector<double> x(4096), out(4096);
+  for (auto& v : x) v = 20.0 * (rng.NextDouble() - 0.5);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      out[i] = stats::NormalLogPdf(x[i], 1.3, 2.7);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_NormalLogPdf_Naive)->Unit(benchmark::kMicrosecond);
+
+void BM_NormalLogPdf_Kernel(benchmark::State& state) {
+  stats::Rng rng(43);
+  std::vector<double> x(4096), out(4096);
+  for (auto& v : x) v = 20.0 * (rng.NextDouble() - 0.5);
+  for (auto _ : state) {
+    kernels::BatchedNormalLogPdf(x.data(), x.size(), 1.3, 2.7, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_NormalLogPdf_Kernel)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Blocked dot product vs sequential accumulation
+// ---------------------------------------------------------------------------
+
+void BM_Dot_Naive(benchmark::State& state) {
+  stats::Rng rng(47);
+  std::vector<double> a(4096), b(4096);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextDouble() - 0.5;
+    b[i] = rng.NextDouble() - 0.5;
+  }
+  for (auto _ : state) {
+    double s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Dot_Naive)->Unit(benchmark::kNanosecond);
+
+void BM_Dot_Kernel(benchmark::State& state) {
+  stats::Rng rng(47);
+  std::vector<double> a(4096), b(4096);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextDouble() - 0.5;
+    b[i] = rng.NextDouble() - 0.5;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linalg::blocked::Dot(a.data(), b.data(), a.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Dot_Kernel)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mlbench::bench::RunWithJson(argc, argv, "BENCH_kernels.json");
+}

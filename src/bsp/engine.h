@@ -292,8 +292,19 @@ class BspEngine {
     // commit below in chunk-index order — the exact serial sequence.
     static const std::vector<Msg> kEmpty;
     const std::int64_t n = static_cast<std::int64_t>(vertices_.size());
-    std::vector<ChunkOutbox> outboxes(
-        static_cast<std::size_t>(exec::NumChunks(n, kComputeGrain)));
+    // The outbox vector is engine state reused across supersteps: clearing
+    // (instead of reconstructing) keeps each chunk's pending/agg vectors at
+    // their high-water capacity, so steady-state supersteps allocate
+    // nothing here.
+    const std::size_t n_chunks =
+        static_cast<std::size_t>(exec::NumChunks(n, kComputeGrain));
+    if (outbox_scratch_.size() < n_chunks) outbox_scratch_.resize(n_chunks);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      outbox_scratch_[c].pending.clear();
+      outbox_scratch_[c].agg_calls.clear();
+      outbox_scratch_[c].ledger.Clear();
+    }
+    std::vector<ChunkOutbox>& outboxes = outbox_scratch_;
     exec::ParallelFor(n, kComputeGrain, [&](const exec::Chunk& chunk) {
       ChunkOutbox& out = outboxes[static_cast<std::size_t>(chunk.index)];
       sim::ScopedLedger bind(&out.ledger);
@@ -313,7 +324,8 @@ class BspEngine {
                                     logical * cost.elements_per_vertex));
       }
     });
-    for (auto& out : outboxes) {
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      ChunkOutbox& out = outboxes[c];
       // Compute contexts can only charge CPU, so commit cannot fail.
       MLBENCH_CHECK(sim_->CommitLedger(out.ledger).ok());
       for (auto& p : out.pending) pending_.push_back(std::move(p));
@@ -398,35 +410,49 @@ class BspEngine {
       inbox_meta_.resize(vertices_.size());
     }
     if (combiner_) {
-      // Sender-side combine per (source machine, destination vertex).
-      std::unordered_map<std::uint64_t, PendingMsg> combined;
-      std::unordered_map<std::uint64_t, double> logical_in;
-      std::unordered_map<std::uint64_t, double> replicate_out;
+      // Sender-side combine per (source machine, destination vertex). One
+      // flat entry vector plus a key->index map, both reused across
+      // supersteps (cleared, never reallocated in steady state), replace
+      // the three per-superstep hash maps the engine used to rebuild here.
+      // Entries are delivered in first-seen order — a pure function of the
+      // (chunk-ordered) pending sequence, so delivery is deterministic and
+      // thread-count independent.
+      combine_index_.clear();
+      combine_entries_.clear();
       for (auto& p : pending_) {
         std::uint64_t key = (static_cast<std::uint64_t>(p.src_machine) << 48) |
                             static_cast<std::uint64_t>(p.dst_slot);
-        logical_in[key] += p.logical;
-        if (p.replicated) {
-          replicate_out[key] = std::max(replicate_out[key], p.logical);
-        }
-        auto it = combined.find(key);
-        if (it == combined.end()) {
-          combined.emplace(key, p);
+        auto [it, inserted] =
+            combine_index_.emplace(key, combine_entries_.size());
+        if (inserted) {
+          CombineEntry e;
+          e.logical_in = p.logical;
+          if (p.replicated) {
+            e.has_replicate = true;
+            e.replicate_out = p.logical;
+          }
+          e.msg = std::move(p);
+          combine_entries_.push_back(std::move(e));
         } else {
-          it->second.msg = combiner_(it->second.msg, p.msg);
+          CombineEntry& e = combine_entries_[it->second];
+          e.logical_in += p.logical;
+          if (p.replicated) {
+            e.has_replicate = true;
+            e.replicate_out = std::max(e.replicate_out, p.logical);
+          }
+          e.msg.msg = combiner_(e.msg.msg, p.msg);
         }
       }
       pending_.clear();
-      for (auto& [key, p] : combined) {
+      for (CombineEntry& e : combine_entries_) {
         // Folded messages collapse to one per (machine, dst); replicated
         // (broadcast) messages still deliver one copy per logical
         // recipient. Appending combiners grow the payload: recompute its
         // size if a size function was registered.
+        PendingMsg& p = e.msg;
         if (size_fn_) p.bytes = size_fn_(p.msg);
-        double handled = logical_in[key];
-        auto rit = replicate_out.find(key);
-        double shipped = rit == replicate_out.end() ? 1.0 : rit->second;
-        ChargeMessage(p, handled, shipped);
+        double shipped = e.has_replicate ? e.replicate_out : 1.0;
+        ChargeMessage(p, e.logical_in, shipped);
         DeliverMessage(std::move(p), shipped);
       }
     } else {
@@ -482,6 +508,20 @@ class BspEngine {
   std::vector<InboxMeta> inbox_meta_;
   std::unordered_map<std::string, Aggregate> prev_aggregates_;
   std::unordered_map<std::string, Aggregate> next_aggregates_;
+
+  /// One combined message per (source machine, destination vertex), plus
+  /// the bookkeeping FlushMessages needs to charge and deliver it.
+  struct CombineEntry {
+    PendingMsg msg;
+    double logical_in = 0;
+    double replicate_out = 0;
+    bool has_replicate = false;
+  };
+  /// Reused combiner scratch (see FlushMessages).
+  std::unordered_map<std::uint64_t, std::size_t> combine_index_;
+  std::vector<CombineEntry> combine_entries_;
+  /// Reused per-chunk compute outboxes (see RunSuperstep).
+  std::vector<ChunkOutbox> outbox_scratch_;
 };
 
 }  // namespace mlbench::bsp

@@ -281,20 +281,32 @@ RunResult RunGmmBsp(const GmmExperiment& exp, models::GmmParams* final_model) {
           stats::Rng vrng = stats::Rng(iter_seed).Split(
               static_cast<std::uint64_t>(v.id) + 1);
           std::vector<GmmSuffStats> stats(exp.k, GmmSuffStats(exp.dim));
-          for (std::size_t j = 0; j < v.data.points.size(); ++j) {
-            std::size_t c = sampler.ok()
-                                ? sampler->Sample(vrng, v.data.points[j])
-                                : vrng.NextBounded(exp.k);
-            v.data.members[j] = c;
-            if (!v.data.masks.empty()) {
-              models::CensoredPoint cp;
-              cp.x = v.data.points[j];
-              cp.missing = v.data.masks[j];
-              Status ist = models::ImputeMissing(vrng, params.mu[c],
-                                                 params.sigma[c], &cp);
-              if (ist.ok()) v.data.points[j] = cp.x;
+          models::GmmMembershipSampler::Scratch scratch;
+          if (sampler.ok() && v.data.masks.empty()) {
+            // Hot path: fused membership draws over the whole point block.
+            std::vector<std::size_t> members;
+            sampler->SampleBlock(vrng, v.data.points, &scratch, &members);
+            for (std::size_t j = 0; j < v.data.points.size(); ++j) {
+              v.data.members[j] = members[j];
+              stats[members[j]].Add(v.data.points[j]);
             }
-            stats[c].Add(v.data.points[j]);
+          } else {
+            for (std::size_t j = 0; j < v.data.points.size(); ++j) {
+              std::size_t c =
+                  sampler.ok()
+                      ? sampler->Sample(vrng, v.data.points[j], &scratch)
+                      : vrng.NextBounded(exp.k);
+              v.data.members[j] = c;
+              if (!v.data.masks.empty()) {
+                models::CensoredPoint cp;
+                cp.x = v.data.points[j];
+                cp.missing = v.data.masks[j];
+                Status ist = models::ImputeMissing(vrng, params.mu[c],
+                                                   params.sigma[c], &cp);
+                if (ist.ok()) v.data.points[j] = cp.x;
+              }
+              stats[c].Add(v.data.points[j]);
+            }
           }
           for (std::size_t c = 0; c < exp.k; ++c) {
             if (stats[c].n == 0 && !super) continue;

@@ -214,9 +214,10 @@ RunResult RunGmmDataflow(const GmmExperiment& exp,
           stats::Rng point_rng =
               stats::Rng(iter_seed).Split(
                   static_cast<std::uint64_t>(c.base_index) + 1);
+          models::GmmMembershipSampler::Scratch scratch;
           for (std::size_t q = 0; q < c.points.size(); ++q) {
             const auto& x = c.points[q];
-            std::size_t k = sampler->Sample(point_rng, x);
+            std::size_t k = sampler->Sample(point_rng, x, &scratch);
             if (imputation) {
               auto& cp = (*censored)[c.base_index + q];
               Status st = models::ImputeMissing(

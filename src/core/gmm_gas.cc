@@ -119,9 +119,11 @@ class GmmProgram : public gas::GasProgram<VData, Gathered> {
         }
         auto sampler = models::GmmMembershipSampler::Build(params);
         v.data.stats.assign(hyper_.k, GmmSuffStats(hyper_.dim));
+        models::GmmMembershipSampler::Scratch scratch;
         for (std::size_t j = 0; j < v.data.points.size(); ++j) {
           std::size_t c = sampler.ok()
-                              ? sampler->Sample(rng, v.data.points[j])
+                              ? sampler->Sample(rng, v.data.points[j],
+                                                &scratch)
                               : rng.NextBounded(hyper_.k);
           v.data.members[j] = c;
           if (!v.data.masks.empty()) {

@@ -53,7 +53,7 @@ class MembershipVg : public reldb::VgFunction {
     }
     auto id = static_cast<std::size_t>(AsInt(params[0][id_c]));
     if (censored_ != nullptr) x = (*censored_)[id].x;
-    std::size_t k = sampler_->Sample(rng, x);
+    std::size_t k = sampler_->Sample(rng, x, &scratch_);
     if (censored_ != nullptr && params_ != nullptr) {
       // Section 9's extra step: re-draw the censored coordinates from the
       // sampled component's conditional normal, in place.
@@ -70,6 +70,9 @@ class MembershipVg : public reldb::VgFunction {
   std::size_t dim_;
   std::vector<models::CensoredPoint>* censored_;
   const GmmParams* params_;
+  // VG functions are invoked serially (VgApply loops over groups on one
+  // thread), so per-object scratch is safe.
+  models::GmmMembershipSampler::Scratch scratch_;
 };
 
 /// Library VG that draws each cluster's (mu, Sigma) from the conjugate
@@ -150,7 +153,7 @@ class SuperVertexVg : public reldb::VgFunction {
     auto gid = static_cast<std::size_t>(AsInt(params[0][gid_c]));
     std::vector<GmmSuffStats> stats(k_, GmmSuffStats(dim_));
     for (const auto& x : (*groups_)[gid]) {
-      stats[sampler_->Sample(rng, x)].Add(x);
+      stats[sampler_->Sample(rng, x, &scratch_)].Add(x);
     }
     for (std::size_t c = 0; c < k_; ++c) {
       auto clus = static_cast<std::int64_t>(c);
@@ -177,6 +180,7 @@ class SuperVertexVg : public reldb::VgFunction {
   std::shared_ptr<models::GmmMembershipSampler> sampler_;
   const std::vector<std::vector<Vector>>* groups_;
   std::size_t dim_, k_;
+  models::GmmMembershipSampler::Scratch scratch_;
 };
 
 /// Reads the model tables back into a GmmParams (the broadcast join that

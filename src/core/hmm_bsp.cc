@@ -234,8 +234,12 @@ RunResult RunHmmBsp(const HmmExperiment& exp,
           stats::Rng vrng = stats::Rng(iter_seed).Split(
               static_cast<std::uint64_t>(vx.id) + 1);
           auto counts = std::make_shared<HmmCounts>(exp.states, exp.vocab);
+          std::size_t expected = 0;
+          for (const auto& doc : vx.data.docs) expected += doc.words.size();
+          models::HmmSampler sampler;
+          sampler.Prepare(local, expected);
           for (auto& doc : vx.data.docs) {
-            models::ResampleHmmStates(vrng, local, iter, &doc);
+            sampler.Resample(vrng, iter, &doc);
             models::AccumulateHmmCounts(doc, counts.get());
           }
           HmmMsg msg;

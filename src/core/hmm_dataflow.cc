@@ -167,8 +167,12 @@ RunResult RunHmmDataflow(const HmmExperiment& exp,
                       params_ptr->psi[0].size());
           stats::Rng r = stats::Rng(iter_seed).Split(
               static_cast<std::uint64_t>(rec.first) + 1);
+          std::size_t expected = 0;
+          for (const auto& doc : *rec.second) expected += doc.words.size();
+          models::HmmSampler sampler;
+          sampler.Prepare(*params_ptr, expected);
           for (auto& doc : *rec.second) {
-            models::ResampleHmmStates(r, *params_ptr, iter, &doc);
+            sampler.Resample(r, iter, &doc);
             models::AccumulateHmmCounts(doc, &c);
           }
           std::vector<std::pair<int, CountVec>> out;

@@ -90,8 +90,12 @@ class HmmProgram : public gas::GasProgram<VData, Gathered> {
     if (v.data.kind == VData::Kind::kData && g.model) {
       v.data.partial =
           std::make_shared<HmmCounts>(hyper_.states, hyper_.vocab);
+      std::size_t expected = 0;
+      for (const auto& doc : v.data.docs) expected += doc.words.size();
+      models::HmmSampler sampler;
+      sampler.Prepare(*g.model, expected);
       for (auto& doc : v.data.docs) {
-        models::ResampleHmmStates(rng, *g.model, iteration_, &doc);
+        sampler.Resample(rng, iteration_, &doc);
         models::AccumulateHmmCounts(doc, v.data.partial.get());
       }
     } else if (v.data.kind == VData::Kind::kState && g.counts) {

@@ -46,7 +46,15 @@ class StateVg : public reldb::VgFunction {
     // how many parameter rows the plan delivered.
     auto doc_id = static_cast<std::size_t>(AsInt(group[0][doc_c]));
     HmmDocument& doc = (*docs_)[doc_id];
-    models::ResampleHmmStates(rng, *params_, iteration_, &doc);
+    if (!prepared_) {
+      // The VG object is rebuilt each iteration with that iteration's
+      // model, so the prepared tables stay valid for all its invocations.
+      std::size_t expected = 0;
+      for (const auto& d : *docs_) expected += d.words.size();
+      sampler_.Prepare(*params_, expected);
+      prepared_ = true;
+    }
+    sampler_.Resample(rng, iteration_, &doc);
     for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
       out->push_back(Tuple{static_cast<std::int64_t>(doc_id),
                            static_cast<std::int64_t>(pos),
@@ -59,6 +67,9 @@ class StateVg : public reldb::VgFunction {
   std::shared_ptr<HmmParams> params_;
   std::vector<HmmDocument>* docs_;
   int iteration_;
+  // VG functions are invoked serially, so per-object scratch is safe.
+  models::HmmSampler sampler_;
+  bool prepared_ = false;
 };
 
 }  // namespace

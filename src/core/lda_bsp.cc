@@ -191,8 +191,12 @@ RunResult RunLdaBsp(const LdaExperiment& exp,
           stats::Rng vrng = stats::Rng(iter_seed).Split(
               static_cast<std::uint64_t>(vx.id) + 1);
           std::unordered_map<std::uint32_t, float> sparse;
+          std::size_t expected = 0;
+          for (const auto& doc : vx.data.docs) expected += doc.words.size();
+          models::LdaDocSampler sampler;
+          sampler.Prepare(hyper, local, expected);
           for (auto& doc : vx.data.docs) {
-            models::ResampleLdaDocument(vrng, hyper, local, &doc, nullptr);
+            sampler.Resample(vrng, &doc, nullptr);
             for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
               sparse[static_cast<std::uint32_t>(
                   doc.topics[pos] * exp.vocab + doc.words[pos])] += 1.0f;

@@ -114,8 +114,12 @@ RunResult RunLdaDataflow(const LdaExperiment& exp,
           LdaCounts c(hyper.topics, hyper.vocab);
           stats::Rng r = stats::Rng(iter_seed).Split(
               static_cast<std::uint64_t>(rec.first) + 1);
+          std::size_t expected = 0;
+          for (const auto& doc : *rec.second) expected += doc.words.size();
+          models::LdaDocSampler sampler;
+          sampler.Prepare(hyper, *params_ptr, expected);
           for (auto& doc : *rec.second) {
-            models::ResampleLdaDocument(r, hyper, *params_ptr, &doc, &c);
+            sampler.Resample(r, &doc, &c);
           }
           std::vector<std::pair<int, CountVec>> out;
           for (std::size_t tt = 0; tt < hyper.topics; ++tt) {

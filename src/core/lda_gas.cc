@@ -89,8 +89,12 @@ class LdaProgram : public gas::GasProgram<VData, Gathered> {
         if (row.empty()) row = Vector(hyper_.vocab, 1.0 / hyper_.vocab);
       }
       std::unordered_map<std::uint32_t, float> sparse;
+      std::size_t expected = 0;
+      for (const auto& doc : v.data.docs) expected += doc.words.size();
+      models::LdaDocSampler sampler;
+      sampler.Prepare(hyper_, local, expected);
       for (auto& doc : v.data.docs) {
-        models::ResampleLdaDocument(rng, hyper_, local, &doc, nullptr);
+        sampler.Resample(rng, &doc, nullptr);
         for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
           sparse[static_cast<std::uint32_t>(doc.topics[pos] * hyper_.vocab +
                                             doc.words[pos])] += 1.0f;

@@ -41,7 +41,15 @@ class TopicVg : public reldb::VgFunction {
     std::size_t doc_c = schema.IndexOf("doc_id");
     auto doc_id = static_cast<std::size_t>(AsInt(group[0][doc_c]));
     LdaDocument& doc = (*docs_)[doc_id];
-    models::ResampleLdaDocument(rng, hyper_, *params_, &doc, nullptr);
+    if (!prepared_) {
+      // The VG object is rebuilt each iteration with that iteration's
+      // model, so the prepared tables stay valid for all its invocations.
+      std::size_t expected = 0;
+      for (const auto& d : *docs_) expected += d.words.size();
+      sampler_.Prepare(hyper_, *params_, expected);
+      prepared_ = true;
+    }
+    sampler_.Resample(rng, &doc, nullptr);
     for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
       out->push_back(Tuple{static_cast<std::int64_t>(doc_id),
                            static_cast<std::int64_t>(pos),
@@ -54,6 +62,9 @@ class TopicVg : public reldb::VgFunction {
   std::shared_ptr<LdaParams> params_;
   models::LdaHyper hyper_;
   std::vector<LdaDocument>* docs_;
+  // VG functions are invoked serially, so per-object scratch is safe.
+  models::LdaDocSampler sampler_;
+  bool prepared_ = false;
 };
 
 }  // namespace

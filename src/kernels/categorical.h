@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "stats/rng.h"
+
+/// \file categorical.h
+/// Fused categorical-draw kernels.
+///
+/// The naive sampler (stats::SampleCategorical) makes two passes over the
+/// weight vector: one to total the weights, one to scan for the drawn
+/// index — and every call site first fills a temporary Vector. The fused
+/// kernel computes the weights, their running (inclusive) prefix sum, and
+/// the draw in a single pass over a reusable scratch buffer.
+///
+/// Bit-identity contract: the prefix sums are accumulated in index order,
+/// so cum[i] equals the naive scan's `acc` after step i bit-for-bit, and
+/// `std::upper_bound` (first element > u) picks the same index as the
+/// naive `u < acc` scan, including the clamp to n-1 when roundoff pushes
+/// u past the total. Exactly one NextDouble is consumed, as before.
+
+namespace mlbench::kernels {
+
+/// Reusable buffer for allocation-free categorical draws. One scratch per
+/// sampling loop; grows monotonically and is never shrunk.
+struct CategoricalScratch {
+  /// Returns a buffer of at least n doubles.
+  double* Ensure(std::size_t n) {
+    if (cum.size() < n) cum.resize(n);
+    return cum.data();
+  }
+
+  std::vector<double> cum;
+};
+
+/// Draws an index from inclusive prefix sums cum[0..n): the same index the
+/// naive linear scan returns for the underlying weights. The total
+/// (cum[n-1]) must be positive. Consumes exactly one NextDouble.
+inline std::size_t SampleFromCumulative(stats::Rng& rng, const double* cum,
+                                        std::size_t n) {
+  const double total = cum[n - 1];
+  MLBENCH_CHECK_MSG(total > 0, "categorical weights must have positive sum");
+  const double u = rng.NextDouble() * total;
+  const double* it = std::upper_bound(cum, cum + n, u);
+  std::size_t i = static_cast<std::size_t>(it - cum);
+  return i < n ? i : n - 1;
+}
+
+/// Fused weight-evaluation + prefix-sum + draw: weight(i) is evaluated once
+/// per index, in order, and the draw is bit-identical to
+///   stats::SampleCategorical(rng, {weight(0), ..., weight(n-1)}).
+template <typename WeightFn>
+std::size_t FusedCategorical(stats::Rng& rng, std::size_t n,
+                             CategoricalScratch* scratch, WeightFn&& weight) {
+  double* cum = scratch->Ensure(n);
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += weight(i);
+    cum[i] = acc;
+  }
+  return SampleFromCumulative(rng, cum, n);
+}
+
+}  // namespace mlbench::kernels

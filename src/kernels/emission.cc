@@ -1,0 +1,23 @@
+#include "kernels/emission.h"
+
+namespace mlbench::kernels {
+
+void EmissionTable::Prepare(const std::vector<linalg::Vector>& rows,
+                            std::size_t expected_draws) {
+  k_ = rows.size();
+  vocab_ = k_ == 0 ? 0 : rows[0].size();
+  transposed_ = expected_draws >= vocab_;
+  if (transposed_) {
+    flat_.resize(vocab_ * k_);
+    for (std::size_t s = 0; s < k_; ++s) {
+      const double* r = rows[s].data();
+      double* out = flat_.data() + s;
+      for (std::size_t w = 0; w < vocab_; ++w) out[w * k_] = r[w];
+    }
+  } else {
+    row_ptrs_.resize(k_);
+    for (std::size_t s = 0; s < k_; ++s) row_ptrs_[s] = rows[s].data();
+  }
+}
+
+}  // namespace mlbench::kernels

@@ -1,0 +1,91 @@
+#include "kernels/gaussian.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mlbench::kernels {
+
+std::size_t FusedMvnMembership(stats::Rng& rng, const linalg::Vector& x,
+                               const std::vector<linalg::Vector>& mu,
+                               const std::vector<linalg::Matrix>& chol,
+                               const linalg::Vector& log_pi_norm,
+                               MvnScratch* scratch) {
+  const std::size_t k = mu.size();
+  const std::size_t d = x.size();
+  if (scratch->y.size() < 2 * d) scratch->y.resize(2 * d);
+  if (scratch->logw.size() < k) scratch->logw.resize(k);
+  double* y0 = scratch->y.data();
+  double* y1 = y0 + d;
+  double* logw = scratch->logw.data();
+  const double* xs = x.data();
+
+  // Forward substitution L y = (x - mu_c) with the subtraction folded into
+  // each row's seed and Dot(y, y) folded into the same sweep. The per-row
+  // arithmetic replicates linalg::ForwardSubstitute (seed, j<i updates in
+  // order, divide) and the dot accumulates in i order like linalg::Dot, so
+  // each component's log-weight is bit-identical to the two-pass path.
+  //
+  // Components are independent, so two are interleaved per pass: the row
+  // divide has double-digit cycle latency and row i+1 depends on y[i], so
+  // a single substitution stalls on its own divide chain. Pairing overlaps
+  // the two chains without reordering any component's own operations.
+  std::size_t c = 0;
+  for (; c + 1 < k; c += 2) {
+    const double* m0 = mu[c].data();
+    const double* m1 = mu[c + 1].data();
+    const double* l0 = chol[c].data();
+    const double* l1 = chol[c + 1].data();
+    double dot0 = 0, dot1 = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double* r0 = l0 + i * d;
+      const double* r1 = l1 + i * d;
+      double s0 = xs[i] - m0[i];
+      double s1 = xs[i] - m1[i];
+      for (std::size_t j = 0; j < i; ++j) {
+        s0 -= r0[j] * y0[j];
+        s1 -= r1[j] * y1[j];
+      }
+      double v0 = s0 / r0[i];
+      double v1 = s1 / r1[i];
+      y0[i] = v0;
+      y1[i] = v1;
+      dot0 += v0 * v0;
+      dot1 += v1 * v1;
+    }
+    logw[c] = log_pi_norm[c] - 0.5 * dot0;
+    logw[c + 1] = log_pi_norm[c + 1] - 0.5 * dot1;
+  }
+  for (; c < k; ++c) {
+    const double* m = mu[c].data();
+    const double* ld = chol[c].data();
+    double dot = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double* lrow = ld + i * d;
+      double s = xs[i] - m[i];
+      for (std::size_t j = 0; j < i; ++j) s -= lrow[j] * y0[j];
+      double yi = s / lrow[i];
+      y0[i] = yi;
+      dot += yi * yi;
+    }
+    logw[c] = log_pi_norm[c] - 0.5 * dot;
+  }
+  double max_lw = -1e300;
+  for (std::size_t ci = 0; ci < k; ++ci) max_lw = std::max(max_lw, logw[ci]);
+  // Fused exp-normalize + prefix sum + draw (one pass, one NextDouble).
+  return FusedCategorical(rng, k, &scratch->cat, [&](std::size_t c) {
+    return std::exp(logw[c] - max_lw);
+  });
+}
+
+void BatchedNormalLogPdf(const double* x, std::size_t n, double mean,
+                         double stddev, double* out) {
+  const double inv_sd = 1.0 / stddev;
+  const double c =
+      -std::log(stddev) - 0.5 * std::log(2.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < n; ++i) {
+    double z = (x[i] - mean) * inv_sd;
+    out[i] = -0.5 * z * z + c;
+  }
+}
+
+}  // namespace mlbench::kernels

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/categorical.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/rng.h"
+
+/// \file gaussian.h
+/// Fused / batched Gaussian density kernels.
+///
+/// FusedMvnMembership is the hot loop of the GMM membership sampler: for
+/// every component it evaluates the Mahalanobis form against a cached
+/// Cholesky factor and then draws the membership, all against reusable
+/// scratch buffers. The naive path allocates four Vectors per point
+/// (difference, solve result, log-weights, weights); the fused path
+/// allocates nothing in steady state and folds the exp-normalization into
+/// the categorical prefix sum. The arithmetic replicates
+/// linalg::ForwardSubstitute + linalg::Dot operation-for-operation, so
+/// draws are bit-identical to the naive sampler.
+///
+/// BatchedNormalLogPdf hoists the -log(stddev) - 0.5*log(2*pi) term out of
+/// the per-point loop. Hoisting reassociates the sum, so results agree
+/// with stats::NormalLogPdf to ~1e-12, not bitwise — likelihood and
+/// reporting paths only, never a path that feeds an RNG draw.
+
+namespace mlbench::kernels {
+
+/// Reusable buffers for fused multivariate-normal membership draws.
+struct MvnScratch {
+  std::vector<double> y;     ///< forward-substitution solve
+  std::vector<double> logw;  ///< per-component log-weights
+  CategoricalScratch cat;
+};
+
+/// Draws a component index with probability proportional to
+///   pi_c * Normal(x | mu_c, Sigma_c),
+/// given per-component Cholesky factors chol[c] of Sigma_c and
+/// log_pi_norm[c] = log(max(pi_c, 1e-300)) - 0.5*log|Sigma_c|.
+/// Bit-identical (index and RNG consumption) to the two-pass
+/// GmmMembershipSampler::Weights + stats::SampleCategorical composition.
+std::size_t FusedMvnMembership(stats::Rng& rng, const linalg::Vector& x,
+                               const std::vector<linalg::Vector>& mu,
+                               const std::vector<linalg::Matrix>& chol,
+                               const linalg::Vector& log_pi_norm,
+                               MvnScratch* scratch);
+
+/// out[i] = log Normal(x[i] | mean, stddev^2) for a contiguous block, with
+/// the normalization constant hoisted. Within 1e-12 of the scalar
+/// stats::NormalLogPdf (reassociated; see file comment).
+void BatchedNormalLogPdf(const double* x, std::size_t n, double mean,
+                         double stddev, double* out);
+
+}  // namespace mlbench::kernels

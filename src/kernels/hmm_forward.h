@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/categorical.h"
+#include "kernels/emission.h"
+#include "linalg/vector.h"
+#include "stats/rng.h"
+
+/// \file hmm_forward.h
+/// Fused HMM state-resampling kernel (the paper's alternating-parity
+/// update, Section 7). Prepare() caches the model in kernel layout:
+///  * transitions as a flat row-major K x K (previous-state row is
+///    contiguous) plus a transposed copy (next-state column contiguous);
+///  * emissions through EmissionTable (transposed or row-pointer mode,
+///    picked by expected token volume).
+/// ResampleStates then evaluates each position's K weights, their prefix
+/// sum, and the draw in a single fused pass, bit-identical to
+/// models::ResampleHmmStates (same weight products in the same order, one
+/// NextDouble per resampled position, NextBounded on a non-positive
+/// total).
+
+namespace mlbench::kernels {
+
+class HmmStateScratch {
+ public:
+  /// Rebuild the cached layouts from the current model. `expected_tokens`
+  /// is the number of token draws this scratch will serve before the next
+  /// Prepare (drives the emission-transpose heuristic).
+  void Prepare(const linalg::Vector& delta0,
+               const std::vector<linalg::Vector>& delta,
+               const std::vector<linalg::Vector>& psi,
+               std::size_t expected_tokens);
+
+  /// Re-samples the parity-matching positions of one state sequence in
+  /// place, exactly as models::ResampleHmmStates does.
+  void ResampleStates(stats::Rng& rng, int iteration,
+                      const std::vector<std::uint32_t>& words,
+                      std::vector<std::uint8_t>* states);
+
+  bool transposed_emissions() const { return psi_.transposed(); }
+
+ private:
+  std::size_t k_ = 0;
+  std::vector<double> delta0_;
+  std::vector<double> delta_;    ///< row-major K x K: [prev * K + s]
+  std::vector<double> delta_t_;  ///< transposed K x K: [next * K + s]
+  EmissionTable psi_;
+  CategoricalScratch cat_;
+};
+
+}  // namespace mlbench::kernels

@@ -1,0 +1,80 @@
+#include "kernels/lda_token.h"
+
+namespace mlbench::kernels {
+
+LogTable::LogTable(double offset, std::size_t max_count)
+    : offset_(offset), table_(max_count + 1) {
+  for (std::size_t i = 0; i <= max_count; ++i) {
+    table_[i] = std::log(static_cast<double>(i) + offset_);
+  }
+}
+
+void CollapsedCounts::Reset(std::size_t docs, std::size_t topics,
+                            std::size_t vocab, double alpha, double beta) {
+  docs_ = docs;
+  topics_ = topics;
+  vocab_ = vocab;
+  alpha_ = alpha;
+  beta_ = beta;
+  beta_v_ = beta * static_cast<double>(vocab);
+  wt_.assign(vocab * topics, 0.0);
+  nt_.assign(topics, 0.0);
+  dt_.assign(docs * topics, 0.0);
+  dt_alpha_.assign(topics, alpha);
+  nt_denom_.assign(topics, beta_v_);
+  current_doc_ = 0;
+}
+
+void CollapsedCounts::AddToken(std::size_t doc, std::uint32_t word,
+                               std::size_t topic) {
+  wt_[static_cast<std::size_t>(word) * topics_ + topic] += 1;
+  nt_[topic] += 1;
+  dt_[doc * topics_ + topic] += 1;
+  nt_denom_[topic] = nt_[topic] + beta_v_;
+}
+
+void CollapsedCounts::RemoveToken(std::size_t doc, std::uint32_t word,
+                                  std::size_t topic) {
+  wt_[static_cast<std::size_t>(word) * topics_ + topic] -= 1;
+  nt_[topic] -= 1;
+  dt_[doc * topics_ + topic] -= 1;
+  nt_denom_[topic] = nt_[topic] + beta_v_;
+}
+
+void CollapsedCounts::BeginDoc(std::size_t doc) {
+  current_doc_ = doc;
+  const double* dt = dt_.data() + doc * topics_;
+  for (std::size_t t = 0; t < topics_; ++t) dt_alpha_[t] = dt[t] + alpha_;
+}
+
+std::size_t CollapsedCounts::SampleTokenTopic(stats::Rng& rng,
+                                              std::uint32_t word,
+                                              std::size_t old_topic) {
+  double* dtc = dt_.data() + current_doc_ * topics_;
+  double* wtw = wt_.data() + static_cast<std::size_t>(word) * topics_;
+
+  // Remove the token's own counts; refresh the two affected caches by
+  // recomputation (exact; see file comment).
+  wtw[old_topic] -= 1;
+  nt_[old_topic] -= 1;
+  dtc[old_topic] -= 1;
+  nt_denom_[old_topic] = nt_[old_topic] + beta_v_;
+  dt_alpha_[old_topic] = dtc[old_topic] + alpha_;
+
+  const double* da = dt_alpha_.data();
+  const double* nd = nt_denom_.data();
+  const double beta = beta_;
+  std::size_t new_topic =
+      FusedCategorical(rng, topics_, &cat_, [&](std::size_t t) {
+        return da[t] * (wtw[t] + beta) / nd[t];
+      });
+
+  wtw[new_topic] += 1;
+  nt_[new_topic] += 1;
+  dtc[new_topic] += 1;
+  nt_denom_[new_topic] = nt_[new_topic] + beta_v_;
+  dt_alpha_[new_topic] = dtc[new_topic] + alpha_;
+  return new_topic;
+}
+
+}  // namespace mlbench::kernels

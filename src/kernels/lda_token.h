@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/categorical.h"
+#include "stats/rng.h"
+
+/// \file lda_token.h
+/// The collapsed-LDA token kernel: word-major count state plus a fused
+/// remove-count -> weight -> draw -> re-add step for one token.
+///
+/// Layout: the topic-word counts are stored *word-major* (V x T flat), so
+/// the per-token loop over topics reads one contiguous cache line run
+/// instead of gathering one element from each of T separate rows. The
+/// doc-topic counts are a flat D x T array.
+///
+/// Incremental weights: the counts themselves are integer-valued doubles
+/// maintained by exact +/-1 updates. The smoothed terms (n_dt + alpha and
+/// the denominator n_t + beta*V) are cached per-topic and refreshed by
+/// *recomputation* whenever the underlying count changes — never by
+/// incrementing the cached float — so every weight is bit-identical to
+/// evaluating the textbook expression
+///   (n_dt + alpha) * (n_tw + beta) / (n_t + beta*V)
+/// from scratch. Only two cache entries change per token, which removes
+/// two adds per topic from the inner loop.
+
+namespace mlbench::kernels {
+
+/// Precomputed log(i + offset) for the small-count range, falling back to
+/// std::log beyond the table. Entries are computed with std::log, so
+/// lookups are bit-identical to calling std::log directly. The collapsed
+/// sampler itself stays in linear space (its weights are ratios, not
+/// log-counts), so this table serves diagnostics and likelihood paths.
+class LogTable {
+ public:
+  LogTable(double offset, std::size_t max_count);
+
+  double Log(std::size_t count) const {
+    return count < table_.size()
+               ? table_[count]
+               : std::log(static_cast<double>(count) + offset_);
+  }
+  double offset() const { return offset_; }
+
+ private:
+  double offset_;
+  std::vector<double> table_;
+};
+
+/// Count state of the collapsed sampler in kernel layout.
+class CollapsedCounts {
+ public:
+  /// Zeroes all counts for the given shape and hyperparameters.
+  void Reset(std::size_t docs, std::size_t topics, std::size_t vocab,
+             double alpha, double beta);
+
+  /// Exact +1 / -1 count updates (used when (re)building from assignments).
+  void AddToken(std::size_t doc, std::uint32_t word, std::size_t topic);
+  void RemoveToken(std::size_t doc, std::uint32_t word, std::size_t topic);
+
+  /// Enters document `doc`: caches the smoothed doc-topic terms. Must be
+  /// called before SampleTokenTopic for tokens of that document.
+  void BeginDoc(std::size_t doc);
+
+  /// Fused Gibbs step for one token of the current document: removes the
+  /// token's counts, draws the new topic (one RNG draw, bit-identical to
+  /// the two-pass reference), re-adds the counts, and returns the topic.
+  std::size_t SampleTokenTopic(stats::Rng& rng, std::uint32_t word,
+                               std::size_t old_topic);
+
+  std::size_t topics() const { return topics_; }
+  std::size_t vocab() const { return vocab_; }
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  double beta_v() const { return beta_v_; }
+
+  /// Topic-word count n_tw(t, w); word-major storage.
+  double wt(std::size_t t, std::uint32_t w) const {
+    return wt_[static_cast<std::size_t>(w) * topics_ + t];
+  }
+  /// Per-topic total n_t(t).
+  double nt(std::size_t t) const { return nt_[t]; }
+  /// Doc-topic count n_dt(d, t).
+  double dt(std::size_t d, std::size_t t) const {
+    return dt_[d * topics_ + t];
+  }
+  /// Contiguous word-major row {n_tw(0, w), ..., n_tw(T-1, w)}.
+  const double* wt_row(std::uint32_t w) const {
+    return wt_.data() + static_cast<std::size_t>(w) * topics_;
+  }
+  const double* dt_row(std::size_t d) const {
+    return dt_.data() + d * topics_;
+  }
+  const double* nt_data() const { return nt_.data(); }
+
+  CategoricalScratch* cat_scratch() { return &cat_; }
+
+ private:
+  std::size_t docs_ = 0, topics_ = 0, vocab_ = 0;
+  double alpha_ = 0, beta_ = 0, beta_v_ = 0;
+  std::size_t current_doc_ = 0;
+  std::vector<double> wt_;        ///< word-major topic-word counts (V x T)
+  std::vector<double> nt_;        ///< per-topic totals (T)
+  std::vector<double> dt_;        ///< doc-topic counts (D x T)
+  std::vector<double> dt_alpha_;  ///< cached n_dt(current_doc, t) + alpha
+  std::vector<double> nt_denom_;  ///< cached n_t(t) + beta*V
+  CategoricalScratch cat_;
+};
+
+}  // namespace mlbench::kernels

@@ -1,0 +1,56 @@
+#include "linalg/blocked.h"
+
+namespace mlbench::linalg::blocked {
+
+void AddScaled(double* dst, const double* src, double a, std::size_t n) {
+  // Elementwise: the compiler may vectorize freely without changing any
+  // individual dst[i] += a * src[i] result.
+  for (std::size_t i = 0; i < n; ++i) dst[i] += a * src[i];
+}
+
+void Add(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Sub(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] -= src[i];
+}
+
+void Scale(double* dst, double a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] *= a;
+}
+
+void RowReduce(const double* m, std::size_t rows, std::size_t cols,
+               double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    Add(out, m + r * cols, cols);
+  }
+}
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double Sum(const double* a, std::size_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i];
+    s1 += a[i + 1];
+    s2 += a[i + 2];
+    s3 += a[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+}  // namespace mlbench::linalg::blocked

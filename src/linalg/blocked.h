@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file blocked.h
+/// Blocked / unrolled primitives shared by the hot-path kernels
+/// (mlbench::kernels), Matrix, and the model samplers.
+///
+/// Two families, with different floating-point contracts:
+///
+///  * Elementwise ops (AddScaled, Add, Sub, Scale, RowReduce): every output
+///    element is computed by exactly the ops of the naive loop, so results
+///    are bit-identical to scalar code. Safe anywhere, including paths that
+///    feed sampler draws.
+///
+///  * Reassociating reductions (Dot, Sum): four-accumulator unrolls that
+///    change the summation order. NOT bit-compatible with the sequential
+///    linalg::Dot / Vector::Sum; use only in likelihood / reporting paths
+///    where a few ulps of difference cannot perturb an RNG draw.
+
+namespace mlbench::linalg::blocked {
+
+/// dst[i] += a * src[i]. Bit-identical to the scalar loop.
+void AddScaled(double* dst, const double* src, double a, std::size_t n);
+
+/// dst[i] += src[i]. Bit-identical to the scalar loop.
+void Add(double* dst, const double* src, std::size_t n);
+
+/// dst[i] -= src[i]. Bit-identical to the scalar loop.
+void Sub(double* dst, const double* src, std::size_t n);
+
+/// dst[i] *= a. Bit-identical to the scalar loop.
+void Scale(double* dst, double a, std::size_t n);
+
+/// out[j] += sum over rows r of m[r * cols + j], accumulating row by row
+/// in ascending r — the same per-element op sequence as the naive
+/// row-outer / column-inner double loop, so results are bit-identical.
+void RowReduce(const double* m, std::size_t rows, std::size_t cols,
+               double* out);
+
+/// Four-accumulator dot product. Reassociates; see file comment.
+double Dot(const double* a, const double* b, std::size_t n);
+
+/// Four-accumulator sum. Reassociates; see file comment.
+double Sum(const double* a, std::size_t n);
+
+}  // namespace mlbench::linalg::blocked

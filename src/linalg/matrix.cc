@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/blocked.h"
+
 namespace mlbench::linalg {
 
 Matrix Matrix::Identity(std::size_t n) {
@@ -26,18 +28,18 @@ Matrix Matrix::Outer(const Vector& x, const Vector& y) {
 
 Matrix& Matrix::operator+=(const Matrix& o) {
   MLBENCH_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  blocked::Add(data_.data(), o.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& o) {
   MLBENCH_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  blocked::Sub(data_.data(), o.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (auto& v : data_) v *= s;
+  blocked::Scale(data_.data(), s, data_.size());
   return *this;
 }
 
@@ -104,13 +106,15 @@ Matrix operator*(double s, Matrix a) {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   MLBENCH_CHECK(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
+  const std::size_t n = b.cols();
   for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.data() + i * n;
     for (std::size_t k = 0; k < a.cols(); ++k) {
       double aik = a(i, k);
       if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += aik * b(k, j);
-      }
+      // ikj order: the inner update is an elementwise axpy on row i of c,
+      // bit-identical to the scalar j-loop.
+      blocked::AddScaled(crow, b.data() + k * n, aik, n);
     }
   }
   return c;

@@ -2,22 +2,24 @@
 
 #include <cmath>
 
+#include "linalg/blocked.h"
+
 namespace mlbench::linalg {
 
 Vector& Vector::operator+=(const Vector& o) {
   MLBENCH_CHECK(size() == o.size());
-  for (std::size_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+  blocked::Add(data_.data(), o.data_.data(), size());
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& o) {
   MLBENCH_CHECK(size() == o.size());
-  for (std::size_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+  blocked::Sub(data_.data(), o.data_.data(), size());
   return *this;
 }
 
 Vector& Vector::operator*=(double s) {
-  for (auto& v : data_) v *= s;
+  blocked::Scale(data_.data(), s, data_.size());
   return *this;
 }
 

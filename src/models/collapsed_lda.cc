@@ -19,47 +19,22 @@ CollapsedLda::CollapsedLda(const LdaHyper& hyper,
 }
 
 void CollapsedLda::RebuildCounts() {
-  n_tw_.assign(hyper_.topics, std::vector<double>(hyper_.vocab, 0.0));
-  n_t_.assign(hyper_.topics, 0.0);
-  n_dt_.assign(docs_.size(), std::vector<double>(hyper_.topics, 0.0));
+  counts_.Reset(docs_.size(), hyper_.topics, hyper_.vocab, hyper_.alpha,
+                hyper_.beta);
   for (std::size_t d = 0; d < docs_.size(); ++d) {
     for (std::size_t pos = 0; pos < docs_[d].words.size(); ++pos) {
-      std::size_t t = docs_[d].topics[pos];
-      n_tw_[t][docs_[d].words[pos]] += 1;
-      n_t_[t] += 1;
-      n_dt_[d][t] += 1;
+      counts_.AddToken(d, docs_[d].words[pos], docs_[d].topics[pos]);
     }
   }
 }
 
-double CollapsedLda::TopicWeight(std::size_t doc, std::uint32_t word,
-                                 std::size_t t) const {
-  // Callers remove the token's own counts before evaluating.
-  double v = static_cast<double>(hyper_.vocab);
-  return (n_dt_[doc][t] + hyper_.alpha) *
-         (n_tw_[t][word] + hyper_.beta) /
-         (n_t_[t] + hyper_.beta * v);
-}
-
 void CollapsedLda::Sweep() {
-  linalg::Vector w(hyper_.topics);
   for (std::size_t d = 0; d < docs_.size(); ++d) {
     auto& doc = docs_[d];
+    counts_.BeginDoc(d);
     for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
-      std::uint32_t word = doc.words[pos];
-      std::size_t old_t = doc.topics[pos];
-      // Remove the token's own count, sample, re-add.
-      n_tw_[old_t][word] -= 1;
-      n_t_[old_t] -= 1;
-      n_dt_[d][old_t] -= 1;
-      for (std::size_t t = 0; t < hyper_.topics; ++t) {
-        w[t] = TopicWeight(d, word, t);
-      }
-      std::size_t new_t = stats::SampleCategorical(rng_, w);
-      doc.topics[pos] = static_cast<std::uint8_t>(new_t);
-      n_tw_[new_t][word] += 1;
-      n_t_[new_t] += 1;
-      n_dt_[d][new_t] += 1;
+      doc.topics[pos] = static_cast<std::uint8_t>(counts_.SampleTokenTopic(
+          rng_, doc.words[pos], doc.topics[pos]));
     }
   }
 }
@@ -69,45 +44,56 @@ void CollapsedLda::ApproximateParallelSweep() {
   // concurrent updates), then the counts rebuild -- the shortcut the
   // paper declines to benchmark as "aggressive (and somewhat
   // questionable)".
-  auto n_tw_snap = n_tw_;
-  auto n_t_snap = n_t_;
-  auto n_dt_snap = n_dt_;
-  linalg::Vector w(hyper_.topics);
-  double v = static_cast<double>(hyper_.vocab);
+  kernels::CollapsedCounts snap = counts_;
+  const std::size_t t_count = hyper_.topics;
+  const double alpha = hyper_.alpha;
+  const double beta = hyper_.beta;
+  const double beta_v = snap.beta_v();
+  const double* nt = snap.nt_data();
   for (std::size_t d = 0; d < docs_.size(); ++d) {
     auto& doc = docs_[d];
+    const double* dt = snap.dt_row(d);
     for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
-      std::uint32_t word = doc.words[pos];
+      const double* wt = snap.wt_row(doc.words[pos]);
       std::size_t old_t = doc.topics[pos];
-      for (std::size_t t = 0; t < hyper_.topics; ++t) {
-        double excl = old_t == t ? 1.0 : 0.0;
-        w[t] = (n_dt_snap[d][t] - excl + hyper_.alpha) *
-               (n_tw_snap[t][word] - excl + hyper_.beta) /
-               (n_t_snap[t] - excl + hyper_.beta * v);
-      }
-      doc.topics[pos] =
-          static_cast<std::uint8_t>(stats::SampleCategorical(rng_, w));
+      doc.topics[pos] = static_cast<std::uint8_t>(kernels::FusedCategorical(
+          rng_, t_count, counts_.cat_scratch(), [&](std::size_t t) {
+            double excl = old_t == t ? 1.0 : 0.0;
+            return (dt[t] - excl + alpha) * (wt[t] - excl + beta) /
+                   (nt[t] - excl + beta_v);
+          }));
     }
   }
   RebuildCounts();
 }
 
 double CollapsedLda::TokenLogLikelihood() const {
-  double v = static_cast<double>(hyper_.vocab);
+  const std::size_t t_count = hyper_.topics;
+  const double beta = hyper_.beta;
+  const double beta_v = counts_.beta_v();
+  const double* nt = counts_.nt_data();
   double ll = 0;
+  // Per document, the word-independent factor (n_dt + alpha) / doc_total /
+  // (n_t + beta*V) is hoisted out of the token loop; the remaining
+  // per-token work is one fused dot against the contiguous word-major
+  // count row. (Reassociates the per-topic products; likelihood path
+  // only.)
+  std::vector<double> coef(t_count);
   for (std::size_t d = 0; d < docs_.size(); ++d) {
     const auto& doc = docs_[d];
+    const double* dt = counts_.dt_row(d);
     double doc_total = 0;
-    for (std::size_t t = 0; t < hyper_.topics; ++t) {
-      doc_total += n_dt_[d][t] + hyper_.alpha;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      doc_total += dt[t] + hyper_.alpha;
+    }
+    for (std::size_t t = 0; t < t_count; ++t) {
+      coef[t] = (dt[t] + hyper_.alpha) / doc_total / (nt[t] + beta_v);
     }
     for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
-      std::uint32_t word = doc.words[pos];
+      const double* wt = counts_.wt_row(doc.words[pos]);
       double pw = 0;
-      for (std::size_t t = 0; t < hyper_.topics; ++t) {
-        pw += (n_dt_[d][t] + hyper_.alpha) / doc_total *
-              (n_tw_[t][word] + hyper_.beta) /
-              (n_t_[t] + hyper_.beta * v);
+      for (std::size_t t = 0; t < t_count; ++t) {
+        pw += coef[t] * (wt[t] + beta);
       }
       ll += std::log(std::max(pw, 1e-300));
     }
@@ -117,11 +103,13 @@ double CollapsedLda::TokenLogLikelihood() const {
 
 LdaParams CollapsedLda::EstimatePhi() const {
   LdaParams p;
-  double v = static_cast<double>(hyper_.vocab);
+  const double beta_v = counts_.beta_v();
   for (std::size_t t = 0; t < hyper_.topics; ++t) {
     linalg::Vector row(hyper_.vocab);
+    double denom = counts_.nt(t) + beta_v;
     for (std::size_t w = 0; w < hyper_.vocab; ++w) {
-      row[w] = (n_tw_[t][w] + hyper_.beta) / (n_t_[t] + hyper_.beta * v);
+      row[w] = (counts_.wt(t, static_cast<std::uint32_t>(w)) + hyper_.beta) /
+               denom;
     }
     p.phi.push_back(std::move(row));
   }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/lda_token.h"
 #include "models/lda.h"
 #include "stats/rng.h"
 
@@ -16,6 +17,11 @@
 /// collapsed chain mixes faster per sweep, while the "approximate
 /// parallel" variant most distributed systems shipped updates stale
 /// counts the way the paper is uncomfortable with.
+///
+/// The count state lives in kernels::CollapsedCounts (word-major flat
+/// arrays + fused token kernel); draws are bit-identical to the original
+/// row-major two-pass implementation, which tests/kernels_test.cc keeps
+/// as the reference.
 
 namespace mlbench::models {
 
@@ -42,16 +48,12 @@ class CollapsedLda {
   const std::vector<LdaDocument>& docs() const { return docs_; }
 
  private:
-  double TopicWeight(std::size_t doc, std::uint32_t word,
-                     std::size_t t) const;
   void RebuildCounts();
 
   LdaHyper hyper_;
   std::vector<LdaDocument> docs_;
   stats::Rng rng_;
-  std::vector<std::vector<double>> n_tw_;  ///< topic-word counts (T x V)
-  std::vector<double> n_t_;                ///< per-topic totals
-  std::vector<std::vector<double>> n_dt_;  ///< doc-topic counts (D x T)
+  kernels::CollapsedCounts counts_;
 };
 
 }  // namespace mlbench::models

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "kernels/gaussian.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "stats/rng.h"
@@ -72,11 +73,25 @@ Result<std::size_t> SampleMembership(stats::Rng& rng, const Vector& x,
 /// iteration, then call Sample for every point.
 class GmmMembershipSampler {
  public:
+  /// Reusable per-loop buffers for the fused membership kernel.
+  using Scratch = kernels::MvnScratch;
+
   /// Factorizes every component covariance; fails if any is not SPD.
   static Result<GmmMembershipSampler> Build(const GmmParams& params);
 
-  /// Draws the membership of one point.
+  /// Draws the membership of one point (two-pass reference path; allocates
+  /// temporaries per call).
   std::size_t Sample(stats::Rng& rng, const Vector& x) const;
+
+  /// Fused, allocation-free membership draw against reusable scratch.
+  /// Bit-identical index and RNG consumption to Sample(rng, x).
+  std::size_t Sample(stats::Rng& rng, const Vector& x,
+                     Scratch* scratch) const;
+
+  /// Draws memberships for a contiguous block of points; identical to
+  /// calling the scratch Sample per point in order.
+  void SampleBlock(stats::Rng& rng, const std::vector<Vector>& points,
+                   Scratch* scratch, std::vector<std::size_t>* out) const;
 
   /// Unnormalized membership weights of one point (log-space safe).
   Vector Weights(const Vector& x) const;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/hmm_forward.h"
 #include "linalg/vector.h"
 #include "stats/rng.h"
 
@@ -55,8 +56,29 @@ void InitHmmStates(stats::Rng& rng, std::size_t states, HmmDocument* doc);
 
 /// Re-samples the parity-matching state assignments of one document for
 /// iteration `iteration` (paper's alternating update), in place.
+/// Reference implementation of the fused HmmSampler below; kept as the
+/// parity baseline and for one-off calls.
 void ResampleHmmStates(stats::Rng& rng, const HmmParams& params,
                        int iteration, HmmDocument* doc);
+
+/// Per-iteration state sampler on the fused kernel: Prepare() once per
+/// model draw (caching transitions flat and emissions transposed or via
+/// row pointers, by expected token volume), then Resample per document.
+/// Draws are bit-identical to ResampleHmmStates.
+class HmmSampler {
+ public:
+  void Prepare(const HmmParams& params, std::size_t expected_tokens) {
+    scratch_.Prepare(params.delta0, params.delta, params.psi,
+                     expected_tokens);
+  }
+
+  void Resample(stats::Rng& rng, int iteration, HmmDocument* doc) {
+    scratch_.ResampleStates(rng, iteration, doc->words, &doc->states);
+  }
+
+ private:
+  kernels::HmmStateScratch scratch_;
+};
 
 /// Accumulates a document's counts into `counts`.
 void AccumulateHmmCounts(const HmmDocument& doc, HmmCounts* counts);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/blocked.h"
 #include "stats/distributions.h"
 
 namespace mlbench::models {
@@ -14,9 +15,9 @@ void AccumulateLasso(const Vector& x, double y, LassoSuffStats* stats) {
   }
   for (std::size_t i = 0; i < p; ++i) {
     if (x[i] == 0.0) continue;
-    for (std::size_t j = 0; j < p; ++j) {
-      stats->xtx(i, j) += x[i] * x[j];
-    }
+    // Rank-1 row update: an elementwise axpy on row i of X^T X,
+    // bit-identical to the scalar j-loop.
+    linalg::blocked::AddScaled(stats->xtx.data() + i * p, x.data(), x[i], p);
     stats->xty[i] += x[i] * y;
   }
   stats->n += 1;

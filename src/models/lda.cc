@@ -50,6 +50,53 @@ void ResampleLdaDocument(stats::Rng& rng, const LdaHyper& hyper,
   doc->theta = stats::SampleDirichlet(rng, conc);
 }
 
+void LdaDocSampler::Prepare(const LdaHyper& hyper, const LdaParams& params,
+                            std::size_t expected_tokens) {
+  hyper_ = hyper;
+  phi_.Prepare(params.phi, expected_tokens);
+}
+
+void LdaDocSampler::Resample(stats::Rng& rng, LdaDocument* doc,
+                             LdaCounts* counts) {
+  const std::size_t t_count = hyper_.topics;
+  double* cum = cat_.Ensure(t_count);
+  doc_topic_counts_.assign(t_count, 0.0);
+  const double* theta = doc->theta.data();
+  const bool tr = phi_.transposed();
+  const double* const* rows = tr ? nullptr : phi_.RowPointers();
+  for (std::size_t pos = 0; pos < doc->words.size(); ++pos) {
+    std::uint32_t word = doc->words[pos];
+    // Fused weight + prefix-sum pass; additions in topic order, so the
+    // total and scan match the reference two-pass code bit-for-bit.
+    double acc = 0;
+    if (tr) {
+      const double* col = phi_.Column(word);
+      for (std::size_t t = 0; t < t_count; ++t) {
+        acc += theta[t] * col[t];
+        cum[t] = acc;
+      }
+    } else {
+      for (std::size_t t = 0; t < t_count; ++t) {
+        acc += theta[t] * rows[t][word];
+        cum[t] = acc;
+      }
+    }
+    std::size_t z = acc > 0
+                        ? kernels::SampleFromCumulative(rng, cum, t_count)
+                        : rng.NextBounded(t_count);
+    doc->topics[pos] = static_cast<std::uint8_t>(z);
+    doc_topic_counts_[z] += 1;
+    if (counts != nullptr) counts->g[z][word] += 1;
+  }
+  // theta_j ~ Dirichlet(alpha + f(j, .)), drawn in place.
+  conc_.resize(t_count);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    conc_[t] = doc_topic_counts_[t] + hyper_.alpha;
+  }
+  if (doc->theta.size() != t_count) doc->theta = Vector(t_count);
+  stats::SampleDirichlet(rng, conc_.data(), t_count, doc->theta.data());
+}
+
 LdaParams SampleLdaPosterior(stats::Rng& rng, const LdaHyper& hyper,
                              const LdaCounts& counts) {
   MLBENCH_CHECK(counts.g.size() == hyper.topics);

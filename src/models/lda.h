@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/categorical.h"
+#include "kernels/emission.h"
 #include "linalg/vector.h"
 #include "stats/rng.h"
 
@@ -62,10 +64,31 @@ void InitLdaDocument(stats::Rng& rng, const LdaHyper& hyper,
 
 /// One document's Gibbs step: re-sample every z_jk given (theta_j, phi),
 /// then theta_j given the new assignments. Accumulates g(t,w) into
-/// `counts` for the global phi update.
+/// `counts` for the global phi update. Reference implementation of the
+/// fused LdaDocSampler below; kept as the parity baseline.
 void ResampleLdaDocument(stats::Rng& rng, const LdaHyper& hyper,
                          const LdaParams& params, LdaDocument* doc,
                          LdaCounts* counts);
+
+/// Per-iteration document sampler on the fused kernels: Prepare() once per
+/// phi draw (caching phi transposed or via row pointers, by expected token
+/// volume), then Resample per document with reusable buffers and no
+/// per-document allocation. Draws (topics and theta) are bit-identical to
+/// ResampleLdaDocument.
+class LdaDocSampler {
+ public:
+  void Prepare(const LdaHyper& hyper, const LdaParams& params,
+               std::size_t expected_tokens);
+
+  void Resample(stats::Rng& rng, LdaDocument* doc, LdaCounts* counts);
+
+ private:
+  LdaHyper hyper_;
+  kernels::EmissionTable phi_;
+  kernels::CategoricalScratch cat_;
+  std::vector<double> doc_topic_counts_;
+  std::vector<double> conc_;
+};
 
 /// phi_t ~ Dirichlet(beta + g(t, .)).
 LdaParams SampleLdaPosterior(stats::Rng& rng, const LdaHyper& hyper,

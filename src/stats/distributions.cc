@@ -56,7 +56,26 @@ double SampleInverseGamma(Rng& rng, double shape, double rate) {
 double SampleBeta(Rng& rng, double a, double b) {
   double x = SampleGamma(rng, a, 1.0);
   double y = SampleGamma(rng, b, 1.0);
-  return x / (x + y);
+  if (x + y > 0.0) return x / (x + y);
+  // Both Gamma draws underflowed to zero (tiny shapes): redo the draw in
+  // log space. For shape < 1 the sampler computes G_shape as
+  // G_{shape+1} * U^{1/shape}, so log G_shape = log G_{shape+1} +
+  // log(U)/shape stays finite where the linear-space product flushes to
+  // zero.
+  auto log_gamma_draw = [&rng](double shape) {
+    double u;
+    do {
+      u = rng.NextDouble();
+    } while (u <= 0.0);
+    double boosted = shape < 1.0 ? shape + 1.0 : shape;
+    double lg = std::log(SampleGamma(rng, boosted, 1.0));
+    if (shape < 1.0) lg += std::log(u) / shape;
+    return lg;
+  };
+  double lx = log_gamma_draw(a);
+  double ly = log_gamma_draw(b);
+  // x / (x + y) = 1 / (1 + exp(ly - lx)), stable at both extremes.
+  return 1.0 / (1.0 + std::exp(ly - lx));
 }
 
 double SampleExponential(Rng& rng, double rate) {
@@ -111,10 +130,15 @@ std::vector<std::uint64_t> SampleMultinomial(Rng& rng,
   return counts;
 }
 
-AliasTable::AliasTable(const std::vector<double>& weights)
-    : prob_(weights.size()), alias_(weights.size(), 0) {
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  Rebuild(weights);
+}
+
+void AliasTable::Rebuild(const std::vector<double>& weights) {
   const std::size_t n = weights.size();
   MLBENCH_CHECK(n > 0);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
   double total = 0;
   for (double w : weights) {
     MLBENCH_CHECK_MSG(w >= 0, "alias weights must be non-negative");
@@ -122,30 +146,45 @@ AliasTable::AliasTable(const std::vector<double>& weights)
   }
   MLBENCH_CHECK_MSG(total > 0, "alias weights must have positive sum");
 
-  std::vector<double> scaled(n);
-  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+  scaled_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scaled_[i] = weights[i] * n / total;
 
-  std::vector<std::uint32_t> small, large;
+  small_.clear();
+  large_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    (scaled_[i] < 1.0 ? small_ : large_)
+        .push_back(static_cast<std::uint32_t>(i));
   }
-  while (!small.empty() && !large.empty()) {
-    std::uint32_t s = small.back();
-    small.pop_back();
-    std::uint32_t l = large.back();
-    large.pop_back();
-    prob_[s] = scaled[s];
+  while (!small_.empty() && !large_.empty()) {
+    std::uint32_t s = small_.back();
+    small_.pop_back();
+    std::uint32_t l = large_.back();
+    large_.pop_back();
+    prob_[s] = scaled_[s];
     alias_[s] = l;
-    scaled[l] = scaled[l] + scaled[s] - 1.0;
-    (scaled[l] < 1.0 ? small : large).push_back(l);
+    scaled_[l] = scaled_[l] + scaled_[s] - 1.0;
+    (scaled_[l] < 1.0 ? small_ : large_).push_back(l);
   }
-  for (std::uint32_t i : large) prob_[i] = 1.0;
-  for (std::uint32_t i : small) prob_[i] = 1.0;
+  for (std::uint32_t i : large_) prob_[i] = 1.0;
+  for (std::uint32_t i : small_) prob_[i] = 1.0;
 }
 
 std::size_t AliasTable::Sample(Rng& rng) const {
   std::size_t i = rng.NextBounded(prob_.size());
   return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+void AliasTable::SampleBatch(Rng& rng, std::uint32_t* out,
+                             std::size_t n) const {
+  const std::size_t size = prob_.size();
+  const double* prob = prob_.data();
+  const std::uint32_t* alias = alias_.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t i = rng.NextBounded(size);
+    out[j] = rng.NextDouble() < prob[i]
+                 ? static_cast<std::uint32_t>(i)
+                 : alias[i];
+  }
 }
 
 std::vector<double> ZipfWeights(std::size_t n, double s) {
@@ -158,19 +197,25 @@ std::vector<double> ZipfWeights(std::size_t n, double s) {
 
 Vector SampleDirichlet(Rng& rng, const Vector& alpha) {
   Vector g(alpha.size());
+  SampleDirichlet(rng, alpha.data(), alpha.size(), g.data());
+  return g;
+}
+
+void SampleDirichlet(Rng& rng, const double* alpha, std::size_t n,
+                     double* out) {
   double sum = 0;
-  for (std::size_t i = 0; i < alpha.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     MLBENCH_CHECK_MSG(alpha[i] > 0, "Dirichlet concentration must be > 0");
-    g[i] = SampleGamma(rng, alpha[i], 1.0);
-    sum += g[i];
+    out[i] = SampleGamma(rng, alpha[i], 1.0);
+    sum += out[i];
   }
   if (sum <= 0) {
     // Degenerate underflow: fall back to uniform.
-    g.Fill(1.0 / static_cast<double>(alpha.size()));
-    return g;
+    double u = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = u;
+    return;
   }
-  g /= sum;
-  return g;
+  for (std::size_t i = 0; i < n; ++i) out[i] /= sum;
 }
 
 Result<Vector> SampleMultivariateNormal(Rng& rng, const Vector& mean,

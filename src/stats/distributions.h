@@ -73,14 +73,24 @@ class AliasTable {
   /// Builds the table; weights must be non-negative with positive sum.
   explicit AliasTable(const std::vector<double>& weights);
 
+  /// Rebuilds the table for a new weight vector, reusing the existing
+  /// buffers (no steady-state allocation once capacities have grown).
+  void Rebuild(const std::vector<double>& weights);
+
   /// Draws an index in [0, size()).
   std::size_t Sample(Rng& rng) const;
+
+  /// Draws `n` indices into out[0..n), identical to n Sample() calls.
+  void SampleBatch(Rng& rng, std::uint32_t* out, std::size_t n) const;
 
   std::size_t size() const { return prob_.size(); }
 
  private:
   std::vector<double> prob_;
   std::vector<std::uint32_t> alias_;
+  // Rebuild worklists, kept as members so refills are allocation-free.
+  std::vector<double> scaled_;
+  std::vector<std::uint32_t> small_, large_;
 };
 
 /// Zipf(s) weights over [1, n]: w_k proportional to k^-s.
@@ -92,6 +102,12 @@ std::vector<double> ZipfWeights(std::size_t n, double s);
 
 /// Dirichlet(alpha) draw; every alpha[i] must be > 0.
 Vector SampleDirichlet(Rng& rng, const Vector& alpha);
+
+/// In-place Dirichlet(alpha) draw into out[0..n): the same draw sequence
+/// and values as the Vector overload, without allocating. `alpha` and
+/// `out` may alias.
+void SampleDirichlet(Rng& rng, const double* alpha, std::size_t n,
+                     double* out);
 
 /// Multivariate Normal(mean, cov) draw; cov must be SPD.
 Result<Vector> SampleMultivariateNormal(Rng& rng, const Vector& mean,

@@ -105,6 +105,39 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+TEST(BetaTest, TinyShapesNeverUnderflowToNaN) {
+  // Regression: with shapes this small both Gamma draws underflow to 0 in
+  // linear space, making x / (x + y) = 0/0 = NaN before the log-space
+  // fallback existed.
+  Rng rng(71);
+  for (auto [a, b] : {std::pair<double, double>{1e-4, 1e-4},
+                      {1e-6, 1e-3},
+                      {1e-3, 1e-6},
+                      {1e-5, 2.0},
+                      {2.0, 1e-5}}) {
+    for (int i = 0; i < 2000; ++i) {
+      double v = SampleBeta(rng, a, b);
+      ASSERT_TRUE(std::isfinite(v)) << "a=" << a << " b=" << b;
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(BetaTest, SkewMatchesTinyShapeRatio) {
+  // Beta(a, b) with a << b should put nearly all mass near 0 and
+  // vice versa; the log-space fallback must preserve the direction.
+  Rng rng(72);
+  double mean_small_a = 0, mean_small_b = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    mean_small_a += SampleBeta(rng, 1e-4, 1.0) / n;
+    mean_small_b += SampleBeta(rng, 1.0, 1e-4) / n;
+  }
+  EXPECT_LT(mean_small_a, 0.05);
+  EXPECT_GT(mean_small_b, 0.95);
+}
+
 TEST(CategoricalTest, FrequenciesMatchWeights) {
   Rng rng(5);
   linalg::Vector w{1.0, 2.0, 3.0, 4.0};
