@@ -1,0 +1,303 @@
+// Microbenchmarks for the columnar relational engine: each Rel operator on
+// the row engine (_Naive) against the same operator on ColumnBatch
+// (_Kernel), plus whole-driver runs of the five reldb models under both
+// engines. The engines are bit-identical in results and simulated charges
+// (see tests/reldb_columnar_test.cc); these pairs measure the host-side
+// wall time only. Writes BENCH_reldb.json with per-pair speedups via
+// bench_json.h.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "bench_json.h"
+#include "core/gmm_reldb.h"
+#include "core/hmm_reldb.h"
+#include "core/lasso_reldb.h"
+#include "core/lda_reldb.h"
+#include "reldb/database.h"
+#include "reldb/rel.h"
+#include "sim/cluster_sim.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace mlbench;
+using reldb::AggOp;
+using reldb::AsDouble;
+using reldb::ColExpr;
+using reldb::Database;
+using reldb::Rel;
+using reldb::Schema;
+using reldb::Table;
+using reldb::Tuple;
+
+/// Forces the engine for the duration of one benchmark body.
+class EngineGuard {
+ public:
+  explicit EngineGuard(bool columnar)
+      : saved_(Database::DefaultColumnar()) {
+    Database::SetDefaultColumnar(columnar);
+  }
+  ~EngineGuard() { Database::SetDefaultColumnar(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Operator pairs: n-row data table, 1/8th-n-row dimension table
+// ---------------------------------------------------------------------------
+
+struct OpBench {
+  sim::ClusterSim sim;
+  Database db;
+
+  OpBench(bool columnar, std::int64_t n)
+      : sim(sim::Ec2M2XLargeCluster(5)), db(&sim, sim::RelDbCosts{}, 42) {
+    db.set_columnar(columnar);
+    Table data(Schema{"data_id", "dim_id", "data_val"}, 1e6);
+    data.Reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      data.Append(Tuple{i / 8, i % 8, 0.25 * static_cast<double>(i % 997)});
+    }
+    db.Put("data", std::move(data));
+    Table members(Schema{"data_id", "clus_id"}, 1e6);
+    members.Reserve(static_cast<std::size_t>(n / 8));
+    for (std::int64_t i = 0; i < n / 8; ++i) {
+      members.Append(Tuple{i, i % 10});
+    }
+    db.Put("members", std::move(members));
+    // Convert outside the timed region: stored batches are built once and
+    // cached for the run, as in the drivers.
+    if (columnar) {
+      db.GetColumnar("data");
+      db.GetColumnar("members");
+    }
+  }
+};
+
+template <typename PlanFn>
+void OperatorBench(benchmark::State& state, bool columnar, PlanFn plan) {
+  OpBench b(columnar, state.range(0));
+  for (auto _ : state) {
+    b.db.BeginQuery("bench");
+    benchmark::DoNotOptimize(plan(b.db).table().actual_rows());
+    b.db.EndQuery();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_RelFilterIntIn_Naive(benchmark::State& state) {
+  OperatorBench(state, false, [](Database& db) {
+    return Rel::Scan(db, "data").FilterIntIn("dim_id", {0, 3});
+  });
+}
+BENCHMARK(BM_RelFilterIntIn_Naive)->Arg(1 << 16);
+
+void BM_RelFilterIntIn_Kernel(benchmark::State& state) {
+  OperatorBench(state, true, [](Database& db) {
+    return Rel::Scan(db, "data").FilterIntIn("dim_id", {0, 3});
+  });
+}
+BENCHMARK(BM_RelFilterIntIn_Kernel)->Arg(1 << 16);
+
+void BM_RelProjectExprs_Naive(benchmark::State& state) {
+  OperatorBench(state, false, [](Database& db) {
+    return Rel::Scan(db, "data").Project(
+        Schema{"data_id", "tag", "sq"},
+        {ColExpr::Col(0), ColExpr::Const(std::int64_t{1}),
+         ColExpr::Fn([](const Tuple& t) {
+           return AsDouble(t[2]) * AsDouble(t[2]);
+         })});
+  });
+}
+BENCHMARK(BM_RelProjectExprs_Naive)->Arg(1 << 16);
+
+void BM_RelProjectExprs_Kernel(benchmark::State& state) {
+  OperatorBench(state, true, [](Database& db) {
+    return Rel::Scan(db, "data").Project(
+        Schema{"data_id", "tag", "sq"},
+        {ColExpr::Col(0), ColExpr::Const(std::int64_t{1}),
+         ColExpr::Fn([](const Tuple& t) {
+           return AsDouble(t[2]) * AsDouble(t[2]);
+         })});
+  });
+}
+BENCHMARK(BM_RelProjectExprs_Kernel)->Arg(1 << 16);
+
+void BM_RelHashJoin_Naive(benchmark::State& state) {
+  OperatorBench(state, false, [](Database& db) {
+    return Rel::Scan(db, "data").HashJoin(Rel::Scan(db, "members"),
+                                          {"data_id"}, {"data_id"}, 1e6);
+  });
+}
+BENCHMARK(BM_RelHashJoin_Naive)->Arg(1 << 16);
+
+void BM_RelHashJoin_Kernel(benchmark::State& state) {
+  OperatorBench(state, true, [](Database& db) {
+    return Rel::Scan(db, "data").HashJoin(Rel::Scan(db, "members"),
+                                          {"data_id"}, {"data_id"}, 1e6);
+  });
+}
+BENCHMARK(BM_RelHashJoin_Kernel)->Arg(1 << 16);
+
+void BM_RelGroupBy_Naive(benchmark::State& state) {
+  OperatorBench(state, false, [](Database& db) {
+    return Rel::Scan(db, "data").GroupBy(
+        {"data_id"}, {{AggOp::kSum, "data_val", "s"}, {AggOp::kCount, "", "n"}},
+        1.0);
+  });
+}
+BENCHMARK(BM_RelGroupBy_Naive)->Arg(1 << 16);
+
+void BM_RelGroupBy_Kernel(benchmark::State& state) {
+  OperatorBench(state, true, [](Database& db) {
+    return Rel::Scan(db, "data").GroupBy(
+        {"data_id"}, {{AggOp::kSum, "data_val", "s"}, {AggOp::kCount, "", "n"}},
+        1.0);
+  });
+}
+BENCHMARK(BM_RelGroupBy_Kernel)->Arg(1 << 16);
+
+// ---------------------------------------------------------------------------
+// Whole-driver pairs: the five reldb models, relational-work-heavy configs
+// ---------------------------------------------------------------------------
+
+core::GmmExperiment BenchGmm(bool imputation) {
+  core::GmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.dim = 8;
+  exp.k = 4;
+  exp.config.data.logical_per_machine = 1e6;
+  exp.config.data.actual_per_machine = 500;
+  exp.config.seed = 77;
+  exp.imputation = imputation;
+  return exp;
+}
+
+template <typename RunFn>
+void DriverBench(benchmark::State& state, bool columnar, int iterations,
+                 RunFn run) {
+  EngineGuard guard(columnar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run());
+  }
+  state.SetItemsProcessed(state.iterations() * iterations);
+}
+
+void BM_GmmRelDb_Naive(benchmark::State& state) {
+  auto exp = BenchGmm(false);
+  DriverBench(state, false, exp.config.iterations,
+              [&] { return core::RunGmmRelDb(exp).ok(); });
+}
+BENCHMARK(BM_GmmRelDb_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_GmmRelDb_Kernel(benchmark::State& state) {
+  auto exp = BenchGmm(false);
+  DriverBench(state, true, exp.config.iterations,
+              [&] { return core::RunGmmRelDb(exp).ok(); });
+}
+BENCHMARK(BM_GmmRelDb_Kernel)->Unit(benchmark::kMillisecond);
+
+void BM_ImputationRelDb_Naive(benchmark::State& state) {
+  auto exp = BenchGmm(true);
+  DriverBench(state, false, exp.config.iterations,
+              [&] { return core::RunGmmRelDb(exp).ok(); });
+}
+BENCHMARK(BM_ImputationRelDb_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_ImputationRelDb_Kernel(benchmark::State& state) {
+  auto exp = BenchGmm(true);
+  DriverBench(state, true, exp.config.iterations,
+              [&] { return core::RunGmmRelDb(exp).ok(); });
+}
+BENCHMARK(BM_ImputationRelDb_Kernel)->Unit(benchmark::kMillisecond);
+
+core::HmmExperiment BenchHmm() {
+  core::HmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.states = 4;
+  exp.vocab = 300;
+  exp.mean_doc_len = 40;
+  exp.granularity = core::TextGranularity::kWord;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 50;
+  exp.config.seed = 19;
+  return exp;
+}
+
+void BM_HmmRelDb_Naive(benchmark::State& state) {
+  auto exp = BenchHmm();
+  DriverBench(state, false, exp.config.iterations,
+              [&] { return core::RunHmmRelDb(exp).ok(); });
+}
+BENCHMARK(BM_HmmRelDb_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_HmmRelDb_Kernel(benchmark::State& state) {
+  auto exp = BenchHmm();
+  DriverBench(state, true, exp.config.iterations,
+              [&] { return core::RunHmmRelDb(exp).ok(); });
+}
+BENCHMARK(BM_HmmRelDb_Kernel)->Unit(benchmark::kMillisecond);
+
+core::LdaExperiment BenchLda() {
+  core::LdaExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.topics = 4;
+  exp.vocab = 300;
+  exp.mean_doc_len = 40;
+  exp.granularity = core::TextGranularity::kWord;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 50;
+  exp.config.seed = 31;
+  return exp;
+}
+
+void BM_LdaRelDb_Naive(benchmark::State& state) {
+  auto exp = BenchLda();
+  DriverBench(state, false, exp.config.iterations,
+              [&] { return core::RunLdaRelDb(exp).ok(); });
+}
+BENCHMARK(BM_LdaRelDb_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_LdaRelDb_Kernel(benchmark::State& state) {
+  auto exp = BenchLda();
+  DriverBench(state, true, exp.config.iterations,
+              [&] { return core::RunLdaRelDb(exp).ok(); });
+}
+BENCHMARK(BM_LdaRelDb_Kernel)->Unit(benchmark::kMillisecond);
+
+core::LassoExperiment BenchLasso() {
+  core::LassoExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 8;
+  exp.p = 32;
+  exp.config.data.actual_per_machine = 400;
+  exp.config.seed = 7;
+  return exp;
+}
+
+void BM_LassoRelDb_Naive(benchmark::State& state) {
+  auto exp = BenchLasso();
+  DriverBench(state, false, exp.config.iterations,
+              [&] { return core::RunLassoRelDb(exp).ok(); });
+}
+BENCHMARK(BM_LassoRelDb_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_LassoRelDb_Kernel(benchmark::State& state) {
+  auto exp = BenchLasso();
+  DriverBench(state, true, exp.config.iterations,
+              [&] { return core::RunLassoRelDb(exp).ok(); });
+}
+BENCHMARK(BM_LassoRelDb_Kernel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mlbench::bench::RunWithJson(argc, argv, "BENCH_reldb.json");
+}

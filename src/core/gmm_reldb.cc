@@ -42,16 +42,19 @@ class MembershipVg : public reldb::VgFunction {
         params_(params) {}
   std::string name() const override { return "multinomial_membership"; }
   Schema output_schema() const override { return {"data_id", "clus_id"}; }
+  void BindSchema(const Schema& schema) override {
+    id_c_ = schema.IndexOf("data_id");
+    dim_c_ = schema.IndexOf("dim_id");
+    val_c_ = schema.IndexOf("data_val");
+  }
   void Sample(const std::vector<Tuple>& params, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t id_c = schema.IndexOf("data_id");
-    std::size_t dim_c = schema.IndexOf("dim_id");
-    std::size_t val_c = schema.IndexOf("data_val");
+    (void)schema;
     Vector x(dim_);
     for (const auto& row : params) {
-      x[static_cast<std::size_t>(AsInt(row[dim_c]))] = AsDouble(row[val_c]);
+      x[static_cast<std::size_t>(AsInt(row[dim_c_]))] = AsDouble(row[val_c_]);
     }
-    auto id = static_cast<std::size_t>(AsInt(params[0][id_c]));
+    auto id = static_cast<std::size_t>(AsInt(params[0][id_c_]));
     if (censored_ != nullptr) x = (*censored_)[id].x;
     std::size_t k = sampler_->Sample(rng, x, &scratch_);
     if (censored_ != nullptr && params_ != nullptr) {
@@ -62,7 +65,7 @@ class MembershipVg : public reldb::VgFunction {
                                         &(*censored_)[id]);
       (void)st;
     }
-    out->push_back(Tuple{params[0][id_c], static_cast<std::int64_t>(k)});
+    out->push_back(Tuple{params[0][id_c_], static_cast<std::int64_t>(k)});
   }
 
  private:
@@ -70,6 +73,7 @@ class MembershipVg : public reldb::VgFunction {
   std::size_t dim_;
   std::vector<models::CensoredPoint>* censored_;
   const GmmParams* params_;
+  std::size_t id_c_ = 0, dim_c_ = 0, val_c_ = 0;
   // VG functions are invoked serially (VgApply loops over groups on one
   // thread), so per-object scratch is safe.
   models::GmmMembershipSampler::Scratch scratch_;
@@ -90,19 +94,22 @@ class ClusterPosteriorVg : public reldb::VgFunction {
   Schema output_schema() const override {
     return {"clus_id", "kind", "d1", "d2", "val"};
   }
+  void BindSchema(const Schema& schema) override {
+    kind_c_ = schema.IndexOf("kind");
+    d1_c_ = schema.IndexOf("d1");
+    d2_c_ = schema.IndexOf("d2");
+    val_c_ = schema.IndexOf("val");
+    clus_c_ = schema.IndexOf("clus_id");
+  }
   void Sample(const std::vector<Tuple>& params, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t kind_c = schema.IndexOf("kind");
-    std::size_t d1_c = schema.IndexOf("d1");
-    std::size_t d2_c = schema.IndexOf("d2");
-    std::size_t val_c = schema.IndexOf("val");
-    std::size_t clus_c = schema.IndexOf("clus_id");
+    (void)schema;
     GmmSuffStats stats(hyper_.dim);
     for (const auto& row : params) {
-      std::int64_t kind = AsInt(row[kind_c]);
-      auto d1 = static_cast<std::size_t>(AsInt(row[d1_c]));
-      auto d2 = static_cast<std::size_t>(AsInt(row[d2_c]));
-      double v = AsDouble(row[val_c]);
+      std::int64_t kind = AsInt(row[kind_c_]);
+      auto d1 = static_cast<std::size_t>(AsInt(row[d1_c_]));
+      auto d2 = static_cast<std::size_t>(AsInt(row[d2_c_]));
+      double v = AsDouble(row[val_c_]);
       if (kind == 0) {
         stats.sum_x[d1] += v;
       } else if (kind == 1) {
@@ -115,13 +122,13 @@ class ClusterPosteriorVg : public reldb::VgFunction {
     MLBENCH_CHECK_MSG(post.ok(), post.status().ToString().c_str());
     const Tuple& any = params[0];
     for (std::size_t d = 0; d < hyper_.dim; ++d) {
-      out->push_back(Tuple{any[clus_c], std::int64_t{0},
+      out->push_back(Tuple{any[clus_c_], std::int64_t{0},
                            static_cast<std::int64_t>(d), std::int64_t{0},
                            post->first[d]});
     }
     for (std::size_t r = 0; r < hyper_.dim; ++r) {
       for (std::size_t c = 0; c < hyper_.dim; ++c) {
-        out->push_back(Tuple{any[clus_c], std::int64_t{1},
+        out->push_back(Tuple{any[clus_c_], std::int64_t{1},
                              static_cast<std::int64_t>(r),
                              static_cast<std::int64_t>(c),
                              post->second(r, c)});
@@ -132,6 +139,7 @@ class ClusterPosteriorVg : public reldb::VgFunction {
  private:
   GmmHyper hyper_;
   double count_scale_;
+  std::size_t kind_c_ = 0, d1_c_ = 0, d2_c_ = 0, val_c_ = 0, clus_c_ = 0;
 };
 
 /// Super-vertex VG: one invocation per data group; re-samples every
@@ -147,10 +155,13 @@ class SuperVertexVg : public reldb::VgFunction {
   Schema output_schema() const override {
     return {"clus_id", "kind", "d1", "d2", "val"};
   }
+  void BindSchema(const Schema& schema) override {
+    gid_c_ = schema.IndexOf("group_id");
+  }
   void Sample(const std::vector<Tuple>& params, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t gid_c = schema.IndexOf("group_id");
-    auto gid = static_cast<std::size_t>(AsInt(params[0][gid_c]));
+    (void)schema;
+    auto gid = static_cast<std::size_t>(AsInt(params[0][gid_c_]));
     std::vector<GmmSuffStats> stats(k_, GmmSuffStats(dim_));
     for (const auto& x : (*groups_)[gid]) {
       stats[sampler_->Sample(rng, x, &scratch_)].Add(x);
@@ -180,6 +191,7 @@ class SuperVertexVg : public reldb::VgFunction {
   std::shared_ptr<models::GmmMembershipSampler> sampler_;
   const std::vector<std::vector<Vector>>* groups_;
   std::size_t dim_, k_;
+  std::size_t gid_c_ = 0;
   models::GmmMembershipSampler::Scratch scratch_;
 };
 
@@ -240,6 +252,10 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
   std::vector<models::CensoredPoint> censored;
   std::vector<Vector> points;
   Table data(Schema{"data_id", "dim_id", "data_val"}, scale);
+  data.Reserve(static_cast<std::size_t>(machines) *
+               static_cast<std::size_t>(n_act) * exp.dim);
+  points.reserve(static_cast<std::size_t>(machines) *
+                 static_cast<std::size_t>(n_act));
   for (int p = 0; p < machines; ++p) {
     for (long long j = 0; j < n_act; ++j) {
       Vector x = gen.Point(p, j);
@@ -265,10 +281,10 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
       .Materialize("mean_prior");
   Rel::Scan(db, "data")
       .Project(Schema{"dim_id", "sq"},
-               [](const Tuple& t) {
-                 double v = AsDouble(t[2]);
-                 return Tuple{t[1], v * v};
-               })
+               {reldb::ColExpr::Col(1), reldb::ColExpr::Fn([](const Tuple& t) {
+                  double v = AsDouble(t[2]);
+                  return v * v;
+                })})
       .GroupBy({"dim_id"}, {{AggOp::kAvg, "sq", "sq_val"}}, 1.0)
       .Materialize("sq_prior");
   db.EndQuery();
@@ -277,6 +293,7 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
 
   // cluster(clus_id, alpha) + initial random tables.
   Table cluster(Schema{"clus_id", "alpha"}, 1.0);
+  cluster.Reserve(exp.k);
   for (std::size_t c = 0; c < exp.k; ++c) {
     cluster.Append(Tuple{static_cast<std::int64_t>(c), hyper.alpha});
   }
@@ -285,14 +302,14 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
   reldb::DirichletVg diri("clus_id", "alpha");
   Rel::Scan(db, "cluster")
       .VgApply(diri, {}, 1.0)
-      .Project(Schema{"clus_id", "prob"},
-               [](const Tuple& t) { return t; })
+      .Renamed(Schema{"clus_id", "prob"})
       .Materialize(Database::Versioned("clus_prob", 0));
   // clus_model[0] from the prior.
   stats::Rng init_rng(exp.config.seed ^ 0x51);
   auto prior = models::SamplePrior(init_rng, hyper);
   if (!prior.ok()) return RunResult::Fail(prior.status());
   Table model0(Schema{"clus_id", "kind", "d1", "d2", "val"}, 1.0);
+  model0.Reserve(exp.k * (exp.dim + exp.dim * exp.dim));
   for (std::size_t c = 0; c < exp.k; ++c) {
     for (std::size_t dd = 0; dd < exp.dim; ++dd) {
       model0.Append(Tuple{static_cast<std::int64_t>(c), std::int64_t{0},
@@ -325,6 +342,7 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
     Table gt(Schema{"group_id", "payload_bytes"},
              exp.supers_per_machine * machines /
                  static_cast<double>(supers_act));
+    gt.Reserve(supers_act);
     for (std::size_t g = 0; g < supers_act; ++g) {
       gt.Append(Tuple{static_cast<std::int64_t>(g),
                       static_cast<double>(groups[g].size()) * scale *
@@ -410,39 +428,39 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
           .GroupBy({"clus_id", "dim_id"},
                    {{AggOp::kSum, "data_val", "val"}}, 1.0)
           .Project(Schema{"clus_id", "kind", "d1", "d2", "val"},
-                   [](const Tuple& t) {
-                     return Tuple{t[0], std::int64_t{0}, t[1],
-                                  std::int64_t{0}, t[2]};
-                   })
+                   {reldb::ColExpr::Col(0), reldb::ColExpr::Const(std::int64_t{0}),
+                    reldb::ColExpr::Col(1), reldb::ColExpr::Const(std::int64_t{0}),
+                    reldb::ColExpr::Col(2)})
           .Materialize("mean_agg");
       // One counted row per *point* (the join carries d rows per point).
       joined
-          .Filter([](const Tuple& t) { return AsInt(t[1]) == 0; })
+          .FilterIntIn("dim_id", {0})
           .GroupBy({"clus_id"}, {{AggOp::kCount, "", "val"}}, 1.0)
           .Project(Schema{"clus_id", "kind", "d1", "d2", "val"},
-                   [](const Tuple& t) {
-                     return Tuple{t[0], std::int64_t{2}, std::int64_t{0},
-                                  std::int64_t{0}, t[1]};
-                   })
+                   {reldb::ColExpr::Col(0), reldb::ColExpr::Const(std::int64_t{2}),
+                    reldb::ColExpr::Const(std::int64_t{0}),
+                    reldb::ColExpr::Const(std::int64_t{0}),
+                    reldb::ColExpr::Col(1)})
           .Materialize("count_agg");
       // (x - mu)(x - mu)^T aggregation: d^2 tuples per point.
       auto pairs = joined.HashJoin(Rel::Scan(db, "data"), {"data_id"},
                                    {"data_id"}, scale,
                                    /*co_partitioned=*/true);
       // pairs schema: data_id, dim_id, data_val, clus_id, dim_id2?, ...
-      std::size_t did1 = 1, val1 = 2, clus_c = 3, did2 = 4, val2 = 5;
+      constexpr std::size_t val1 = 2, val2 = 5;
       pairs
           .Project(Schema{"clus_id", "d1", "d2", "prod"},
-                   [=](const Tuple& t) {
-                     return Tuple{t[clus_c], t[did1], t[did2],
-                                  AsDouble(t[val1]) * AsDouble(t[val2])};
-                   })
+                   {reldb::ColExpr::Col(3), reldb::ColExpr::Col(1),
+                    reldb::ColExpr::Col(4),
+                    reldb::ColExpr::Fn([](const Tuple& t) {
+                      return AsDouble(t[val1]) * AsDouble(t[val2]);
+                    })})
           .GroupBy({"clus_id", "d1", "d2"}, {{AggOp::kSum, "prod", "val"}},
                    1.0)
           .Project(Schema{"clus_id", "kind", "d1", "d2", "val"},
-                   [](const Tuple& t) {
-                     return Tuple{t[0], std::int64_t{1}, t[1], t[2], t[3]};
-                   })
+                   {reldb::ColExpr::Col(0), reldb::ColExpr::Const(std::int64_t{1}),
+                    reldb::ColExpr::Col(1), reldb::ColExpr::Col(2),
+                    reldb::ColExpr::Col(3)})
           .Materialize("outer_agg");
       db.EndQuery();
     } else {
@@ -472,8 +490,7 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
                                db.costs().materialize_byte_s);
       agg.GroupBy({"clus_id", "kind", "d1", "d2"},
                   {{AggOp::kSum, "val", "val"}}, 1.0)
-          .Project(Schema{"clus_id", "kind", "d1", "d2", "val"},
-                   [](const Tuple& t) { return t; })
+          .Renamed(Schema{"clus_id", "kind", "d1", "d2", "val"})
           .Materialize("stats_agg");
       db.EndQuery();
     }
@@ -488,11 +505,11 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
     // (their posterior is the prior draw).
     auto seeds = Rel::Scan(db, "cluster")
                      .Project(Schema{"clus_id", "kind", "d1", "d2", "val"},
-                              [](const Tuple& t) {
-                                return Tuple{t[0], std::int64_t{3},
-                                             std::int64_t{0}, std::int64_t{0},
-                                             0.0};
-                              });
+                              {reldb::ColExpr::Col(0),
+                               reldb::ColExpr::Const(std::int64_t{3}),
+                               reldb::ColExpr::Const(std::int64_t{0}),
+                               reldb::ColExpr::Const(std::int64_t{0}),
+                               reldb::ColExpr::Const(0.0)});
     Rel stats_in =
         (exp.super_vertex
              ? Rel::Scan(db, "stats_agg")
@@ -508,24 +525,19 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
     // clus_prob[i] exactly as the paper's recursive definition; seeds
     // contribute zero counts so every cluster reaches the Dirichlet.
     auto counts =
-        stats_in
-            .Filter([](const Tuple& t) {
-              auto k = AsInt(t[1]);
-              return k == 2 || k == 3;
-            })
+        stats_in.FilterIntIn("kind", {2, 3})
             .Project(Schema{"clus_id", "c"},
-                     [](const Tuple& t) { return Tuple{t[0], t[4]}; })
+                     {reldb::ColExpr::Col(0), reldb::ColExpr::Col(4)})
             .GroupBy({"clus_id"}, {{AggOp::kSum, "c", "count_num"}}, 1.0);
     reldb::DirichletVg diri_i("clus_id", "diri_para");
     counts
         .HashJoin(Rel::Scan(db, "cluster"), {"clus_id"}, {"clus_id"}, 1.0)
         .Project(Schema{"clus_id", "diri_para"},
-                 [](const Tuple& t) {
-                   return Tuple{t[0], AsDouble(t[1]) + AsDouble(t[2])};
-                 })
+                 {reldb::ColExpr::Col(0), reldb::ColExpr::Fn([](const Tuple& t) {
+                    return AsDouble(t[1]) + AsDouble(t[2]);
+                  })})
         .VgApply(diri_i, {}, 1.0)
-        .Project(Schema{"clus_id", "prob"},
-                 [](const Tuple& t) { return t; })
+        .Renamed(Schema{"clus_id", "prob"})
         .Materialize(Database::Versioned("clus_prob", i));
     db.EndQuery();
 

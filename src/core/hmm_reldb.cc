@@ -39,12 +39,15 @@ class StateVg : public reldb::VgFunction {
   Schema output_schema() const override {
     return {"doc_id", "pos", "word", "state"};
   }
+  void BindSchema(const Schema& schema) override {
+    doc_c_ = schema.IndexOf("doc_id");
+  }
   void Sample(const std::vector<Tuple>& group, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t doc_c = schema.IndexOf("doc_id");
+    (void)schema;
     // Groups are keyed by doc_id: one re-sample per document regardless of
     // how many parameter rows the plan delivered.
-    auto doc_id = static_cast<std::size_t>(AsInt(group[0][doc_c]));
+    auto doc_id = static_cast<std::size_t>(AsInt(group[0][doc_c_]));
     HmmDocument& doc = (*docs_)[doc_id];
     if (!prepared_) {
       // The VG object is rebuilt each iteration with that iteration's
@@ -67,6 +70,7 @@ class StateVg : public reldb::VgFunction {
   std::shared_ptr<HmmParams> params_;
   std::vector<HmmDocument>* docs_;
   int iteration_;
+  std::size_t doc_c_ = 0;
   // VG functions are invoked serially, so per-object scratch is safe.
   models::HmmSampler sampler_;
   bool prepared_ = false;
@@ -95,6 +99,10 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
   stats::Rng init_rng(exp.config.seed ^ 0x4A35);
   Table words(Schema{"doc_id", "pos", "word"}, word_scale);
   Table doc_ids(Schema{"doc_id"}, doc_scale);
+  words.Reserve(static_cast<std::size_t>(machines) *
+                static_cast<std::size_t>(docs_act) * exp.mean_doc_len);
+  doc_ids.Reserve(static_cast<std::size_t>(machines) *
+                  static_cast<std::size_t>(docs_act));
   for (int m = 0; m < machines; ++m) {
     for (long long j = 0; j < docs_act; ++j) {
       HmmDocument doc;
@@ -119,7 +127,7 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
   db.BeginQuery("states[0]");
   {
     Table st(Schema{"doc_id", "pos", "word", "state"}, word_scale);
-    st.rows().reserve(docs.size() * exp.mean_doc_len);
+    st.Reserve(docs.size() * exp.mean_doc_len);
     for (std::size_t d = 0; d < docs.size(); ++d) {
       for (std::size_t pos = 0; pos < docs[d].words.size(); ++pos) {
         st.Append(Tuple{static_cast<std::int64_t>(d),
@@ -135,9 +143,8 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
         rel = rel.HashJoin(Rel::Scan(db, "words"), {"doc_id", "pos"},
                            {"doc_id", "pos"}, word_scale);
         rel = rel.Project(Schema{"doc_id", "pos", "word", "state"},
-                          [](const Tuple& t) {
-                            return Tuple{t[0], t[1], t[2], t[3]};
-                          });
+                          {reldb::ColExpr::Col(0), reldb::ColExpr::Col(1),
+                           reldb::ColExpr::Col(2), reldb::ColExpr::Col(3)});
       }
     }
     rel.Materialize(Database::Versioned("states", 0));
@@ -177,16 +184,15 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
             Rel::Scan(db, Database::Versioned("states", i - 1)),
             {"doc_id", "pos"}, {"doc_id", "pos"}, word_scale);
         source = source.Project(Schema{"doc_id", "pos", "word", "state"},
-                                [](const Tuple& t) {
-                                  return Tuple{t[0], t[1], t[2], t[3]};
-                                });
+                                {reldb::ColExpr::Col(0), reldb::ColExpr::Col(1),
+                                 reldb::ColExpr::Col(2),
+                                 reldb::ColExpr::Col(3)});
       }
       source = source.HashJoin(Rel::Scan(db, "words"), {"doc_id", "pos"},
                                {"doc_id", "pos"}, word_scale);
       source = source.Project(Schema{"doc_id", "pos", "word", "state"},
-                              [](const Tuple& t) {
-                                return Tuple{t[0], t[1], t[2], t[3]};
-                              });
+                              {reldb::ColExpr::Col(0), reldb::ColExpr::Col(1),
+                               reldb::ColExpr::Col(2), reldb::ColExpr::Col(3)});
     } else if (exp.granularity == TextGranularity::kDocument) {
       // Document parameterization: one co-partitioned join links each
       // document's rows to its document entry. (The super-vertex code
@@ -196,10 +202,12 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
                                /*co_partitioned=*/true);
     }
     // The VG consumes one parameter row per document (the documents'
-    // contents are held natively) and emits word-level state tuples.
-    auto dedup = source.Filter([word_based](const Tuple& t) {
-      return word_based ? true : AsInt(t[1]) == 0;  // one row per doc
-    });
+    // contents are held natively) and emits word-level state tuples. The
+    // non-word plans dedup to one row per doc; the word plan keeps a
+    // same-cost pass-through filter (the paper's plan still scans here).
+    auto dedup = word_based
+                     ? source.Filter([](const Tuple&) { return true; })
+                     : source.FilterIntIn("pos", {0});
     // Output is one tuple per word position in every variant.
     auto states_rel = dedup.VgApply(vg, {"doc_id"}, word_scale, word_flops);
     states_rel.Materialize(Database::Versioned("states", i));
@@ -211,7 +219,7 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
     auto st_rel = Rel::Scan(db, Database::Versioned("states", i));
     st_rel.GroupBy({"state", "word"}, {{AggOp::kCount, "", "f"}}, 1.0)
         .Materialize("f_agg");
-    st_rel.Filter([](const Tuple& t) { return AsInt(t[1]) == 0; })
+    st_rel.FilterIntIn("pos", {0})
         .GroupBy({"state"}, {{AggOp::kCount, "", "g"}}, 1.0)
         .Materialize("g_agg");
     // h: adjacent-position transition counting, charged as one more

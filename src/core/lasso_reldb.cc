@@ -83,6 +83,7 @@ RunResult RunLassoRelDb(const LassoExperiment& exp,
     // point per 16 dims to bound host memory, scaling the remainder.
     const std::size_t dim_stride = exp.p >= 64 ? 16 : 1;
     data.set_scale(scale * static_cast<double>(dim_stride));
+    data.Reserve(points.size() * ((exp.p + dim_stride - 1) / dim_stride));
     for (std::size_t j = 0; j < points.size(); ++j) {
       for (std::size_t dd = 0; dd < exp.p; dd += dim_stride) {
         data.Append(Tuple{static_cast<std::int64_t>(j),
@@ -150,6 +151,7 @@ RunResult RunLassoRelDb(const LassoExperiment& exp,
     // tau[i]: one InvGaussian draw per regressor (paper's CREATE TABLE
     // tau[i] with the beta[i-1] |x| sigma[i-1] |x| prior join).
     Table beta_t(Schema{"rigid", "bet"}, 1.0);
+    beta_t.Reserve(exp.p);
     for (std::size_t j = 0; j < exp.p; ++j) {
       beta_t.Append(Tuple{static_cast<std::int64_t>(j), state->beta[j]});
     }
@@ -161,15 +163,17 @@ RunResult RunLassoRelDb(const LassoExperiment& exp,
         Rel::Scan(db, Database::Versioned("beta", i - 1))
             .HashJoin(Rel::Scan(db, "prior"), {}, {}, 1.0)
             .Project(Schema{"rigid", "mu", "lambda2"},
-                     [sigma2](const Tuple& t) {
-                       double lambda = AsDouble(t[2]);
-                       double b2 = std::max(
-                           AsDouble(t[1]) * AsDouble(t[1]), 1e-12);
-                       return Tuple{
-                           t[0],
-                           std::sqrt(lambda * lambda * sigma2 / b2),
-                           lambda * lambda};
-                     })
+                     {reldb::ColExpr::Col(0),
+                      reldb::ColExpr::Fn([sigma2](const Tuple& t) {
+                        double lambda = AsDouble(t[2]);
+                        double b2 = std::max(
+                            AsDouble(t[1]) * AsDouble(t[1]), 1e-12);
+                        return std::sqrt(lambda * lambda * sigma2 / b2);
+                      }),
+                      reldb::ColExpr::Fn([](const Tuple& t) {
+                        double lambda = AsDouble(t[2]);
+                        return lambda * lambda;
+                      })})
             .VgApply(ig_vg, {"rigid"}, 1.0, 60.0);
     tau.Materialize(Database::Versioned("tau", i));
     db.EndQuery();

@@ -36,10 +36,13 @@ class TopicVg : public reldb::VgFunction {
   Schema output_schema() const override {
     return {"doc_id", "pos", "word", "topic"};
   }
+  void BindSchema(const Schema& schema) override {
+    doc_c_ = schema.IndexOf("doc_id");
+  }
   void Sample(const std::vector<Tuple>& group, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t doc_c = schema.IndexOf("doc_id");
-    auto doc_id = static_cast<std::size_t>(AsInt(group[0][doc_c]));
+    (void)schema;
+    auto doc_id = static_cast<std::size_t>(AsInt(group[0][doc_c_]));
     LdaDocument& doc = (*docs_)[doc_id];
     if (!prepared_) {
       // The VG object is rebuilt each iteration with that iteration's
@@ -62,6 +65,7 @@ class TopicVg : public reldb::VgFunction {
   std::shared_ptr<LdaParams> params_;
   models::LdaHyper hyper_;
   std::vector<LdaDocument>* docs_;
+  std::size_t doc_c_ = 0;
   // VG functions are invoked serially, so per-object scratch is safe.
   models::LdaDocSampler sampler_;
   bool prepared_ = false;
@@ -90,6 +94,10 @@ RunResult RunLdaRelDb(const LdaExperiment& exp,
   {
     Table words(Schema{"doc_id", "pos", "word"}, word_scale);
     Table doc_ids(Schema{"doc_id"}, doc_scale);
+    words.Reserve(static_cast<std::size_t>(machines) *
+                  static_cast<std::size_t>(docs_act) * exp.mean_doc_len);
+    doc_ids.Reserve(static_cast<std::size_t>(machines) *
+                    static_cast<std::size_t>(docs_act));
     for (int m = 0; m < machines; ++m) {
       for (long long j = 0; j < docs_act; ++j) {
         LdaDocument doc;
@@ -114,6 +122,7 @@ RunResult RunLdaRelDb(const LdaExperiment& exp,
   db.BeginQuery("topics[0]");
   {
     Table st(Schema{"doc_id", "pos", "word", "topic"}, word_scale);
+    st.Reserve(docs.size() * exp.mean_doc_len);
     for (std::size_t d = 0; d < docs.size(); ++d) {
       for (std::size_t pos = 0; pos < docs[d].words.size(); ++pos) {
         st.Append(Tuple{static_cast<std::int64_t>(d),
@@ -128,9 +137,8 @@ RunResult RunLdaRelDb(const LdaExperiment& exp,
         rel = rel.HashJoin(Rel::Scan(db, "words"), {"doc_id", "pos"},
                            {"doc_id", "pos"}, word_scale);
         rel = rel.Project(Schema{"doc_id", "pos", "word", "topic"},
-                          [](const Tuple& tp) {
-                            return Tuple{tp[0], tp[1], tp[2], tp[3]};
-                          });
+                          {reldb::ColExpr::Col(0), reldb::ColExpr::Col(1),
+                           reldb::ColExpr::Col(2), reldb::ColExpr::Col(3)});
       }
     }
     rel.Materialize(Database::Versioned("topics", 0));
@@ -165,24 +173,23 @@ RunResult RunLdaRelDb(const LdaExperiment& exp,
             Rel::Scan(db, Database::Versioned("topics", i - 1)),
             {"doc_id", "pos"}, {"doc_id", "pos"}, word_scale);
         source = source.Project(Schema{"doc_id", "pos", "word", "topic"},
-                                [](const Tuple& tp) {
-                                  return Tuple{tp[0], tp[1], tp[2], tp[3]};
-                                });
+                                {reldb::ColExpr::Col(0), reldb::ColExpr::Col(1),
+                                 reldb::ColExpr::Col(2),
+                                 reldb::ColExpr::Col(3)});
       }
       source = source.HashJoin(Rel::Scan(db, "words"), {"doc_id", "pos"},
                                {"doc_id", "pos"}, word_scale);
       source = source.Project(Schema{"doc_id", "pos", "word", "topic"},
-                              [](const Tuple& tp) {
-                                return Tuple{tp[0], tp[1], tp[2], tp[3]};
-                              });
+                              {reldb::ColExpr::Col(0), reldb::ColExpr::Col(1),
+                               reldb::ColExpr::Col(2), reldb::ColExpr::Col(3)});
     } else if (exp.granularity == TextGranularity::kDocument) {
       source = source.HashJoin(Rel::Scan(db, "docs"), {"doc_id"},
                                {"doc_id"}, word_scale,
                                /*co_partitioned=*/true);
     }
-    auto dedup = source.Filter([word_based](const Tuple& tp) {
-      return word_based ? true : AsInt(tp[1]) == 0;
-    });
+    auto dedup = word_based
+                     ? source.Filter([](const Tuple&) { return true; })
+                     : source.FilterIntIn("pos", {0});
     auto topics_rel = dedup.VgApply(vg, {"doc_id"}, word_scale, word_flops);
     topics_rel.Materialize(Database::Versioned("topics", i));
     db.EndQuery();

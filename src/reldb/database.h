@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/status.h"
+#include "reldb/column_batch.h"
 #include "reldb/table.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_profile.h"
@@ -19,6 +22,13 @@
 /// MapReduce jobs (one per wide operator), tables are materialized to
 /// replicated storage between jobs, and nothing is pinned in RAM — which is
 /// why this engine can be slow but never runs out of memory.
+///
+/// Each stored table keeps up to two host representations of the same
+/// logical relation: the row form (Table) and the columnar form
+/// (ColumnBatch). The columnar engine (the default; see columnar()) scans
+/// the cached batch and never touches rows; the forms are converted lazily
+/// and the conversion is exact, so simulated charges and query results are
+/// bit-identical whichever representation executes.
 
 namespace mlbench::reldb {
 
@@ -26,11 +36,25 @@ class Database {
  public:
   Database(sim::ClusterSim* sim, sim::RelDbCosts costs = {},
            std::uint64_t seed = 1)
-      : sim_(sim), costs_(costs), rng_(seed) {}
+      : sim_(sim), costs_(costs), rng_(seed), columnar_(DefaultColumnar()) {}
 
   sim::ClusterSim& sim() { return *sim_; }
   const sim::RelDbCosts& costs() const { return costs_; }
   stats::Rng& rng() { return rng_; }
+
+  // ---- Engine selection ----------------------------------------------------
+
+  /// Process-wide default for new Database instances. Columnar execution is
+  /// on unless the MLBENCH_RELDB_ROWS environment variable forces the row
+  /// engine (the bit-identical baseline).
+  static bool DefaultColumnar() { return DefaultColumnarFlag(); }
+  static void SetDefaultColumnar(bool on) { DefaultColumnarFlag() = on; }
+
+  /// Whether Rel operators on this database run over ColumnBatch (true) or
+  /// row Tables. Either way results and charges are bit-identical; the
+  /// switch exists for the row-vs-columnar parity suite and benchmarks.
+  bool columnar() const { return columnar_; }
+  void set_columnar(bool on) { columnar_ = on; }
 
   /// Bytes of one materialized tuple with `cols` columns.
   double TupleBytes(std::size_t cols) const {
@@ -41,17 +65,48 @@ class Database {
     return tables_.contains(name);
   }
 
-  /// Registers (or replaces) a stored table.
+  /// Registers (or replaces) a stored table from its row form.
   void Put(const std::string& name, Table table) {
-    tables_[name] = std::make_shared<Table>(std::move(table));
+    tables_[name] =
+        StoredTable{std::make_shared<Table>(std::move(table)), nullptr, false};
   }
 
-  /// Fetches a stored table; the table must exist.
-  std::shared_ptr<Table> Get(const std::string& name) const {
-    auto it = tables_.find(name);
-    MLBENCH_CHECK_MSG(it != tables_.end(),
-                      ("no such table: " + name).c_str());
-    return it->second;
+  /// Registers (or replaces) a stored table from its columnar form; the row
+  /// form (if supplied) is kept so a later Get needs no conversion.
+  void PutBatch(const std::string& name,
+                std::shared_ptr<const ColumnBatch> cols,
+                std::shared_ptr<Table> rows = nullptr) {
+    tables_[name] = StoredTable{std::move(rows), std::move(cols), false};
+  }
+
+  /// Fetches a stored table's row form; the table must exist. The caller
+  /// may mutate the rows in place (the imputation driver rewrites stored
+  /// values), so any cached columnar form is dropped here and rebuilt from
+  /// the rows on the next columnar scan.
+  std::shared_ptr<Table> Get(const std::string& name) {
+    StoredTable& st = Lookup(name);
+    if (st.rows == nullptr) {
+      st.rows = std::make_shared<Table>(st.cols->ToTable());
+    }
+    st.cols = nullptr;
+    st.cols_failed = false;
+    return st.rows;
+  }
+
+  /// Fetches (converting and caching if needed) a stored table's columnar
+  /// form. Returns nullptr when the table cannot be typed (a column mixes
+  /// int and double values) — the caller must stay on the row path.
+  std::shared_ptr<const ColumnBatch> GetColumnar(const std::string& name) {
+    StoredTable& st = Lookup(name);
+    if (st.cols == nullptr && !st.cols_failed) {
+      auto batch = ColumnBatch::FromTable(*st.rows);
+      if (batch.has_value()) {
+        st.cols = std::make_shared<const ColumnBatch>(std::move(*batch));
+      } else {
+        st.cols_failed = true;
+      }
+    }
+    return st.cols;
   }
 
   void Drop(const std::string& name) { tables_.erase(name); }
@@ -89,10 +144,32 @@ class Database {
   double EndQuery() { return sim_->EndPhase(); }
 
  private:
+  /// One stored relation in up to two host forms. Invariant: at least one
+  /// of rows/cols is non-null; cols_failed records that a conversion from
+  /// the current rows was attempted and the table is type-mixed.
+  struct StoredTable {
+    std::shared_ptr<Table> rows;
+    std::shared_ptr<const ColumnBatch> cols;
+    bool cols_failed = false;
+  };
+
+  StoredTable& Lookup(const std::string& name) {
+    auto it = tables_.find(name);
+    MLBENCH_CHECK_MSG(it != tables_.end(),
+                      ("no such table: " + name).c_str());
+    return it->second;
+  }
+
+  static bool& DefaultColumnarFlag() {
+    static bool flag = std::getenv("MLBENCH_RELDB_ROWS") == nullptr;
+    return flag;
+  }
+
   sim::ClusterSim* sim_;
   sim::RelDbCosts costs_;
   stats::Rng rng_;
-  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+  bool columnar_;
+  std::unordered_map<std::string, StoredTable> tables_;
 };
 
 }  // namespace mlbench::reldb

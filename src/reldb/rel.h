@@ -3,8 +3,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "reldb/column_batch.h"
 #include "reldb/database.h"
 #include "reldb/table.h"
 #include "reldb/vg_function.h"
@@ -18,6 +20,19 @@
 /// extra MapReduce job for every wide operator (join / group-by), and
 /// storage I/O for every materialization boundary — the cost structure of
 /// SimSQL-on-Hadoop the paper measures.
+///
+/// Host execution has two interchangeable engines. The row engine walks
+/// vector<Tuple> directly; the columnar engine (default, see
+/// Database::columnar()) runs the same operators over ColumnBatch — typed
+/// contiguous arrays, selection-vector filters, index-gather projects, and
+/// join/group-by hash tables keyed on packed fixed-width integers. Both
+/// engines charge the simulator from logical row counts and schema widths
+/// only (never from the host representation), commit host-parallel chunks
+/// in chunk-index order, and invoke VG functions serially in first-seen
+/// group order against the shared RNG stream — so results, draw streams
+/// and simulated charges are bit-identical between engines and across
+/// MLBENCH_THREADS settings. A relation whose column mixes int and double
+/// values cannot be typed; those operators fall back to the row engine.
 ///
 /// Usage follows the SQL structure of the paper's codes:
 ///
@@ -41,6 +56,35 @@ struct Agg {
   std::string out_name;  ///< output column name
 };
 
+/// One output column of a structured Project: a passthrough of an input
+/// column, a constant, or a computed double expression. Structured projects
+/// let the columnar engine share passthrough columns zero-copy and fill
+/// constant/computed columns without touching row storage; the row engine
+/// evaluates them per row with identical results.
+struct ColExpr {
+  int src = -1;           ///< passthrough input column (when >= 0)
+  bool is_const = false;  ///< emit `constant` for every row
+  Value constant = std::int64_t{0};
+  std::function<double(const Tuple&)> fn;  ///< computed double column
+
+  static ColExpr Col(std::size_t idx) {
+    ColExpr e;
+    e.src = static_cast<int>(idx);
+    return e;
+  }
+  static ColExpr Const(Value v) {
+    ColExpr e;
+    e.is_const = true;
+    e.constant = v;
+    return e;
+  }
+  static ColExpr Fn(std::function<double(const Tuple&)> f) {
+    ColExpr e;
+    e.fn = std::move(f);
+    return e;
+  }
+};
+
 class Rel {
  public:
   /// Reads a stored table, charging the storage scan.
@@ -49,17 +93,40 @@ class Rel {
   /// Wraps a freshly built in-flight table without a read charge.
   static Rel FromTable(Database& db, Table table);
 
-  const Table& table() const { return *table_; }
-  const Schema& schema() const { return table_->schema(); }
-  double scale() const { return table_->scale(); }
-  double logical_rows() const { return table_->logical_rows(); }
+  /// Row form of this relation (materialized from the columnar form on
+  /// first use, then cached).
+  const Table& table() const { return *EnsureTable(); }
+
+  const Schema& schema() const {
+    return batch_ ? batch_->schema() : table_->schema();
+  }
+  double scale() const { return batch_ ? batch_->scale() : table_->scale(); }
+  double logical_rows() const {
+    return batch_ ? batch_->logical_rows() : table_->logical_rows();
+  }
+  /// True when this relation currently holds a columnar batch (parity
+  /// tests assert the columnar engine actually engaged).
+  bool columnar() const { return batch_ != nullptr; }
 
   /// Keeps rows satisfying `pred` (narrow, pipelined).
   Rel Filter(const std::function<bool(const Tuple&)>& pred) const;
 
+  /// Keeps rows whose integer column `col` is one of `values`. Same
+  /// semantics and charges as Filter with an AsInt membership predicate,
+  /// but the columnar engine scans the typed array directly.
+  Rel FilterIntIn(const std::string& col,
+                  const std::vector<std::int64_t>& values) const;
+
   /// Rewrites every row through `fn` into `out_schema` (narrow, pipelined).
   Rel Project(Schema out_schema,
               const std::function<Tuple(const Tuple&)>& fn) const;
+
+  /// Structured project: one ColExpr per output column (narrow, pipelined).
+  Rel Project(Schema out_schema, const std::vector<ColExpr>& exprs) const;
+
+  /// Renames columns without touching data (an identity Project; same
+  /// charges). The columnar engine shares all column storage zero-copy.
+  Rel Renamed(Schema out_schema) const;
 
   /// Hash equi-join. Output columns are the left schema followed by the
   /// right schema's non-key columns. `out_scale` gives the logical rows
@@ -91,6 +158,19 @@ class Rel {
 
  private:
   Rel(Database* db, std::shared_ptr<Table> t) : db_(db), table_(std::move(t)) {}
+  Rel(Database* db, std::shared_ptr<const ColumnBatch> b)
+      : db_(db), batch_(std::move(b)) {}
+
+  /// Lazily materializes (and caches) the row form.
+  const Table* EnsureTable() const;
+  /// Lazily converts (and caches) the columnar form; false when a column
+  /// mixes value types (the failure is cached too).
+  bool EnsureBatch() const;
+  /// Whether this operator invocation should run columnar.
+  bool UseColumnar() const { return db_->columnar() && EnsureBatch(); }
+
+  /// Row-engine filter body shared by Filter and fallbacks (no charges).
+  Rel RowFilter(const std::function<bool(const Tuple&)>& pred) const;
 
   /// Charges per-tuple CPU across the cluster for `logical` tuples.
   void ChargeTuples(double logical, double per_tuple_s) const;
@@ -99,12 +179,17 @@ class Rel {
   /// Charges a shuffle of `bytes` logical bytes across the cluster.
   void ChargeShuffle(double bytes) const;
 
-  double TableBytes(const Table& t) const {
-    return t.logical_rows() * db_->TupleBytes(t.schema().size());
+  /// Logical stored bytes of this relation — a function of logical rows
+  /// and schema width only, never of the host representation, so charges
+  /// match between engines.
+  double SelfBytes() const {
+    return logical_rows() * db_->TupleBytes(schema().size());
   }
 
   Database* db_;
-  std::shared_ptr<Table> table_;
+  mutable std::shared_ptr<Table> table_;
+  mutable std::shared_ptr<const ColumnBatch> batch_;
+  mutable bool batch_failed_ = false;
 };
 
 }  // namespace mlbench::reldb

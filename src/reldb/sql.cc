@@ -693,8 +693,7 @@ class Evaluator {
       for (const auto& c : applied.schema().columns()) {
         cols.push_back(s.vg_alias + "." + c);
       }
-      vg_rel = applied.Project(Schema(std::move(cols)),
-                               [](const Tuple& t) { return t; });
+      vg_rel = applied.Renamed(Schema(std::move(cols)));
     }
 
     // 2. FROM: scan each table (or bind the VG alias), qualify columns.
@@ -714,8 +713,7 @@ class Evaluator {
         for (const auto& c : scan.schema().columns()) {
           cols.push_back(ref.alias + "." + c);
         }
-        return scan.Project(Schema(std::move(cols)),
-                            [](const Tuple& t) { return t; });
+        return scan.Renamed(Schema(std::move(cols)));
       }();
       if (!plan.has_value()) {
         plan = next;
@@ -787,8 +785,10 @@ class Evaluator {
 
  private:
   Result<Rel> EvalProjection(const SelectStmt& s, const Rel& in) {
-    std::vector<std::function<double(const Tuple&)>> evals;
-    std::vector<int> passthrough;  // column index for int-preserving refs
+    // Structured project: column references pass through (preserving
+    // integer values and, on the columnar engine, sharing their storage);
+    // everything else compiles to a computed double column.
+    std::vector<ColExpr> exprs;
     std::vector<std::string> names;
     for (std::size_t i = 0; i < s.items.size(); ++i) {
       const auto& item = s.items[i];
@@ -798,27 +798,14 @@ class Evaluator {
       if (item.expr.kind == Expr::Kind::kColumn) {
         auto idx = ResolveColumn(in.schema(), item.expr.column);
         if (idx.ok()) {
-          passthrough.push_back(static_cast<int>(*idx));
-          evals.emplace_back();
+          exprs.push_back(ColExpr::Col(*idx));
           continue;
         }
       }
       MLBENCH_ASSIGN_OR_RETURN(auto fn, CompileExpr(item.expr, in.schema()));
-      passthrough.push_back(-1);
-      evals.push_back(std::move(fn));
+      exprs.push_back(ColExpr::Fn(std::move(fn)));
     }
-    return in.Project(Schema(std::move(names)),
-                      [evals, passthrough](const Tuple& t) {
-                        Tuple out;
-                        for (std::size_t i = 0; i < passthrough.size(); ++i) {
-                          if (passthrough[i] >= 0) {
-                            out.push_back(t[passthrough[i]]);
-                          } else {
-                            out.push_back(evals[i](t));
-                          }
-                        }
-                        return out;
-                      });
+    return in.Project(Schema(std::move(names)), exprs);
   }
 
   Result<Rel> EvalAggregate(const SelectStmt& s, const Rel& in) {
@@ -889,18 +876,10 @@ class Evaluator {
     }
     // Map aggs' column names onto the projected _agg columns; count-star
     // entries keep their empty column.
-    Rel pre = in.Project(
-        Schema(pre_names),
-        [key_idx, agg_evals](const Tuple& t) {
-          Tuple out;
-          for (int k : key_idx) out.push_back(t[k]);
-          std::size_t agg_i = 0;
-          for (const auto& fn : agg_evals) {
-            out.push_back(fn(t));
-            ++agg_i;
-          }
-          return out;
-        });
+    std::vector<ColExpr> pre_exprs;
+    for (int k : key_idx) pre_exprs.push_back(ColExpr::Col(k));
+    for (auto& fn : agg_evals) pre_exprs.push_back(ColExpr::Fn(std::move(fn)));
+    Rel pre = in.Project(Schema(pre_names), pre_exprs);
     // Rewire count-star aggregates: they consumed an eval slot producing
     // 1.0, aggregate that column with kSum to keep actual/logical scaling
     // identical to kCount on the pre-projected relation.
@@ -987,8 +966,7 @@ Result<Table> SqlContext::Execute(const std::string& sql) {
       return Status::InvalidArgument(
           "CREATE column list does not match the SELECT arity");
     }
-    result = result.Project(Schema(stmt.target_cols),
-                            [](const Tuple& t) { return t; });
+    result = result.Renamed(Schema(stmt.target_cols));
   }
   if (stmt.kind != Statement::Kind::kSelect) {
     result.Materialize(stmt.target);

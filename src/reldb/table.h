@@ -37,6 +37,10 @@ class Table {
 
   void Append(Tuple t) { rows_.push_back(std::move(t)); }
 
+  /// Pre-sizes the row storage; bulk-load paths call this once up front so
+  /// Append never reallocates mid-load.
+  void Reserve(std::size_t n) { rows_.reserve(n); }
+
  private:
   Schema schema_;
   std::vector<Tuple> rows_;

@@ -85,6 +85,17 @@ struct TupleEq {
   bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
 };
 
+/// Resolves every name in `cols` against `schema` once. Operators and VG
+/// functions call this (or Schema::IndexOf) exactly once per operator, never
+/// inside a per-row loop — IndexOf is a linear string scan.
+inline std::vector<std::size_t> ResolveAll(const Schema& schema,
+                                           const std::vector<std::string>& cols) {
+  std::vector<std::size_t> idx;
+  idx.reserve(cols.size());
+  for (const auto& c : cols) idx.push_back(schema.IndexOf(c));
+  return idx;
+}
+
 /// Extracts the named key columns of `row` as a Tuple.
 inline Tuple KeyOf(const Tuple& row, const std::vector<std::size_t>& idx) {
   Tuple key;

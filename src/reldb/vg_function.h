@@ -26,6 +26,12 @@ class VgFunction {
   /// Schema of the tuples this function emits.
   virtual Schema output_schema() const = 0;
 
+  /// Called by VgApply exactly once, before the first Sample invocation,
+  /// with the parameter schema every invocation will use. Implementations
+  /// cache column indices here so Sample never pays a per-invocation
+  /// Schema::IndexOf string scan.
+  virtual void BindSchema(const Schema& schema) { (void)schema; }
+
   /// One invocation: consumes the parameter tuples of a group (with the
   /// group's input schema) and appends output tuples.
   virtual void Sample(const std::vector<Tuple>& params, const Schema& schema,

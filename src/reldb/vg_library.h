@@ -10,7 +10,8 @@
 /// \file vg_library.h
 /// SimSQL's library VG functions (paper Section 5.2: "the other VG
 /// functions are all library functions"). Each consumes the parameter rows
-/// of one invocation group and emits sampled rows.
+/// of one invocation group and emits sampled rows. Parameter column indices
+/// resolve once in BindSchema; Sample never does a name lookup.
 
 namespace mlbench::reldb {
 
@@ -20,17 +21,20 @@ class DirichletVg : public VgFunction {
  public:
   std::string name() const override { return "Dirichlet"; }
   Schema output_schema() const override { return {"out_id", "prob"}; }
+  void BindSchema(const Schema& schema) override {
+    id_c_ = schema.IndexOf(id_col_);
+    a_c_ = schema.IndexOf(alpha_col_);
+  }
   void Sample(const std::vector<Tuple>& params, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t id_c = schema.IndexOf(id_col_);
-    std::size_t a_c = schema.IndexOf(alpha_col_);
+    (void)schema;
     linalg::Vector alpha(params.size());
     for (std::size_t i = 0; i < params.size(); ++i) {
-      alpha[i] = AsDouble(params[i][a_c]);
+      alpha[i] = AsDouble(params[i][a_c_]);
     }
     linalg::Vector draw = stats::SampleDirichlet(rng, alpha);
     for (std::size_t i = 0; i < params.size(); ++i) {
-      out->push_back(Tuple{params[i][id_c], draw[i]});
+      out->push_back(Tuple{params[i][id_c_], draw[i]});
     }
   }
   DirichletVg(std::string id_col, std::string alpha_col)
@@ -38,6 +42,7 @@ class DirichletVg : public VgFunction {
 
  private:
   std::string id_col_, alpha_col_;
+  std::size_t id_c_ = 0, a_c_ = 0;
 };
 
 /// Categorical: rows (id, weight) -> one row (out_id) holding the sampled
@@ -48,19 +53,23 @@ class CategoricalVg : public VgFunction {
       : id_col_(std::move(id_col)), weight_col_(std::move(weight_col)) {}
   std::string name() const override { return "Categorical"; }
   Schema output_schema() const override { return {"out_id"}; }
+  void BindSchema(const Schema& schema) override {
+    id_c_ = schema.IndexOf(id_col_);
+    w_c_ = schema.IndexOf(weight_col_);
+  }
   void Sample(const std::vector<Tuple>& params, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t id_c = schema.IndexOf(id_col_);
-    std::size_t w_c = schema.IndexOf(weight_col_);
+    (void)schema;
     linalg::Vector w(params.size());
     for (std::size_t i = 0; i < params.size(); ++i) {
-      w[i] = AsDouble(params[i][w_c]);
+      w[i] = AsDouble(params[i][w_c_]);
     }
-    out->push_back(Tuple{params[stats::SampleCategorical(rng, w)][id_c]});
+    out->push_back(Tuple{params[stats::SampleCategorical(rng, w)][id_c_]});
   }
 
  private:
   std::string id_col_, weight_col_;
+  std::size_t id_c_ = 0, w_c_ = 0;
 };
 
 /// Normal: each row (id, mean, var) -> row (out_id, value); one draw per
@@ -73,20 +82,24 @@ class NormalVg : public VgFunction {
         var_col_(std::move(var_col)) {}
   std::string name() const override { return "Normal"; }
   Schema output_schema() const override { return {"out_id", "value"}; }
+  void BindSchema(const Schema& schema) override {
+    id_c_ = schema.IndexOf(id_col_);
+    m_c_ = schema.IndexOf(mean_col_);
+    v_c_ = schema.IndexOf(var_col_);
+  }
   void Sample(const std::vector<Tuple>& params, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t id_c = schema.IndexOf(id_col_);
-    std::size_t m_c = schema.IndexOf(mean_col_);
-    std::size_t v_c = schema.IndexOf(var_col_);
+    (void)schema;
     for (const auto& row : params) {
-      double draw = stats::SampleNormal(rng, AsDouble(row[m_c]),
-                                        std::sqrt(AsDouble(row[v_c])));
-      out->push_back(Tuple{row[id_c], draw});
+      double draw = stats::SampleNormal(rng, AsDouble(row[m_c_]),
+                                        std::sqrt(AsDouble(row[v_c_])));
+      out->push_back(Tuple{row[id_c_], draw});
     }
   }
 
  private:
   std::string id_col_, mean_col_, var_col_;
+  std::size_t id_c_ = 0, m_c_ = 0, v_c_ = 0;
 };
 
 /// InverseGamma: one row (shape, rate) -> one row (value).
@@ -96,18 +109,22 @@ class InverseGammaVg : public VgFunction {
       : shape_col_(std::move(shape_col)), rate_col_(std::move(rate_col)) {}
   std::string name() const override { return "InvGamma"; }
   Schema output_schema() const override { return {"value"}; }
+  void BindSchema(const Schema& schema) override {
+    s_c_ = schema.IndexOf(shape_col_);
+    r_c_ = schema.IndexOf(rate_col_);
+  }
   void Sample(const std::vector<Tuple>& params, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t s_c = schema.IndexOf(shape_col_);
-    std::size_t r_c = schema.IndexOf(rate_col_);
+    (void)schema;
     for (const auto& row : params) {
       out->push_back(Tuple{stats::SampleInverseGamma(
-          rng, AsDouble(row[s_c]), AsDouble(row[r_c]))});
+          rng, AsDouble(row[s_c_]), AsDouble(row[r_c_]))});
     }
   }
 
  private:
   std::string shape_col_, rate_col_;
+  std::size_t s_c_ = 0, r_c_ = 0;
 };
 
 /// InverseGaussian: each row (id, mu, lambda) -> row (out_id, value)
@@ -121,20 +138,24 @@ class InverseGaussianVg : public VgFunction {
         lambda_col_(std::move(lambda_col)) {}
   std::string name() const override { return "InvGaussian"; }
   Schema output_schema() const override { return {"out_id", "value"}; }
+  void BindSchema(const Schema& schema) override {
+    id_c_ = schema.IndexOf(id_col_);
+    m_c_ = schema.IndexOf(mu_col_);
+    l_c_ = schema.IndexOf(lambda_col_);
+  }
   void Sample(const std::vector<Tuple>& params, const Schema& schema,
               stats::Rng& rng, std::vector<Tuple>* out) override {
-    std::size_t id_c = schema.IndexOf(id_col_);
-    std::size_t m_c = schema.IndexOf(mu_col_);
-    std::size_t l_c = schema.IndexOf(lambda_col_);
+    (void)schema;
     for (const auto& row : params) {
-      out->push_back(Tuple{row[id_c],
+      out->push_back(Tuple{row[id_c_],
                            stats::SampleInverseGaussian(
-                               rng, AsDouble(row[m_c]), AsDouble(row[l_c]))});
+                               rng, AsDouble(row[m_c_]), AsDouble(row[l_c_]))});
     }
   }
 
  private:
   std::string id_col_, mu_col_, lambda_col_;
+  std::size_t id_c_ = 0, m_c_ = 0, l_c_ = 0;
 };
 
 }  // namespace mlbench::reldb
