@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -506,8 +507,11 @@ class BspEngine {
   std::vector<PendingMsg> pending_;
   std::vector<std::vector<Msg>> next_inbox_;
   std::vector<InboxMeta> inbox_meta_;
-  std::unordered_map<std::string, Aggregate> prev_aggregates_;
-  std::unordered_map<std::string, Aggregate> next_aggregates_;
+  /// Ordered by name: EndSuperstep sums each aggregate's wire bytes while
+  /// iterating, and that floating-point fold must not depend on hash
+  /// bucket layout.
+  std::map<std::string, Aggregate> prev_aggregates_;
+  std::map<std::string, Aggregate> next_aggregates_;
 
   /// One combined message per (source machine, destination vertex), plus
   /// the bookkeeping FlushMessages needs to charge and deliver it.

@@ -1,5 +1,6 @@
 #include "core/lda_bsp.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -203,8 +204,14 @@ RunResult RunLdaBsp(const LdaExperiment& exp,
             }
           }
           LdaMsg msg;
+          // mlint: allow(unordered-iter) — bucket order is erased by the
+          // key sort below; the map is pure accumulation scratch
           msg.counts = std::make_shared<SparseCounts>(sparse.begin(),
                                                       sparse.end());
+          std::sort(msg.counts->begin(), msg.counts->end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
           for (std::size_t tt = 0; tt < exp.topics; ++tt) {
             ctx.Send(static_cast<bsp::VertexId>(tt), msg,
                      count_msg_bytes / t + 64.0);

@@ -1,5 +1,6 @@
 #include "core/lda_gas.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -100,8 +101,14 @@ class LdaProgram : public gas::GasProgram<VData, Gathered> {
                                             doc.words[pos])] += 1.0f;
         }
       }
+      // mlint: allow(unordered-iter) — bucket order is erased by the key
+      // sort below; the map is pure accumulation scratch
       v.data.partial = std::make_shared<SparseCounts>(sparse.begin(),
                                                       sparse.end());
+      std::sort(v.data.partial->begin(), v.data.partial->end(),
+                [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+                });
     } else if (v.data.kind == VData::Kind::kTopic && !g.row.empty()) {
       Vector conc = g.row;
       for (auto& c : conc) c += hyper_.beta;

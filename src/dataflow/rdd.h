@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+// mlint: allow(raw-thread) — cache-fill guard only; see RddNode::cache_mu
 #include <mutex>
 #include <type_traits>
 #include <unordered_map>
@@ -62,13 +63,19 @@ struct RddNode {
   /// Cache state. Partition tasks may materialize concurrently, so the
   /// fill flags are guarded by a mutex; `cache_store` is presized before
   /// any fill (never reallocated mid-job) and each slot is written by
-  /// exactly one task, then immutable.
+  /// exactly one task, then immutable. The lock orders nothing
+  /// result-affecting: slot p's content is a pure function of p, and all
+  /// sim charges go through the task ChargeLedger, so fill timing never
+  /// reaches results, charges or RNG streams.
+  // mlint: allow(raw-thread) — write-once slot guard; results are per-slot
+  // pure functions, charges ledgered, so lock timing is unobservable
   std::mutex cache_mu;
   std::vector<char> cache_filled;
   std::vector<std::vector<T>> cache_store;
 
   bool CacheHit(int p) {
     if (!cached) return false;
+    // mlint: allow(raw-thread) — guards the write-once fill flags only
     std::lock_guard<std::mutex> lock(cache_mu);
     return !cache_filled.empty() && cache_filled[p] != 0;
   }
@@ -87,6 +94,7 @@ struct RddNode {
     if (!r.ok()) return r;
     if (cached) {
       {
+        // mlint: allow(raw-thread) — guards the write-once fill flags only
         std::lock_guard<std::mutex> lock(cache_mu);
         if (cache_store.empty()) {
           cache_store.resize(static_cast<std::size_t>(num_partitions));
@@ -456,16 +464,22 @@ Result<std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
     int machine = ctx->MachineOf(p, parts);
     ctx->ChargeClosureScaled(machine, static_cast<double>(in->size()),
                              parent->scale, map_cost);
-    // Map-side combine (Spark's reduceByKey combiner).
+    // Map-side combine (Spark's reduceByKey combiner), in first-seen key
+    // order: `slot` only resolves keys to positions in `combined`, so the
+    // map's bucket order never reaches the shuffled record order.
     std::vector<std::pair<K, V>> combined;
     double logical_out;
     if (merge != nullptr) {
-      std::unordered_map<K, V, HashOf<K>> agg;
+      std::unordered_map<K, std::size_t, HashOf<K>> slot;
       for (const auto& kv : *in) {
-        auto [it, inserted] = agg.emplace(kv.first, kv.second);
-        if (!inserted) it->second = (*merge)(it->second, kv.second);
+        auto [it, inserted] = slot.emplace(kv.first, combined.size());
+        if (inserted) {
+          combined.push_back(kv);
+        } else {
+          combined[it->second].second =
+              (*merge)(combined[it->second].second, kv.second);
+        }
       }
-      combined.assign(agg.begin(), agg.end());
       // Logical combined output: the observed distinct keys at the output
       // key space's scale, capped by the logical input (combining can only
       // shrink a partition).
@@ -544,17 +558,22 @@ Rdd<std::pair<K, V>> ReduceByKey(const Rdd<std::pair<K, V>>& in, Merge merge,
       MLBENCH_RETURN_NOT_OK(
           detail::ParallelPartitions(ctx, parts, [&](int q) -> Status {
             int machine = ctx->MachineOf(q, parts);
-            std::unordered_map<K, V, detail::HashOf<K>> agg;
+            // Fold into first-seen key order; the map only resolves keys
+            // to output slots, so bucket order cannot leak into results.
+            std::unordered_map<K, std::size_t, detail::HashOf<K>> slot;
+            std::vector<std::pair<K, V>> reduced;
             for (auto& kv : (*buckets)[q]) {
-              auto it = agg.find(kv.first);
-              if (it == agg.end()) {
-                agg.emplace(kv.first, std::move(kv.second));
+              auto [it, inserted] = slot.emplace(kv.first, reduced.size());
+              if (inserted) {
+                reduced.push_back(std::move(kv));
               } else {
-                it->second = merge(it->second, kv.second);
+                reduced[it->second].second =
+                    merge(reduced[it->second].second, kv.second);
               }
             }
             // Reduce-side buffer: logical bytes of the aggregate, transient.
-            double logical = static_cast<double>(agg.size()) * self->scale;
+            double logical =
+                static_cast<double>(reduced.size()) * self->scale;
             MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
                 machine, logical * self->record_bytes,
                 "shuffle reduce buffer"));
@@ -562,8 +581,7 @@ Rdd<std::pair<K, V>> ReduceByKey(const Rdd<std::pair<K, V>>& in, Merge merge,
                 machine,
                 logical * (ctx->lang().per_record_s +
                            reduce_flops_per_record * ctx->lang().flop_s));
-            (*state)[q].assign(std::make_move_iterator(agg.begin()),
-                               std::make_move_iterator(agg.end()));
+            (*state)[q] = std::move(reduced);
             return Status::OK();
           }));
       *done = true;
@@ -629,10 +647,15 @@ Rdd<std::pair<K, std::vector<V>>> GroupByKey(const Rdd<std::pair<K, V>>& in,
       MLBENCH_RETURN_NOT_OK(
           detail::ParallelPartitions(ctx, parts, [&](int q) -> Status {
             int machine = ctx->MachineOf(q, parts);
-            std::unordered_map<K, std::vector<V>, detail::HashOf<K>> groups;
+            // Group into first-seen key order; the map only resolves keys
+            // to output slots, so bucket order cannot leak into results.
+            std::unordered_map<K, std::size_t, detail::HashOf<K>> slot;
+            std::vector<Out> grouped;
             double n_in = static_cast<double>((*buckets)[q].size());
             for (auto& kv : (*buckets)[q]) {
-              groups[kv.first].push_back(std::move(kv.second));
+              auto [it, inserted] = slot.emplace(kv.first, grouped.size());
+              if (inserted) grouped.push_back(Out{kv.first, {}});
+              grouped[it->second].second.push_back(std::move(kv.second));
             }
             // All grouped values are resident on the reduce machine.
             MLBENCH_RETURN_NOT_OK(ctx->AllocateTransient(
@@ -640,8 +663,7 @@ Rdd<std::pair<K, std::vector<V>>> GroupByKey(const Rdd<std::pair<K, V>>& in,
                 "groupByKey buffer"));
             ctx->sim().ChargeParallelCpuOnMachine(
                 machine, n_in * value_scale * ctx->lang().per_record_s);
-            (*state)[q].assign(std::make_move_iterator(groups.begin()),
-                               std::make_move_iterator(groups.end()));
+            (*state)[q] = std::move(grouped);
             return Status::OK();
           }));
       *done = true;

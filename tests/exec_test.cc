@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+// mlint: allow(raw-thread) — this suite tests the exec layer itself and
+// needs atomics to observe the pool from outside
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -28,6 +30,8 @@ TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
   for (int threads : {1, 2, 4}) {
     exec::ThreadPool pool(threads);
     constexpr std::int64_t kChunks = 1000;
+    // mlint: allow(raw-thread) — counts chunk executions across pool
+    // threads to prove exactly-once dispatch
     std::vector<std::atomic<int>> hits(kChunks);
     pool.Run(kChunks, [&](std::int64_t c) { hits[c].fetch_add(1); });
     for (std::int64_t c = 0; c < kChunks; ++c) {
@@ -38,6 +42,8 @@ TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
 
 TEST(ThreadPoolTest, NestedRunCompletes) {
   exec::ThreadPool pool(4);
+  // mlint: allow(raw-thread) — cross-thread completion counter for the
+  // nested-pool test
   std::atomic<int> total{0};
   pool.Run(8, [&](std::int64_t) {
     exec::ThreadPool inner(2);

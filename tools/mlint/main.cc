@@ -1,0 +1,105 @@
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mlint.h"
+
+/// mlint CLI.
+///
+///   mlint [options] <path>...          lint files / directories
+///   --baseline=FILE    subtract a baseline ('.mlint-baseline' in the
+///                      current directory is picked up automatically)
+///   --no-baseline      ignore any baseline file
+///   --json=FILE        also write the JSON report ('-' for stdout)
+///   --list-rules       print the rule registry and exit
+///
+/// Exit code: 0 when every finding is baselined or suppressed, 1 on new
+/// findings, 2 on usage errors.
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: mlint [--baseline=FILE|--no-baseline] [--json=FILE] "
+         "[--list-rules] <path>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string baseline_path;
+  std::string json_path;
+  bool no_baseline = false;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "-h" || arg == "--help") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mlint: unknown option " << arg << "\n";
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& r : mlint::Rules()) {
+      std::cout << r.name << "\n    " << r.summary << "\n";
+    }
+    return 0;
+  }
+  if (paths.empty()) return Usage();
+
+  mlint::LintResult result = mlint::LintPaths(paths);
+
+  if (!no_baseline) {
+    if (baseline_path.empty() &&
+        std::filesystem::exists(".mlint-baseline")) {
+      baseline_path = ".mlint-baseline";
+    }
+    if (!baseline_path.empty()) {
+      std::ifstream in(baseline_path);
+      if (!in) {
+        std::cerr << "mlint: cannot read baseline " << baseline_path << "\n";
+        return 2;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      int stale = mlint::ApplyBaseline(ss.str(), &result);
+      if (stale > 0) {
+        std::cerr << "mlint: " << stale << " stale baseline entr"
+                  << (stale == 1 ? "y" : "ies") << " in " << baseline_path
+                  << " matched nothing — delete them\n";
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::string json = mlint::JsonReport(result);
+    if (json_path == "-") {
+      std::cout << json;
+    } else {
+      std::ofstream out(json_path);
+      out << json;
+    }
+  }
+
+  std::cout << mlint::TextReport(result);
+  return result.NewCount() > 0 ? 1 : 0;
+}

@@ -1,0 +1,986 @@
+#include "mlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace mlint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Extracts an allowance ("mlint: allow" + parenthesized rule list + reason).
+void ParseAllowComment(const std::string& comment, int comment_line,
+                       bool comment_only_line,
+                       std::vector<Allowance>* allowances) {
+  const std::string marker = "mlint:";
+  std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  std::size_t p = at + marker.size();
+  while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+  const std::string allow = "allow(";
+  if (comment.compare(p, allow.size(), allow) != 0) return;
+  p += allow.size();
+  std::size_t close = comment.find(')', p);
+  if (close == std::string::npos) return;
+  std::string rules = comment.substr(p, close - p);
+  // Reason: everything after ')', minus leading separators (spaces, dashes,
+  // em-dashes, colons).
+  std::string reason = comment.substr(close + 1);
+  std::size_t r = 0;
+  while (r < reason.size() &&
+         (std::isspace(static_cast<unsigned char>(reason[r])) ||
+          reason[r] == '-' || reason[r] == ':' ||
+          static_cast<unsigned char>(reason[r]) >= 0x80)) {
+    ++r;
+  }
+  reason = Trim(reason.substr(r));
+
+  std::stringstream ss(rules);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    Allowance a;
+    a.rule = Trim(rule);
+    a.reason = reason;
+    a.comment_line = comment_line;
+    // Comment-only lines cover the next code line; resolved after
+    // tokenization (when code lines are known). Mark with line = -1.
+    a.line = comment_only_line ? -1 : comment_line;
+    if (!a.rule.empty()) allowances->push_back(std::move(a));
+  }
+}
+
+}  // namespace
+
+std::string SourceFile::Snippet(int line) const {
+  if (line < 1 || static_cast<std::size_t>(line) > lines.size()) return "";
+  return Trim(lines[static_cast<std::size_t>(line) - 1]);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+SourceFile Parse(std::string path, const std::string& content) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.is_header = f.path.size() >= 2 &&
+                f.path.compare(f.path.size() - 2, 2, ".h") == 0;
+
+  // Split raw lines for snippets.
+  {
+    std::stringstream ss(content);
+    std::string line;
+    while (std::getline(ss, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      f.lines.push_back(line);
+    }
+  }
+
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_token = false;  // any token seen on the current line
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (content[i] == '\n') {
+        ++line;
+        line_has_token = false;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    char c = content[i];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      std::size_t end = content.find('\n', i);
+      if (end == std::string::npos) end = n;
+      std::string body = content.substr(i + 2, end - i - 2);
+      ParseAllowComment(body, line, /*comment_only_line=*/!line_has_token,
+                        &f.allowances);
+      advance(end - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      std::size_t end = content.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      std::string body = content.substr(i + 2, end - i - 2);
+      ParseAllowComment(body, line, !line_has_token, &f.allowances);
+      advance((end == n ? n : end + 2) - i);
+      continue;
+    }
+    // Preprocessor directive (only when '#' starts the logical line).
+    if (c == '#' && !line_has_token) {
+      int start_line = line;
+      std::string text;
+      while (i < n) {
+        std::size_t end = content.find('\n', i);
+        if (end == std::string::npos) end = n;
+        std::string chunk = content.substr(i, end - i);
+        bool continued = !chunk.empty() && chunk.back() == '\\';
+        if (continued) chunk.pop_back();
+        text += chunk;
+        advance(end - i + (end < n ? 1 : 0));
+        if (!continued) break;
+      }
+      f.tokens.push_back(Token{Token::Kind::kPreproc, Trim(text), start_line});
+      // The directive consumed its newline; the next line starts fresh.
+      continue;
+    }
+    // String literal (including a minimal R"delim( ... )delim" raw form).
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      // Raw string: R"delim( ... )delim"
+      std::size_t open = content.find('(', i + 2);
+      if (open != std::string::npos) {
+        std::string delim = content.substr(i + 2, open - i - 2);
+        std::string closer = ")" + delim + "\"";
+        std::size_t end = content.find(closer, open + 1);
+        if (end == std::string::npos) end = n;
+        else end += closer.size();
+        advance(end - i);
+        line_has_token = true;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      advance((j < n ? j + 1 : n) - i);
+      line_has_token = true;
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      f.tokens.push_back(
+          Token{Token::Kind::kIdent, content.substr(i, j - i), line});
+      line_has_token = true;
+      advance(j - i);
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (IsIdentChar(content[j]) || content[j] == '.' ||
+                       ((content[j] == '+' || content[j] == '-') && j > i &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E')))) {
+        ++j;
+      }
+      f.tokens.push_back(
+          Token{Token::Kind::kNumber, content.substr(i, j - i), line});
+      line_has_token = true;
+      advance(j - i);
+      continue;
+    }
+    // Punctuation. Keep '::', '->' and '+=' glued (rules match on them);
+    // everything else is a single char — '<' and '>' stay split so
+    // template-angle matching can treat '>>' as two closers.
+    std::string tok(1, c);
+    if (i + 1 < n) {
+      char d = content[i + 1];
+      if ((c == ':' && d == ':') || (c == '-' && d == '>') ||
+          (c == '+' && d == '=')) {
+        tok += d;
+      }
+    }
+    f.tokens.push_back(Token{Token::Kind::kPunct, tok, line});
+    line_has_token = true;
+    advance(tok.size());
+  }
+
+  // Resolve comment-only allowances to the next line carrying a token.
+  for (auto& a : f.allowances) {
+    if (a.line != -1) continue;
+    a.line = a.comment_line;  // fallback: covers nothing real
+    for (const auto& t : f.tokens) {
+      if (t.line > a.comment_line) {
+        a.line = t.line;
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers shared by rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool Is(const Tokens& t, std::size_t i, Token::Kind k, const char* text) {
+  return i < t.size() && t[i].kind == k && t[i].text == text;
+}
+bool IsPunct(const Tokens& t, std::size_t i, const char* text) {
+  return Is(t, i, Token::Kind::kPunct, text);
+}
+bool IsIdent(const Tokens& t, std::size_t i, const char* text) {
+  return Is(t, i, Token::Kind::kIdent, text);
+}
+bool IsAnyIdent(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdent;
+}
+
+/// `i` points at '<'. Returns the index one past the matching '>', or
+/// `fail` if the angle run is not template-like (hits ';', '{' or EOF).
+std::size_t SkipAngles(const Tokens& t, std::size_t i, std::size_t fail) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const std::string& x = t[j].text;
+    if (t[j].kind == Token::Kind::kPunct) {
+      if (x == "<") ++depth;
+      else if (x == ">") {
+        if (--depth == 0) return j + 1;
+      } else if (x == ";" || x == "{" || x == "}") {
+        return fail;
+      }
+    }
+  }
+  return fail;
+}
+
+/// `i` points at '('. Returns the index of the matching ')' or t.size().
+std::size_t MatchParen(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != Token::Kind::kPunct) continue;
+    if (t[j].text == "(") ++depth;
+    else if (t[j].text == ")" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// `i` points at '{'. Returns the index of the matching '}' or t.size().
+std::size_t MatchBrace(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != Token::Kind::kPunct) continue;
+    if (t[j].text == "{") ++depth;
+    else if (t[j].text == "}" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// `i` points at ']' scanning backwards; returns index of matching '['.
+std::size_t MatchBracketBack(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (t[j].kind != Token::Kind::kPunct) continue;
+    if (t[j].text == "]") ++depth;
+    else if (t[j].text == "[" && --depth == 0) return j;
+  }
+  return 0;
+}
+
+struct LambdaBody {
+  std::size_t begin;        // first token inside '{'
+  std::size_t end;          // index of matching '}'
+  std::size_t params_begin; // first token inside '(' (== params_end if none)
+  std::size_t params_end;   // index of the params ')'
+};
+
+/// Finds lambda bodies lexically inside token range [from, to): a '[' whose
+/// previous token cannot end an expression (so it is a lambda-introducer,
+/// not a subscript), its ']' , optional (params), tokens up to '{'.
+std::vector<LambdaBody> FindLambdas(const Tokens& t, std::size_t from,
+                                    std::size_t to) {
+  std::vector<LambdaBody> out;
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (!IsPunct(t, i, "[")) continue;
+    if (i > 0) {
+      const Token& p = t[i - 1];
+      bool prev_ends_expr =
+          p.kind == Token::Kind::kIdent || p.kind == Token::Kind::kNumber ||
+          (p.kind == Token::Kind::kPunct &&
+           (p.text == "]" || p.text == ")" || p.text == ">"));
+      if (prev_ends_expr) continue;  // subscript, not a lambda introducer
+    }
+    // Capture list.
+    int depth = 0;
+    std::size_t j = i;
+    for (; j < t.size(); ++j) {
+      if (IsPunct(t, j, "[")) ++depth;
+      else if (IsPunct(t, j, "]") && --depth == 0) break;
+    }
+    if (j >= t.size()) break;
+    ++j;
+    std::size_t params_begin = j, params_end = j;
+    if (IsPunct(t, j, "(")) {
+      params_begin = j + 1;
+      params_end = MatchParen(t, j);
+      j = params_end + 1;
+    }
+    // Skip mutable / noexcept / trailing return type up to '{'.
+    while (j < t.size() && !IsPunct(t, j, "{") && !IsPunct(t, j, ";") &&
+           !IsPunct(t, j, ")")) {
+      ++j;
+    }
+    if (j >= t.size() || !IsPunct(t, j, "{")) continue;
+    std::size_t close = MatchBrace(t, j);
+    out.push_back(LambdaBody{j + 1, close, params_begin, params_end});
+  }
+  return out;
+}
+
+bool PathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+void Add(std::vector<Finding>* out, const SourceFile& f, const char* rule,
+         int line, std::string message) {
+  // One finding per (rule, line): several triggers on one source line are
+  // one hazard to a human.
+  for (const auto& existing : *out) {
+    if (existing.line == line && existing.rule == rule) return;
+  }
+  Finding fd;
+  fd.rule = rule;
+  fd.path = f.path;
+  fd.line = line;
+  fd.message = std::move(message);
+  fd.snippet = f.Snippet(line);
+  out->push_back(std::move(fd));
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: nondet-random
+// ---------------------------------------------------------------------------
+
+void CheckNondetRandom(const SourceFile& f, std::vector<Finding>* out) {
+  if (PathContains(f.path, "src/stats/")) return;
+  const Tokens& t = f.tokens;
+  static const char* kBanned[] = {"rand", "srand", "time", "clock"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    if (t[i].text == "random_device") {
+      Add(out, f, "nondet-random", t[i].line,
+          "std::random_device is nondeterministic; seed a stats::Rng "
+          "instead (only src/stats/ may touch entropy sources)");
+      continue;
+    }
+    for (const char* b : kBanned) {
+      if (t[i].text != b) continue;
+      if (!IsPunct(t, i + 1, "(")) continue;
+      // Member calls (x.time(), x->clock()) are unrelated APIs.
+      if (i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"))) break;
+      Add(out, f, "nondet-random", t[i].line,
+          std::string("call to ") + b +
+              "() draws nondeterministic state; results must be a pure "
+              "function of the experiment seed — use stats::Rng");
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: unordered-iter
+// ---------------------------------------------------------------------------
+
+bool IsUnorderedName(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+void CheckUnorderedIter(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+
+  // Pass A: names of variables/members declared with an unordered container
+  // type, plus `using X = ...unordered_map<...>` aliases (and variables
+  // declared with those aliases).
+  std::set<std::string> aliases;
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    // Alias definitions.
+    if ((t[i].text == "using" || t[i].text == "typedef") && IsAnyIdent(t, i + 1)) {
+      if (t[i].text == "using" && IsPunct(t, i + 2, "=")) {
+        std::string name = t[i + 1].text;
+        for (std::size_t j = i + 3; j < t.size() && !IsPunct(t, j, ";"); ++j) {
+          if (t[j].kind == Token::Kind::kIdent &&
+              IsUnorderedName(t[j].text)) {
+            aliases.insert(name);
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    bool is_container_type =
+        IsUnorderedName(t[i].text) || aliases.count(t[i].text) != 0;
+    if (!is_container_type) continue;
+    // Skip qualified-name *prefixes* (std:: already sits before us; fine).
+    std::size_t j = i + 1;
+    if (IsPunct(t, j, "<")) {
+      j = SkipAngles(t, j, /*fail=*/t.size());
+      if (j == t.size()) continue;
+    } else if (aliases.count(t[i].text) == 0) {
+      continue;  // bare `unordered_map` without template args: not a decl
+    }
+    // Declarator list: [*&]* name [, name ...] terminated by ; = { (
+    while (j < t.size()) {
+      while (IsPunct(t, j, "*") || IsPunct(t, j, "&")) ++j;
+      if (!IsAnyIdent(t, j)) break;
+      // `Type name(` is a function declarator returning the container —
+      // the name is not a container variable.
+      if (IsPunct(t, j + 1, "(")) break;
+      vars.insert(t[j].text);
+      if (IsPunct(t, j + 1, ",")) {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+  }
+  if (vars.empty()) return;
+
+  // Pass B: iterations.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // x.begin() / x.end() / x.cbegin() / x.cend()
+    if (IsAnyIdent(t, i) && vars.count(t[i].text) != 0 &&
+        (IsPunct(t, i + 1, ".") || IsPunct(t, i + 1, "->")) &&
+        IsAnyIdent(t, i + 2) && IsPunct(t, i + 3, "(")) {
+      // `.end()` alone is a find-sentinel comparison, not an iteration;
+      // every real traversal needs a begin.
+      const std::string& m = t[i + 2].text;
+      if (m == "begin" || m == "cbegin" || m == "rbegin") {
+        Add(out, f, "unordered-iter", t[i].line,
+            "iterating unordered container '" + t[i].text +
+                "' — bucket order is implementation-defined and can leak "
+                "into results/charges; emit in first-seen or sorted order");
+      }
+      continue;
+    }
+    // Range-for whose sequence expression mentions a tracked container.
+    if (IsIdent(t, i, "for") && IsPunct(t, i + 1, "(")) {
+      std::size_t close = MatchParen(t, i + 1);
+      std::size_t colon = t.size();
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (IsPunct(t, j, "(")) ++depth;
+        else if (IsPunct(t, j, ")")) --depth;
+        else if (depth == 1 && IsPunct(t, j, ":")) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == t.size()) continue;  // classic for loop
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (IsAnyIdent(t, j) && vars.count(t[j].text) != 0) {
+          Add(out, f, "unordered-iter", t[i].line,
+              "range-for over unordered container '" + t[j].text +
+                  "' — bucket order is implementation-defined and can leak "
+                  "into results/charges; emit in first-seen or sorted order");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules 3 & 5 share the lexical parallel-region scan.
+// ---------------------------------------------------------------------------
+
+bool IsChargeCall(const Tokens& t, std::size_t i) {
+  if (t[i].kind != Token::Kind::kIdent) return false;
+  const std::string& x = t[i].text;
+  bool chargey = x.rfind("Charge", 0) == 0 || x == "Allocate" ||
+                 x == "AllocateEverywhere" || x == "AllocateTransient" ||
+                 x == "Free" || x == "FreeEverywhere";
+  return chargey && IsPunct(t, i + 1, "(");
+}
+
+/// Collects the parallel-region lambda bodies: arguments of lexical
+/// exec::ParallelFor / exec::ParallelReduce call expressions.
+std::vector<LambdaBody> ParallelLambdas(const Tokens& t) {
+  std::vector<LambdaBody> bodies;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!(IsIdent(t, i, "ParallelFor") || IsIdent(t, i, "ParallelReduce"))) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (IsPunct(t, j, "<")) {
+      j = SkipAngles(t, j, t.size());
+      if (j == t.size()) continue;
+    }
+    if (!IsPunct(t, j, "(")) continue;
+    std::size_t close = MatchParen(t, j);
+    auto inner = FindLambdas(t, j + 1, close);
+    bodies.insert(bodies.end(), inner.begin(), inner.end());
+  }
+  return bodies;
+}
+
+void CheckChargeInParallel(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  for (const LambdaBody& body : ParallelLambdas(t)) {
+    bool has_ledger = false;
+    for (std::size_t i = body.begin; i < body.end; ++i) {
+      if (IsIdent(t, i, "ScopedLedger")) {
+        has_ledger = true;
+        break;
+      }
+    }
+    if (has_ledger) continue;
+    for (std::size_t i = body.begin; i < body.end; ++i) {
+      if (IsChargeCall(t, i)) {
+        Add(out, f, "charge-in-parallel", t[i].line,
+            "simulator charge '" + t[i].text +
+                "' inside a ParallelFor/ParallelReduce body with no "
+                "sim::ScopedLedger bound — charges would interleave by "
+                "scheduling; record to a per-chunk ChargeLedger and commit "
+                "in chunk-index order");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: naive-reduction
+// ---------------------------------------------------------------------------
+
+/// Keywords that can precede an identifier without declaring it.
+bool IsNonTypeKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "if",     "while",  "else",   "case",  "goto",
+      "new",      "delete", "throw",  "sizeof", "do",    "switch",
+      "co_return", "co_await", "co_yield", "not", "and", "or"};
+  return kKeywords.count(s) != 0;
+}
+
+/// True when identifier `name` is declared inside token range [from, to):
+/// some occurrence is preceded by a type-ish token (identifier, '>', '&',
+/// '*', 'auto') and not part of a member access.
+bool DeclaredWithin(const Tokens& t, std::size_t from, std::size_t to,
+                    const std::string& name) {
+  for (std::size_t i = from; i < to; ++i) {
+    if (!(t[i].kind == Token::Kind::kIdent && t[i].text == name)) continue;
+    if (i == 0) continue;
+    const Token& p = t[i - 1];
+    bool typeish =
+        (p.kind == Token::Kind::kIdent && !IsNonTypeKeyword(p.text)) ||
+        (p.kind == Token::Kind::kPunct &&
+         (p.text == ">" || p.text == "&" || p.text == "*"));
+    if (!typeish) continue;
+    if (p.kind == Token::Kind::kPunct && (p.text == "." || p.text == "->")) {
+      continue;
+    }
+    // Structured bindings: `auto [a, b]` / `auto& [a, b]`.
+    return true;
+  }
+  // Structured-binding names: appear between '[' and ']' right after auto.
+  for (std::size_t i = from; i + 1 < to; ++i) {
+    if (!IsIdent(t, i, "auto")) continue;
+    std::size_t j = i + 1;
+    while (IsPunct(t, j, "&") || IsPunct(t, j, "*")) ++j;
+    if (!IsPunct(t, j, "[")) continue;
+    for (std::size_t k = j + 1; k < to && !IsPunct(t, k, "]"); ++k) {
+      if (t[k].kind == Token::Kind::kIdent && t[k].text == name) return true;
+    }
+  }
+  return false;
+}
+
+void CheckNaiveReduction(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  for (const LambdaBody& body : ParallelLambdas(t)) {
+    for (std::size_t i = body.begin; i < body.end; ++i) {
+      if (!IsPunct(t, i, "+=")) continue;
+      // Walk the LHS chain backwards to its root identifier.
+      std::size_t j = i;
+      while (j > body.begin) {
+        const Token& p = t[j - 1];
+        if (p.kind == Token::Kind::kPunct && p.text == "]") {
+          j = MatchBracketBack(t, j - 1);
+          continue;
+        }
+        if (p.kind == Token::Kind::kIdent || p.kind == Token::Kind::kNumber) {
+          --j;
+          continue;
+        }
+        if (p.kind == Token::Kind::kPunct &&
+            (p.text == "." || p.text == "->")) {
+          --j;
+          continue;
+        }
+        break;
+      }
+      if (!IsAnyIdent(t, j)) continue;
+      const std::string& root = t[j].text;
+      if (DeclaredWithin(t, body.begin, body.end, root)) continue;
+      // Lambda parameters are per-invocation state, not shared captures —
+      // this is how ParallelReduce's ordered fold receives its accumulator.
+      bool is_param = false;
+      for (std::size_t k = body.params_begin; k < body.params_end; ++k) {
+        if (t[k].kind == Token::Kind::kIdent && t[k].text == root) {
+          is_param = true;
+          break;
+        }
+      }
+      if (is_param) continue;
+      Add(out, f, "naive-reduction", t[i].line,
+          "'" + root +
+              " +=' inside a parallel region accumulates in scheduling "
+              "order — use exec::ParallelReduce (chunk partials folded in "
+              "index order) or linalg::blocked");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: raw-thread
+// ---------------------------------------------------------------------------
+
+void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
+  if (PathContains(f.path, "src/exec/")) return;
+  const Tokens& t = f.tokens;
+  static const std::set<std::string> kPrimitives = {
+      "thread",       "jthread",       "mutex",
+      "recursive_mutex", "shared_mutex", "timed_mutex",
+      "condition_variable", "condition_variable_any",
+      "atomic",       "atomic_flag",   "atomic_ref",
+      "lock_guard",   "unique_lock",   "scoped_lock",
+      "shared_lock",  "future",        "promise",
+      "async",        "barrier",       "latch",
+      "counting_semaphore", "binary_semaphore"};
+  static const std::set<std::string> kHeaders = {
+      "<thread>",  "<mutex>",  "<atomic>", "<condition_variable>",
+      "<future>",  "<shared_mutex>", "<barrier>", "<latch>",
+      "<semaphore>", "<stop_token>"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == Token::Kind::kPreproc) {
+      for (const auto& h : kHeaders) {
+        if (t[i].text.rfind("#include", 0) == 0 &&
+            t[i].text.find(h) != std::string::npos) {
+          Add(out, f, "raw-thread", t[i].line,
+              "include of " + h +
+                  " outside src/exec/ — engines must use the "
+                  "mlbench::exec layer so charges and RNG streams stay "
+                  "deterministic");
+        }
+      }
+      continue;
+    }
+    if (IsIdent(t, i, "std") && IsPunct(t, i + 1, "::") &&
+        IsAnyIdent(t, i + 2) && kPrimitives.count(t[i + 2].text) != 0) {
+      Add(out, f, "raw-thread", t[i].line,
+          "raw std::" + t[i + 2].text +
+              " outside src/exec/ — engines must use the mlbench::exec "
+              "layer (ParallelFor/ParallelReduce + ChargeLedger) so "
+              "results stay bit-identical at any thread count");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: header-hygiene
+// ---------------------------------------------------------------------------
+
+void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  if (f.is_header) {
+    bool guarded = false;
+    // `#pragma once` anywhere, or the classic #ifndef/#define pair as the
+    // first two directives.
+    const Token* first_directive = nullptr;
+    for (const auto& tok : t) {
+      if (tok.kind != Token::Kind::kPreproc) continue;
+      if (tok.text.rfind("#pragma", 0) == 0 &&
+          tok.text.find("once") != std::string::npos) {
+        guarded = true;
+        break;
+      }
+      if (first_directive == nullptr) {
+        first_directive = &tok;
+        if (tok.text.rfind("#ifndef", 0) == 0) guarded = true;
+      }
+    }
+    if (!guarded) {
+      Add(out, f, "header-hygiene", 1,
+          "header has no include guard — add `#pragma once`");
+    }
+  }
+  if (!f.is_header) return;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (IsIdent(t, i, "using") && IsIdent(t, i + 1, "namespace")) {
+      Add(out, f, "header-hygiene", t[i].line,
+          "`using namespace` at header scope leaks into every includer");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry / driver
+// ---------------------------------------------------------------------------
+
+std::vector<RuleInfo> Rules() {
+  return {
+      {"nondet-random",
+       "std::random_device / rand() / time() / clock() outside src/stats/"},
+      {"unordered-iter",
+       "iteration over std::unordered_{map,set} — order-dependence hazard"},
+      {"charge-in-parallel",
+       "ClusterSim charges in ParallelFor/Reduce bodies with no ScopedLedger"},
+      {"raw-thread",
+       "raw std::thread/mutex/atomic outside src/exec/"},
+      {"naive-reduction",
+       "captured `x +=` accumulation inside a parallel region"},
+      {"header-hygiene",
+       "missing include guard / `using namespace` at header scope"},
+      {"bad-suppression",
+       "mlint: allow(...) comment with no reason, or for an unknown rule"},
+  };
+}
+
+void CheckFile(const SourceFile& file, std::vector<Finding>* out) {
+  std::vector<Finding> raw;
+  CheckNondetRandom(file, &raw);
+  CheckUnorderedIter(file, &raw);
+  CheckChargeInParallel(file, &raw);
+  CheckRawThread(file, &raw);
+  CheckNaiveReduction(file, &raw);
+  CheckHeaderHygiene(file, &raw);
+
+  std::set<std::string> known;
+  for (const auto& r : Rules()) known.insert(r.name);
+
+  // Validate suppressions; reasonless or unknown-rule allowances are
+  // findings themselves and suppress nothing.
+  std::set<std::pair<std::string, int>> active;  // (rule, line)
+  for (const auto& a : file.allowances) {
+    if (known.count(a.rule) == 0) {
+      Finding fd;
+      fd.rule = "bad-suppression";
+      fd.path = file.path;
+      fd.line = a.comment_line;
+      fd.message = "mlint: allow(" + a.rule + ") names an unknown rule";
+      fd.snippet = file.Snippet(a.comment_line);
+      raw.push_back(std::move(fd));
+      continue;
+    }
+    if (a.reason.size() < 3) {
+      Finding fd;
+      fd.rule = "bad-suppression";
+      fd.path = file.path;
+      fd.line = a.comment_line;
+      fd.message = "mlint: allow(" + a.rule +
+                   ") has no reason — every suppression must argue why the "
+                   "site is safe";
+      fd.snippet = file.Snippet(a.comment_line);
+      raw.push_back(std::move(fd));
+      continue;
+    }
+    active.insert({a.rule, a.line});
+  }
+
+  for (auto& fd : raw) {
+    if (active.count({fd.rule, fd.line}) != 0) continue;
+    out->push_back(std::move(fd));
+  }
+}
+
+int LintResult::NewCount() const {
+  int n = 0;
+  for (const auto& f : findings) n += f.baselined ? 0 : 1;
+  return n;
+}
+int LintResult::BaselinedCount() const {
+  return static_cast<int>(findings.size()) - NewCount();
+}
+
+LintResult LintContent(const std::string& path, const std::string& content) {
+  LintResult r;
+  r.files_scanned = 1;
+  SourceFile f = Parse(path, content);
+  CheckFile(f, &r.findings);
+  return r;
+}
+
+namespace {
+
+bool LintableFile(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool SkippableDir(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+}  // namespace
+
+LintResult LintPaths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  LintResult r;
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, ec), end;
+      for (; it != end; it.increment(ec)) {
+        if (it->is_directory() && SkippableDir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && LintableFile(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::exists(p, ec)) {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    SourceFile f = Parse(path, ss.str());
+    CheckFile(f, &r.findings);
+    ++r.files_scanned;
+  }
+  std::stable_sort(r.findings.begin(), r.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+std::string FindingKey(const Finding& f) {
+  return f.rule + "|" + f.path + "|" + f.snippet;
+}
+
+std::multimap<std::string, int> ParseBaseline(const std::string& text) {
+  std::multimap<std::string, int> out;
+  std::stringstream ss(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    out.emplace(trimmed, lineno);
+  }
+  return out;
+}
+
+int ApplyBaseline(const std::string& baseline_text, LintResult* result) {
+  auto entries = ParseBaseline(baseline_text);
+  for (auto& f : result->findings) {
+    auto it = entries.find(FindingKey(f));
+    if (it != entries.end()) {
+      f.baselined = true;
+      entries.erase(it);  // each entry absorbs one finding
+    }
+  }
+  return static_cast<int>(entries.size());
+}
+
+// ---------------------------------------------------------------------------
+// Reporters
+// ---------------------------------------------------------------------------
+
+std::string TextReport(const LintResult& result) {
+  std::stringstream out;
+  for (const auto& f : result.findings) {
+    if (f.baselined) continue;
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+    if (!f.snippet.empty()) out << "    " << f.snippet << "\n";
+  }
+  out << "mlint: " << result.files_scanned << " files, "
+      << result.findings.size() << " findings (" << result.NewCount()
+      << " new, " << result.BaselinedCount() << " baselined)\n";
+  return out.str();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JsonReport(const LintResult& result) {
+  std::stringstream out;
+  out << "{\n  \"mlint_version\": 1,\n  \"files_scanned\": "
+      << result.files_scanned << ",\n  \"summary\": {\"total\": "
+      << result.findings.size() << ", \"new\": " << result.NewCount()
+      << ", \"baselined\": " << result.BaselinedCount()
+      << "},\n  \"findings\": [";
+  bool first = true;
+  for (const auto& f : result.findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"rule\": \"" << JsonEscape(f.rule) << "\", \"path\": \""
+        << JsonEscape(f.path) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << JsonEscape(f.message)
+        << "\", \"snippet\": \"" << JsonEscape(f.snippet)
+        << "\", \"baselined\": " << (f.baselined ? "true" : "false") << "}";
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace mlint

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+/// \file mlint.h
+/// mlint — the repo-specific determinism & accounting linter.
+///
+/// Every number this repository reports rests on invariants the compiler
+/// cannot check: simulated charges, RNG streams and peak-RAM ledgers must be
+/// bit-identical across thread counts and engine representations. mlint
+/// makes those invariants machine-checked: it tokenizes each source file
+/// (comments and string/char literals stripped, so fixture snippets and
+/// docs never trigger rules), runs a registry of repo-specific rules over
+/// the token stream, honors inline
+///     `// mlint: allow <rule-list> — <reason>` (rule list in parens)
+/// suppressions (the reason is mandatory; a bare allow() is itself a
+/// finding), subtracts a checked-in baseline, and reports the rest as text
+/// or JSON. See DESIGN.md §11 for the rule-by-rule rationale.
+
+namespace mlint {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    kIdent,    // identifiers and keywords
+    kNumber,   // numeric literals
+    kPunct,    // operators / punctuation (mostly single chars; ::, ->, +=)
+    kPreproc,  // one whole preprocessor directive, continuations folded
+  };
+  Kind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+};
+
+/// One inline suppression comment. `line` is the source line the allowance
+/// applies to: a trailing comment covers its own line, a comment-only line
+/// covers the next line that carries code.
+struct Allowance {
+  std::string rule;   // rule name inside allow(...)
+  std::string reason; // free text after the closing paren; may be empty
+  int line;           // effective line the allowance covers
+  int comment_line;   // line the comment itself sits on
+};
+
+struct SourceFile {
+  std::string path;
+  bool is_header = false;
+  std::vector<std::string> lines;  // raw source, for snippets
+  std::vector<Token> tokens;
+  std::vector<Allowance> allowances;
+
+  /// Raw line `line` (1-based), trimmed; empty string when out of range.
+  std::string Snippet(int line) const;
+};
+
+/// Tokenizes `content` as C++ source. Never fails: unterminated literals
+/// and comments are closed at end of file.
+SourceFile Parse(std::string path, const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Findings and rules
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+  std::string snippet;
+  bool baselined = false;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// Names and one-line summaries of every registered rule, in check order.
+std::vector<RuleInfo> Rules();
+
+/// Runs every rule over one parsed file, applies inline allowances, and
+/// appends surviving findings (bad suppressions included) to `out`.
+void CheckFile(const SourceFile& file, std::vector<Finding>* out);
+
+// ---------------------------------------------------------------------------
+// Driving
+// ---------------------------------------------------------------------------
+
+struct LintResult {
+  std::vector<Finding> findings;  // stable order: path, then line
+  int files_scanned = 0;
+
+  int NewCount() const;        // findings not matched by the baseline
+  int BaselinedCount() const;
+};
+
+/// Lints in-memory content; the unit the tests drive.
+LintResult LintContent(const std::string& path, const std::string& content);
+
+/// Lints files and directories (recursing into *.h / *.cc, skipping any
+/// directory whose name starts with "build" or ".").
+LintResult LintPaths(const std::vector<std::string>& paths);
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+//
+// The baseline file grandfathers known findings so the lint gate can be
+// enabled before every legacy site is fixed. One entry per line:
+//
+//     <rule>|<path>|<trimmed source line>
+//
+// '#' starts a comment. Matching is by content, not line number, so
+// unrelated edits do not invalidate entries; each entry absorbs at most one
+// finding (duplicates need duplicate entries). The goal state — and the
+// state this repo ships in — is an empty baseline.
+
+/// Identity of a finding for baseline matching.
+std::string FindingKey(const Finding& f);
+
+/// Parses baseline text into a multiset of finding keys.
+std::multimap<std::string, int> ParseBaseline(const std::string& text);
+
+/// Marks findings present in the baseline; returns the number of stale
+/// baseline entries (entries that matched nothing — candidates to delete).
+int ApplyBaseline(const std::string& baseline_text, LintResult* result);
+
+// ---------------------------------------------------------------------------
+// Reporters
+// ---------------------------------------------------------------------------
+
+/// Human-readable report: one `path:line: [rule] message` per finding plus
+/// a summary line.
+std::string TextReport(const LintResult& result);
+
+/// Machine-readable report. Schema (stable, checked by mlint_test):
+///   {"mlint_version": 1,
+///    "files_scanned": N,
+///    "summary": {"total": N, "new": N, "baselined": N},
+///    "findings": [{"rule": "...", "path": "...", "line": N,
+///                  "message": "...", "snippet": "...",
+///                  "baselined": false}, ...]}
+std::string JsonReport(const LintResult& result);
+
+}  // namespace mlint
