@@ -23,13 +23,20 @@ enum class StatusCode {
   kNotFound,
   kUnimplemented,
   kInternal,
+  kUnavailable,        ///< simulated machine failed permanently (retries spent)
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OutOfMemory", ...).
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error outcome carrying a code and a message.
-class Status {
+///
+/// [[nodiscard]]: every Status a function returns encodes an outcome the
+/// caller must act on — a silently dropped simulated OOM or machine
+/// failure would corrupt the benchmark numbers it feeds. The mlint
+/// `ignored-status` rule enforces the same contract on call sites the
+/// compiler cannot see (see DESIGN.md §11).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -55,15 +62,23 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return msg_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
-  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  [[nodiscard]] bool IsOutOfMemory() const {
+    return code_ == StatusCode::kOutOfMemory;
+  }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code_ == StatusCode::kUnavailable;
+  }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_;
@@ -85,17 +100,17 @@ class Result {
   /// Implicit from non-OK status (failure). An OK status is a logic error.
   Result(Status st) : v_(std::move(st)) {}   // NOLINT(google-explicit-constructor)
 
-  bool ok() const { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
 
-  const Status& status() const {
+  [[nodiscard]] const Status& status() const {
     static const Status kOk = Status::OK();
     if (ok()) return kOk;
     return std::get<Status>(v_);
   }
 
-  T& value() & { return std::get<T>(v_); }
-  const T& value() const& { return std::get<T>(v_); }
-  T&& value() && { return std::get<T>(std::move(v_)); }
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
 
   T& operator*() & { return value(); }
   const T& operator*() const& { return value(); }
@@ -103,7 +118,7 @@ class Result {
   const T* operator->() const { return &value(); }
 
   /// Returns the value, or `fallback` if this Result holds an error.
-  T ValueOr(T fallback) const {
+  [[nodiscard]] T ValueOr(T fallback) const {
     return ok() ? std::get<T>(v_) : std::move(fallback);
   }
 

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_profile.h"
+#include "sim/faults.h"
 #include "sim/machine.h"
 
 /// \file experiment.h
@@ -46,6 +47,18 @@ struct ExperimentConfig {
   void ApplyNoise(sim::ClusterSim* sim) const {
     if (noise_seed != 0) sim->SetNoise(noise_fraction, noise_seed);
   }
+
+  /// Fault schedule and recovery knobs (DESIGN.md §12). Defaults to the
+  /// ambient MLBENCH_FAULT_* environment (disabled when unset); a
+  /// disabled spec never touches the simulator, so runs stay
+  /// bit-identical to a build without the fault subsystem.
+  sim::FaultSpec faults = sim::FaultSpec::FromEnv();
+
+  /// Installs the configured fault schedule on a simulator. Call after
+  /// ApplyNoise, before any engine work.
+  void ApplyFaults(sim::ClusterSim* sim) const {
+    if (faults.Enabled()) sim->SetFaultInjector(faults.MakeInjector());
+  }
 };
 
 /// Outcome of one run, in the shape of the paper's table cells.
@@ -55,8 +68,21 @@ struct RunResult {
   std::vector<double> iteration_seconds;
   /// Highest simulated per-machine residency observed during the run.
   double peak_machine_bytes = 0;
+  /// Fault recovery accounting (all zero when injection is off): events
+  /// the engine recovered from and the simulated seconds recovery cost.
+  int recovery_events = 0;
+  double recovery_seconds = 0;
 
   bool ok() const { return status.ok(); }
+
+  /// Copies recovery accounting out of a simulator's fault injector (a
+  /// no-op when no injector is installed).
+  void CaptureFaultStats(const sim::ClusterSim& sim) {
+    const sim::FaultInjector* inj = sim.faults();
+    if (inj == nullptr) return;
+    recovery_events = static_cast<int>(inj->recoveries().size());
+    recovery_seconds = inj->total_recovery_seconds();
+  }
 
   double avg_iteration_seconds() const {
     if (iteration_seconds.empty()) return -1;

@@ -82,7 +82,9 @@ GmmMsg CombineMsgs(const GmmMsg& a, const GmmMsg& b) {
 RunResult RunGmmBsp(const GmmExperiment& exp, models::GmmParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   Engine engine(&sim);
+  engine.SetCheckpointInterval(exp.config.faults.checkpoint_interval);
   GmmDataGen gen(exp.config.seed, exp.k, exp.dim);
   const double d = static_cast<double>(exp.dim);
   const long long n_act = exp.config.data.actual_per_machine;
@@ -388,6 +390,7 @@ RunResult RunGmmBsp(const GmmExperiment& exp, models::GmmParams* final_model) {
   }
   engine.Shutdown();
   result.peak_machine_bytes = sim.peak_bytes();
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -54,7 +54,9 @@ RunResult RunGmmDataflow(const GmmExperiment& exp,
                          models::GmmParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   dataflow::ContextOptions opts;
+  opts.evict_cache_on_pressure = exp.config.faults.evict_cache_on_pressure;
   opts.language = exp.language;
   // One record = one chunk; the plain variant uses chunks of one point.
   const long long chunk =
@@ -285,10 +287,14 @@ RunResult RunGmmDataflow(const GmmExperiment& exp,
     ctx.EndJob();
 
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!ctx.fault_status().ok()) {
+      return RunResult::Fail(ctx.fault_status(), result.init_seconds);
+    }
   }
 
   if (final_model != nullptr) *final_model = params;
   result.peak_machine_bytes = sim.peak_bytes();
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

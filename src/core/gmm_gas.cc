@@ -182,6 +182,7 @@ RunResult RunGmmGas(const GmmExperiment& exp,
                     models::GmmParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   GmmDataGen gen(exp.config.seed, exp.k, exp.dim);
   const double d = static_cast<double>(exp.dim);
   const long long n_act = exp.config.data.actual_per_machine;
@@ -261,6 +262,7 @@ RunResult RunGmmGas(const GmmExperiment& exp,
 
   // ---- Initialization -------------------------------------------------------
   gas::GasEngine<VData> engine(&sim, &graph);
+  engine.SetSnapshotInterval(exp.config.faults.snapshot_interval);
   Status boot = engine.Boot();
   if (!boot.ok()) return RunResult::Fail(boot);
 
@@ -330,6 +332,7 @@ RunResult RunGmmGas(const GmmExperiment& exp,
     *final_model = params;
   }
   result.peak_machine_bytes = sim.peak_bytes();
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

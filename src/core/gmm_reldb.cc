@@ -237,6 +237,7 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
                       models::GmmParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   Database db(&sim, sim::RelDbCosts{}, exp.config.seed);
   GmmDataGen gen(exp.config.seed, exp.k, exp.dim);
 
@@ -547,10 +548,14 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
 
     params = ReadModel(db, i, exp.k, exp.dim);
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!db.fault_status().ok()) {
+      return RunResult::Fail(db.fault_status(), result.init_seconds);
+    }
   }
 
   if (final_model != nullptr) *final_model = params;
   result.peak_machine_bytes = sim.peak_bytes();
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -40,7 +40,9 @@ RunResult RunHmmBsp(const HmmExperiment& exp,
                     models::HmmParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   Engine engine(&sim);
+  engine.SetCheckpointInterval(exp.config.faults.checkpoint_interval);
   CorpusGen gen(exp.config.seed, exp.vocab, exp.mean_doc_len);
   models::HmmHyper hyper{exp.states, exp.vocab, 1.0, 0.1};
   const int machines = exp.config.machines;
@@ -268,6 +270,7 @@ RunResult RunHmmBsp(const HmmExperiment& exp,
     *final_model = models::SampleHmmPosterior(frng, hyper, counts);
   }
   engine.Shutdown();
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -36,7 +36,9 @@ RunResult RunHmmDataflow(const HmmExperiment& exp,
                          models::HmmParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   dataflow::ContextOptions opts;
+  opts.evict_cache_on_pressure = exp.config.faults.evict_cache_on_pressure;
   opts.language = exp.language;
   opts.scale = exp.config.data.scale();  // per document
   opts.seed = exp.config.seed;
@@ -232,9 +234,13 @@ RunResult RunHmmDataflow(const HmmExperiment& exp,
     dctx.EndJob();
 
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!dctx.fault_status().ok()) {
+      return RunResult::Fail(dctx.fault_status(), result.init_seconds);
+    }
   }
 
   if (final_model != nullptr) *final_model = params;
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -132,6 +132,7 @@ RunResult RunHmmGas(const HmmExperiment& exp,
                     models::HmmParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   CorpusGen gen(exp.config.seed, exp.vocab, exp.mean_doc_len);
   models::HmmHyper hyper{exp.states, exp.vocab, 1.0, 0.1};
   const int machines = exp.config.machines;
@@ -185,6 +186,7 @@ RunResult RunHmmGas(const HmmExperiment& exp,
   }
 
   gas::GasEngine<VData> engine(&sim, &graph);
+  engine.SetSnapshotInterval(exp.config.faults.snapshot_interval);
   Status boot = engine.Boot();
   if (!boot.ok()) return RunResult::Fail(boot);
 
@@ -230,6 +232,7 @@ RunResult RunHmmGas(const HmmExperiment& exp,
     if (total > 0) out.delta0 /= total;
     *final_model = out;
   }
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -82,6 +82,7 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
                       models::HmmParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   Database db(&sim, sim::RelDbCosts{}, exp.config.seed);
   CorpusGen gen(exp.config.seed, exp.vocab, exp.mean_doc_len);
   models::HmmHyper hyper{exp.states, exp.vocab, 1.0, 0.1};
@@ -265,9 +266,13 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
     }
     db.DropVersionsBefore("states", i);
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!db.fault_status().ok()) {
+      return RunResult::Fail(db.fault_status(), result.init_seconds);
+    }
   }
 
   if (final_model != nullptr) *final_model = params;
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -37,7 +37,9 @@ RunResult RunLassoBsp(const LassoExperiment& exp,
                       models::LassoState* final_state) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   Engine engine(&sim);
+  engine.SetCheckpointInterval(exp.config.faults.checkpoint_interval);
   LassoDataGen gen(exp.config.seed, exp.p);
   const double p = static_cast<double>(exp.p);
   const long long n_act = exp.config.data.actual_per_machine;
@@ -233,6 +235,7 @@ RunResult RunLassoBsp(const LassoExperiment& exp,
   }
 
   if (final_state != nullptr) *final_state = *model_state;
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

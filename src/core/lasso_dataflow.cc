@@ -29,7 +29,9 @@ RunResult RunLassoDataflow(const LassoExperiment& exp,
                            models::LassoState* final_state) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   dataflow::ContextOptions opts;
+  opts.evict_cache_on_pressure = exp.config.faults.evict_cache_on_pressure;
   opts.language = exp.language;
   opts.scale = exp.config.data.scale();
   opts.seed = exp.config.seed;
@@ -167,9 +169,13 @@ RunResult RunLassoDataflow(const LassoExperiment& exp,
     state->sigma2 = models::SampleSigma2(rng, hyper, stats, state->beta,
                                          state->inv_tau2, sse);
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!ctx.fault_status().ok()) {
+      return RunResult::Fail(ctx.fault_status(), result.init_seconds);
+    }
   }
 
   if (final_state != nullptr) *final_state = *state;
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

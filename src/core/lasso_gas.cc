@@ -131,6 +131,7 @@ RunResult RunLassoGas(const LassoExperiment& exp,
                       models::LassoState* final_state) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   LassoDataGen gen(exp.config.seed, exp.p);
   const double p = static_cast<double>(exp.p);
   const long long n_act = exp.config.data.actual_per_machine;
@@ -192,6 +193,7 @@ RunResult RunLassoGas(const LassoExperiment& exp,
   double y_avg = y_sum / static_cast<double>(total_points);
 
   gas::GasEngine<VData> engine(&sim, &graph);
+  engine.SetSnapshotInterval(exp.config.faults.snapshot_interval);
   Status boot = engine.Boot();
   if (!boot.ok()) return RunResult::Fail(boot);
 
@@ -241,6 +243,7 @@ RunResult RunLassoGas(const LassoExperiment& exp,
   }
 
   if (final_state != nullptr) *final_state = *center_state;
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -60,6 +60,7 @@ RunResult RunLassoRelDb(const LassoExperiment& exp,
                         models::LassoState* final_state) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   Database db(&sim, sim::RelDbCosts{}, exp.config.seed);
   LassoDataGen gen(exp.config.seed, exp.p);
 
@@ -218,9 +219,13 @@ RunResult RunLassoRelDb(const LassoExperiment& exp,
     db.DropVersionsBefore("tau", i);
     db.DropVersionsBefore("sigma", i);
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!db.fault_status().ok()) {
+      return RunResult::Fail(db.fault_status(), result.init_seconds);
+    }
   }
 
   if (final_state != nullptr) *final_state = *state;
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

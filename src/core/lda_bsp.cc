@@ -44,7 +44,9 @@ RunResult RunLdaBsp(const LdaExperiment& exp,
   }
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   Engine engine(&sim);
+  engine.SetCheckpointInterval(exp.config.faults.checkpoint_interval);
   CorpusGen gen(exp.config.seed, exp.vocab, exp.mean_doc_len);
   models::LdaHyper hyper{exp.topics, exp.vocab, 0.5, 0.1};
   const int machines = exp.config.machines;
@@ -236,6 +238,7 @@ RunResult RunLdaBsp(const LdaExperiment& exp,
     *final_model = models::SampleLdaPosterior(frng, hyper, counts);
   }
   engine.Shutdown();
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

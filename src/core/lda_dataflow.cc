@@ -34,7 +34,9 @@ RunResult RunLdaDataflow(const LdaExperiment& exp,
   }
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   dataflow::ContextOptions opts;
+  opts.evict_cache_on_pressure = exp.config.faults.evict_cache_on_pressure;
   opts.language = exp.language;
   opts.seed = exp.config.seed;
 
@@ -167,9 +169,13 @@ RunResult RunLdaDataflow(const LdaExperiment& exp,
     ctx.EndJob();
 
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!ctx.fault_status().ok()) {
+      return RunResult::Fail(ctx.fault_status(), result.init_seconds);
+    }
   }
 
   if (final_model != nullptr) *final_model = params;
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -135,6 +135,7 @@ RunResult RunLdaGas(const LdaExperiment& exp,
                     models::LdaParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   CorpusGen gen(exp.config.seed, exp.vocab, exp.mean_doc_len);
   models::LdaHyper hyper{exp.topics, exp.vocab, 0.5, 0.1};
   const int machines = exp.config.machines;
@@ -189,6 +190,7 @@ RunResult RunLdaGas(const LdaExperiment& exp,
   }
 
   gas::GasEngine<VData> engine(&sim, &graph);
+  engine.SetSnapshotInterval(exp.config.faults.snapshot_interval);
   Status boot = engine.Boot();
   if (!boot.ok()) return RunResult::Fail(boot);
 
@@ -228,6 +230,7 @@ RunResult RunLdaGas(const LdaExperiment& exp,
     }
     *final_model = out;
   }
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

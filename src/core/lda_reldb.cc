@@ -77,6 +77,7 @@ RunResult RunLdaRelDb(const LdaExperiment& exp,
                       models::LdaParams* final_model) {
   sim::ClusterSim sim(exp.config.cluster());
   exp.config.ApplyNoise(&sim);
+  exp.config.ApplyFaults(&sim);
   Database db(&sim, sim::RelDbCosts{}, exp.config.seed);
   CorpusGen gen(exp.config.seed, exp.vocab, exp.mean_doc_len);
   models::LdaHyper hyper{exp.topics, exp.vocab, 0.5, 0.1};
@@ -244,10 +245,14 @@ RunResult RunLdaRelDb(const LdaExperiment& exp,
     }
     db.DropVersionsBefore("topics", i);
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!db.fault_status().ok()) {
+      return RunResult::Fail(db.fault_status(), result.init_seconds);
+    }
     (void)logical_words;
   }
 
   if (final_model != nullptr) *final_model = params;
+  result.CaptureFaultStats(sim);
   result.status = Status::OK();
   return result;
 }

@@ -50,7 +50,7 @@ template <typename K>
 using HashOf = std::conditional_t<IsPair<K>::value, PairHash, std::hash<K>>;
 
 template <typename T>
-struct RddNode {
+struct RddNode : CacheHolder {
   Context* ctx = nullptr;
   int num_partitions = 0;
   double record_bytes = 8;
@@ -60,6 +60,9 @@ struct RddNode {
   std::function<Result<std::vector<T>>(int)> compute;
 
   bool cached = false;
+  /// Context cache-registry id while `cached` (see Rdd::Cache); -1 when
+  /// this node has never been cached.
+  std::int64_t cache_id = -1;
   /// Cache state. Partition tasks may materialize concurrently, so the
   /// fill flags are guarded by a mutex; `cache_store` is presized before
   /// any fill (never reallocated mid-job) and each slot is written by
@@ -104,11 +107,48 @@ struct RddNode {
         cache_filled[p] = 1;
       }
       // Persist: charge this partition's logical bytes on its machine.
+      // Admission goes through the context so memory pressure can evict
+      // or skip (evict_cache_on_pressure) instead of failing the job.
       double bytes = static_cast<double>(r->size()) * scale * record_bytes;
-      MLBENCH_RETURN_NOT_OK(ctx->sim().Allocate(
-          ctx->MachineOf(p, num_partitions), bytes, "cached RDD partition"));
+      MLBENCH_RETURN_NOT_OK(ctx->CacheAllocate(
+          ctx->MachineOf(p, num_partitions), bytes, cache_id, p));
     }
     return r;
+  }
+
+  // CacheHolder: both methods run from serial code only (job boundaries,
+  // ledger commits); the lock still guards against a concurrent fill.
+
+  double EvictMachine(int machine) override {
+    // mlint: allow(raw-thread) — guards the write-once fill flags only
+    std::lock_guard<std::mutex> lock(cache_mu);
+    double freed = 0;
+    for (int p = 0; p < static_cast<int>(cache_filled.size()); ++p) {
+      if (cache_filled[p] == 0) continue;
+      if (ctx->MachineOf(p, num_partitions) != machine) continue;
+      double bytes =
+          static_cast<double>(cache_store[p].size()) * scale * record_bytes;
+      ctx->sim().Free(machine, bytes);
+      cache_store[p].clear();
+      cache_store[p].shrink_to_fit();
+      cache_filled[p] = 0;
+      freed += bytes;
+    }
+    return freed;
+  }
+
+  void DropPending(int partition) override {
+    // mlint: allow(raw-thread) — guards the write-once fill flags only
+    std::lock_guard<std::mutex> lock(cache_mu);
+    auto p = static_cast<std::size_t>(partition);
+    if (p >= cache_filled.size() || cache_filled[p] == 0) return;
+    cache_store[p].clear();
+    cache_store[p].shrink_to_fit();
+    cache_filled[p] = 0;
+  }
+
+  ~RddNode() override {
+    if (cache_id >= 0 && ctx != nullptr) ctx->UnregisterCache(cache_id);
   }
 };
 
@@ -162,8 +202,13 @@ class Rdd {
   const std::shared_ptr<detail::RddNode<T>>& node() const { return node_; }
 
   /// Marks this RDD for in-memory persistence; populated by the first
-  /// action that evaluates it (Spark's cache()).
+  /// action that evaluates it (Spark's cache()). Registration with the
+  /// context lets crash recovery and memory-pressure eviction find the
+  /// cached partitions.
   Rdd<T>& Cache() {
+    if (!node_->cached && node_->cache_id < 0) {
+      node_->cache_id = ctx_->RegisterCache(node_.get());
+    }
     node_->cached = true;
     return *this;
   }
@@ -181,6 +226,10 @@ class Rdd {
     }
     node_->cached = false;
     node_->cache_filled.clear();
+    if (node_->cache_id >= 0) {
+      ctx_->UnregisterCache(node_->cache_id);
+      node_->cache_id = -1;
+    }
   }
 
   /// Element-wise transformation. `out_bytes` < 0 inherits this RDD's

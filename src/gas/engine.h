@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "gas/graph.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_profile.h"
+#include "sim/faults.h"
 
 /// \file engine.h
 /// The GraphLab-like gather-apply-scatter engine (paper Section 4.3).
@@ -68,6 +70,14 @@ class GasEngine {
   Graph<VData>& graph() { return *graph_; }
   const sim::GasCosts& costs() const { return costs_; }
 
+  /// GraphLab-style snapshotting: every `n` sweeps each machine writes its
+  /// graph partition to distributed storage. On a machine crash the job
+  /// restarts — the cluster re-ingests the graph (from the snapshot if one
+  /// exists, from the raw input otherwise) and replays the sweeps since.
+  /// `n` <= 0 (the default) disables snapshot writes, GraphLab's default
+  /// configuration: a crash then loses all sweeps run so far.
+  void SetSnapshotInterval(int n) { snapshot_interval_ = n; }
+
   /// Starts the engine: checks cluster bootability and pins the graph
   /// (vertex state + adjacency) in cluster RAM.
   Status Boot() {
@@ -102,6 +112,8 @@ class GasEngine {
       graph_bytes_ = 0;
       return st;
     }
+    machine_graph_bytes_ = std::move(machine_bytes);
+    wall_since_snapshot_.clear();
     booted_ = true;
     return Status::OK();
   }
@@ -126,6 +138,68 @@ class GasEngine {
     const int machines = sim_->machines();
     sim_->BeginPhase("gas:" + name);
     sim_->ChargeFixed(costs_.sweep_launch_s);
+
+    // Snapshot write: every machine flushes its graph partition to
+    // distributed storage inside the sweep (GraphLab stops the world to
+    // snapshot). Sweep 0's snapshot doubles as the initial consistent
+    // image. Charged whenever snapshotting is on, faults or not — the
+    // overhead-vs-interval tradeoff is part of the fault model.
+    const std::int64_t unit = sweep_index_++;
+    if (snapshot_interval_ > 0 && unit % snapshot_interval_ == 0) {
+      for (int m = 0; m < machines; ++m) {
+        sim_->ChargeCpu(m, machine_graph_bytes_[m] /
+                               sim_->spec().machine.disk_bytes_per_sec);
+      }
+      wall_since_snapshot_.clear();
+    }
+
+    // Fault schedule for this sweep. GraphLab has no speculative
+    // execution and no per-task retry inside a sweep: a straggler simply
+    // holds the async engine's locks longer, a failed view transfer is
+    // retried by the RPC layer, and a machine crash kills the whole job
+    // (recovery is charged after the sweep completes, below).
+    sim::FaultInjector* inj = sim_->faults();
+    const bool faults_on = inj != nullptr && inj->active();
+    int worst_crash = 0;
+    int crash_machine = -1;
+    if (faults_on) {
+      const sim::FaultPlan& plan = inj->plan();
+      const sim::RetryPolicy& retry = inj->retry();
+      for (int m = 0; m < machines; ++m) {
+        if (int crashes = plan.CrashCountAt(unit, m); crashes > 0) {
+          if (retry.Exhausted(crashes)) {
+            sim_->EndPhase();
+            return Status::Unavailable(
+                "machine " + std::to_string(m) + " failed " +
+                std::to_string(crashes) + " restarts of GAS sweep " +
+                std::to_string(unit));
+          }
+          if (crashes > worst_crash) {
+            worst_crash = crashes;
+            crash_machine = m;
+          }
+        }
+        if (double f = plan.StragglerFactorAt(unit, m); f > 1.0) {
+          sim_->ScalePhaseCpu(m, f);
+          inj->RecordRecovery(
+              {sim::FaultKind::kStraggler, "gas:sweep", unit, m, 0.0});
+        }
+        if (int sends = plan.SendFailureCountAt(unit, m); sends > 0) {
+          if (retry.Exhausted(sends)) {
+            sim_->EndPhase();
+            return Status::Unavailable(
+                "machine " + std::to_string(m) + " view transfer failed " +
+                std::to_string(sends) + " attempts in GAS sweep " +
+                std::to_string(unit));
+          }
+          sim_->ScalePhaseNet(m, 1.0 + static_cast<double>(sends));
+          double backoff = retry.BackoffSeconds(sends);
+          sim_->ChargeFixed(backoff);
+          inj->RecordRecovery(
+              {sim::FaultKind::kSendFailure, "gas:sweep", unit, m, backoff});
+        }
+      }
+    }
 
     // Phase 1 of the model: the engine activates all vertices and
     // materializes their gather views concurrently.
@@ -298,7 +372,28 @@ class GasEngine {
       sim_->ChargeNetwork(m, net_bytes_total / machines);
     }
     for (int m = 0; m < machines; ++m) sim_->Free(m, view_bytes[m]);
-    sim_->EndPhase();
+    double wall = sim_->EndPhase();
+    wall_since_snapshot_.push_back(wall);
+
+    // Crash recovery: GraphLab aborts the whole job when a machine dies.
+    // The restart re-ingests the graph on every machine (from the last
+    // snapshot if snapshotting is on, from the raw input otherwise) and
+    // replays the sweeps since that snapshot. Recovery is charge-only: it
+    // never re-runs user code, so RNG draws and results are untouched.
+    if (faults_on && worst_crash > 0) {
+      sim_->BeginPhase("gas:recovery");
+      sim_->ChargeFixed(inj->retry().BackoffSeconds(worst_crash));
+      for (int m = 0; m < machines; ++m) {
+        sim_->ChargeCpu(m, machine_graph_bytes_[m] /
+                               costs_.ingest_bytes_per_sec);
+      }
+      double replay = 0;
+      for (double w : wall_since_snapshot_) replay += w;
+      sim_->ChargeFixed(replay * worst_crash);
+      double rt = sim_->EndPhase();
+      inj->RecordRecovery(
+          {sim::FaultKind::kCrash, "gas:sweep", unit, crash_machine, rt});
+    }
     return Status::OK();
   }
 
@@ -366,6 +461,15 @@ class GasEngine {
   sim::GasCosts costs_;
   bool booted_ = false;
   double graph_bytes_ = 0;
+  /// Sweeps between snapshot writes; <= 0 disables snapshotting.
+  int snapshot_interval_ = 0;
+  /// Fault-schedule unit of the next sweep (counts every RunSweep call).
+  std::int64_t sweep_index_ = 0;
+  /// Graph-partition bytes per machine (snapshot write / reload charges).
+  std::vector<double> machine_graph_bytes_;
+  /// Wall time of each sweep since the last snapshot: the replay cost a
+  /// crash pays on restart.
+  std::vector<double> wall_since_snapshot_;
 };
 
 }  // namespace mlbench::gas

@@ -7,11 +7,14 @@
 #include <unordered_map>
 #include <utility>
 
+#include <algorithm>
+
 #include "common/status.h"
 #include "reldb/column_batch.h"
 #include "reldb/table.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_profile.h"
+#include "sim/faults.h"
 
 /// \file database.h
 /// The SimSQL-like distributed relational database (paper Section 4.2).
@@ -134,16 +137,80 @@ class Database {
     ChargeExtraJob();
   }
 
-  /// Charges one additional MR job inside the current query.
+  /// Charges one additional MR job inside the current query. Every MR job
+  /// (initial or extra) is one fault-schedule unit: Hadoop's recovery
+  /// story — failed-task re-execution, speculative backup tasks for
+  /// stragglers, shuffle retries — is applied per job.
   void ChargeExtraJob() {
     sim_->ChargeFixed(costs_.mr_job_launch_s +
                       costs_.mr_job_per_machine_s * sim_->machines());
+    ApplyJobFaults();
   }
 
   /// Closes the query phase; returns its simulated wall time.
   double EndQuery() { return sim_->EndPhase(); }
 
+  /// Latched permanent simulated failure (a machine crashed more times
+  /// than the retry budget allows, or the shuffle never got through).
+  /// Drivers abort the run with this status; the memory ledger stays
+  /// consistent because reldb never pins RAM.
+  const Status& fault_status() const { return fault_status_; }
+
  private:
+  /// Hadoop-faithful recovery for MR job `job_index_` (then advances it).
+  /// Serial by construction: jobs are launched from driver / operator
+  /// code, never inside a parallel chunk.
+  void ApplyJobFaults() {
+    const std::int64_t job = job_index_++;
+    sim::FaultInjector* inj = sim_->faults();
+    if (inj == nullptr || !inj->active() || !fault_status_.ok()) return;
+    const sim::FaultPlan& plan = inj->plan();
+    const sim::RetryPolicy& retry = inj->retry();
+    for (int m = 0; m < sim_->machines(); ++m) {
+      if (int crashes = plan.CrashCountAt(job, m); crashes > 0) {
+        if (retry.Exhausted(crashes)) {
+          fault_status_ = Status::Unavailable(
+              "machine " + std::to_string(m) + " failed " +
+              std::to_string(crashes) + " attempts of MR job " +
+              std::to_string(job));
+          return;
+        }
+        // The JobTracker reschedules the dead machine's map/reduce tasks;
+        // each failed attempt re-executes that machine's share of the job
+        // from its replicated inputs, plus detection/backoff time.
+        sim_->ScalePhaseCpu(m, 1.0 + static_cast<double>(crashes));
+        double backoff = retry.BackoffSeconds(crashes);
+        sim_->ChargeFixed(backoff);
+        inj->RecordRecovery({sim::FaultKind::kCrash, "reldb:job", job, m,
+                             backoff});
+      }
+      if (double f = plan.StragglerFactorAt(job, m); f > 1.0) {
+        // Speculative execution: a backup copy of the slow machine's
+        // tasks launches on a neighbor; the stage finishes when either
+        // copy does, capping the effective slow-down at 2x.
+        sim_->ScalePhaseCpu(m, std::min(f, 2.0));
+        sim_->MirrorPhaseCpu(m, (m + 1) % sim_->machines(), 1.0);
+        inj->RecordRecovery(
+            {sim::FaultKind::kStraggler, "reldb:job", job, m, 0.0});
+      }
+      if (int sends = plan.SendFailureCountAt(job, m); sends > 0) {
+        if (retry.Exhausted(sends)) {
+          fault_status_ = Status::Unavailable(
+              "machine " + std::to_string(m) + " shuffle failed " +
+              std::to_string(sends) + " attempts in MR job " +
+              std::to_string(job));
+          return;
+        }
+        // Failed shuffle fetches re-transfer this machine's map output.
+        sim_->ScalePhaseNet(m, 1.0 + static_cast<double>(sends));
+        double backoff = retry.BackoffSeconds(sends);
+        sim_->ChargeFixed(backoff);
+        inj->RecordRecovery({sim::FaultKind::kSendFailure, "reldb:job", job,
+                             m, backoff});
+      }
+    }
+  }
+
   /// One stored relation in up to two host forms. Invariant: at least one
   /// of rows/cols is non-null; cols_failed records that a conversion from
   /// the current rows was attempted and the table is type-mixed.
@@ -170,6 +237,8 @@ class Database {
   stats::Rng rng_;
   bool columnar_;
   std::unordered_map<std::string, StoredTable> tables_;
+  std::int64_t job_index_ = 0;
+  Status fault_status_ = Status::OK();
 };
 
 }  // namespace mlbench::reldb

@@ -24,6 +24,10 @@
 /// returns OK, and the OutOfMemory surfaces from CommitLedger at the same
 /// op where the serial run would have died (replay stops there; later ops
 /// in that ledger are discarded, mirroring the serial early-return).
+/// Ops marked `soft` (best-effort cache admissions) are the exception: a
+/// failed soft allocation is skipped and reported to the commit's
+/// soft-failure callback, and replay continues — caches degrade instead
+/// of killing the run (see ClusterSim::AllocateSoft).
 
 namespace mlbench::sim {
 
@@ -65,7 +69,9 @@ class ChargeLedger {
   struct Op {
     OpKind kind;
     bool transient = false;  // successful kAlloc reported to on_transient
+    bool soft = false;       // failed kAlloc skipped + reported, not fatal
     int machine = 0;
+    std::int64_t tag = 0;    // caller-defined id for soft-failure reporting
     double a = 0;
     std::string what;  // only for kAlloc / kAllocAll
   };

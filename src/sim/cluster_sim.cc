@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/str_format.h"
+#include "sim/faults.h"
 #include "stats/distributions.h"
 
 namespace mlbench::sim {
@@ -55,6 +56,24 @@ Status ClusterSim::Allocate(int machine, double bytes, std::string_view what) {
   return Status::OK();
 }
 
+Status ClusterSim::AllocateSoft(int machine, double bytes,
+                                std::string_view what, std::int64_t tag) {
+  MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  MLBENCH_CHECK(bytes >= 0);
+  if (ChargeLedger* led = ChargeLedger::Bound()) {
+    ChargeLedger::Op op;
+    op.kind = ChargeLedger::OpKind::kAlloc;
+    op.soft = true;
+    op.machine = machine;
+    op.tag = tag;
+    op.a = bytes;
+    op.what = std::string(what);
+    led->ops_.push_back(std::move(op));
+    return Status::OK();  // failure, if any, reports via on_soft_fail
+  }
+  return Allocate(machine, bytes, what);
+}
+
 Status ClusterSim::AllocateEverywhere(double bytes_per_machine,
                                       std::string_view what) {
   // Logged as one op so replay preserves the roll-back-on-failure below.
@@ -98,6 +117,12 @@ void ClusterSim::BeginPhase(std::string name) {
   std::fill(phase_cpu_.begin(), phase_cpu_.end(), 0.0);
   std::fill(phase_net_.begin(), phase_net_.end(), 0.0);
   phase_fixed_ = 0;
+  if (phase_adjusted_) {
+    std::fill(phase_cpu_scale_.begin(), phase_cpu_scale_.end(), 1.0);
+    std::fill(phase_net_scale_.begin(), phase_net_scale_.end(), 1.0);
+    phase_mirrors_.clear();
+    phase_adjusted_ = false;
+  }
 }
 
 void ClusterSim::ChargeCpu(int machine, double busy_seconds) {
@@ -167,10 +192,19 @@ double ClusterSim::EndPhase() {
   double worst = 0;
   bool any_network = false;
   for (int m = 0; m < spec_.machines; ++m) {
-    double net_s = phase_net_[m] / spec_.net_bytes_per_sec;
-    if (phase_net_[m] > 0) any_network = true;
-    worst = std::max(worst, phase_cpu_[m] + net_s);
-    rec.max_cpu_seconds = std::max(rec.max_cpu_seconds, phase_cpu_[m]);
+    double cpu_m = phase_cpu_[m];
+    double net_b = phase_net_[m];
+    if (phase_adjusted_) {
+      cpu_m *= phase_cpu_scale_[m];
+      for (const PhaseMirror& mir : phase_mirrors_) {
+        if (mir.dst == m) cpu_m += mir.fraction * phase_cpu_[mir.src];
+      }
+      net_b *= phase_net_scale_[m];
+    }
+    double net_s = net_b / spec_.net_bytes_per_sec;
+    if (net_b > 0) any_network = true;
+    worst = std::max(worst, cpu_m + net_s);
+    rec.max_cpu_seconds = std::max(rec.max_cpu_seconds, cpu_m);
     rec.network_seconds = std::max(rec.network_seconds, net_s);
   }
   double t = phase_fixed_ + worst + (any_network ? spec_.net_latency_s : 0.0);
@@ -196,8 +230,46 @@ void ClusterSim::SetNoise(double stddev_fraction, std::uint64_t seed) {
   noise_rng_ = stats::Rng(seed);
 }
 
+void ClusterSim::SetFaultInjector(std::shared_ptr<FaultInjector> faults) {
+  faults_ = std::move(faults);
+}
+
+void ClusterSim::EnsurePhaseAdjust() {
+  MLBENCH_CHECK(in_phase_);
+  MLBENCH_CHECK_MSG(ChargeLedger::Bound() == nullptr,
+                    "fault adjustments are serial-only");
+  if (phase_adjusted_) return;
+  phase_adjusted_ = true;
+  phase_cpu_scale_.assign(static_cast<std::size_t>(spec_.machines), 1.0);
+  phase_net_scale_.assign(static_cast<std::size_t>(spec_.machines), 1.0);
+  phase_mirrors_.clear();
+}
+
+void ClusterSim::ScalePhaseCpu(int machine, double factor) {
+  MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  MLBENCH_CHECK(factor >= 0);
+  EnsurePhaseAdjust();
+  phase_cpu_scale_[machine] *= factor;
+}
+
+void ClusterSim::ScalePhaseNet(int machine, double factor) {
+  MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
+  MLBENCH_CHECK(factor >= 0);
+  EnsurePhaseAdjust();
+  phase_net_scale_[machine] *= factor;
+}
+
+void ClusterSim::MirrorPhaseCpu(int src, int dst, double fraction) {
+  MLBENCH_CHECK(src >= 0 && src < spec_.machines);
+  MLBENCH_CHECK(dst >= 0 && dst < spec_.machines);
+  MLBENCH_CHECK(fraction >= 0);
+  EnsurePhaseAdjust();
+  phase_mirrors_.push_back(PhaseMirror{src, dst, fraction});
+}
+
 Status ClusterSim::CommitLedger(ChargeLedger& ledger,
-                                const TransientFn& on_transient) {
+                                const TransientFn& on_transient,
+                                const SoftFailFn& on_soft_fail) {
   if (ledger.ops_.empty()) return Status::OK();
   if (ChargeLedger* outer = ChargeLedger::Bound()) {
     // Nested parallel section: re-queue on the outer chunk's ledger. The
@@ -226,6 +298,12 @@ Status ClusterSim::CommitLedger(ChargeLedger& ledger,
       case OpKind::kAlloc: {
         Status st = Allocate(op.machine, op.a, op.what);
         if (!st.ok()) {
+          if (op.soft) {
+            // Best-effort admission: the caller degrades (evicts or
+            // drops the pending cache entry) and replay continues.
+            if (on_soft_fail) on_soft_fail(op.tag, op.machine, op.a);
+            break;
+          }
           // The serial run dies at exactly this op; everything the chunk
           // logged after it would never have executed.
           ledger.Clear();

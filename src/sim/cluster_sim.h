@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +23,8 @@
 /// Status::OutOfMemory exactly where the real platforms died.
 
 namespace mlbench::sim {
+
+class FaultInjector;
 
 /// Completed phase, for reports and debugging.
 struct PhaseRecord {
@@ -54,6 +58,14 @@ class ClusterSim {
   double used_bytes(int machine) const { return used_bytes_[machine]; }
   /// Largest per-machine residency observed over the run.
   double peak_bytes() const { return peak_bytes_; }
+
+  /// Best-effort allocation for engine caches. With no ledger bound this
+  /// is exactly Allocate (the caller handles the failure, e.g. by
+  /// evicting). Under a bound ledger the op is logged as *soft*: at
+  /// commit a failed soft allocation is skipped and reported to the
+  /// on_soft_fail callback instead of aborting the replay.
+  Status AllocateSoft(int machine, double bytes, std::string_view what,
+                      std::int64_t tag);
 
   // ---- Time accounting -----------------------------------------------------
   //
@@ -99,6 +111,34 @@ class ClusterSim {
   /// day-to-day variance (Section 3.4). Disabled (0) by default.
   void SetNoise(double stddev_fraction, std::uint64_t seed);
 
+  // ---- Fault hooks ---------------------------------------------------------
+  //
+  // Engines consult the installed FaultInjector at unit boundaries (job,
+  // superstep, sweep) and translate faults into the per-phase adjustments
+  // below. All three adjusters are serial-only (never under a bound
+  // ledger) and affect only the *current* phase; when none are applied
+  // EndPhase's arithmetic is untouched, keeping fault-free runs
+  // bit-identical to builds that never call them.
+
+  /// Installs (or clears, with nullptr) the shared fault schedule.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> faults);
+  /// The installed schedule, or nullptr. Engines must treat a null or
+  /// inactive injector as "no faults".
+  FaultInjector* faults() const { return faults_.get(); }
+
+  /// Multiplies this phase's accumulated CPU busy-time on `machine` by
+  /// `factor` at EndPhase (straggler slow-down, task re-execution).
+  void ScalePhaseCpu(int machine, double factor);
+
+  /// Multiplies this phase's accumulated network bytes out of `machine`
+  /// by `factor` at EndPhase (message-send retries).
+  void ScalePhaseNet(int machine, double factor);
+
+  /// Adds `fraction` of `src`'s *base* (pre-scale) phase CPU to `dst` at
+  /// EndPhase — speculative execution: a backup copy of src's work runs
+  /// on dst.
+  void MirrorPhaseCpu(int src, int dst, double fraction);
+
   // ---- Parallel charge capture ---------------------------------------------
   //
   // All mutating methods above check ChargeLedger::Bound(): when a ledger
@@ -113,15 +153,23 @@ class ClusterSim {
   /// ChargeLedger::LogTransientAlloc, with (machine, bytes).
   using TransientFn = std::function<void(int, double)>;
 
+  /// Invoked for each *soft* allocation (AllocateSoft) that failed during
+  /// commit, with (tag, machine, bytes). The handler may evict and retry
+  /// the allocation itself through Allocate; replay continues either way.
+  using SoftFailFn = std::function<void(std::int64_t, int, double)>;
+
   /// Replays `ledger` through the real methods in recorded order and
-  /// clears it. Stops at the first allocation failure and returns it,
-  /// discarding the remaining ops (the serial run would have died at that
-  /// exact op). If a ledger is bound to the calling thread — i.e. this
-  /// commit happens inside an outer parallel chunk — the ops are spliced
-  /// into the bound ledger instead and OK is returned; transient flags
-  /// travel with the ops, so the outer commit's callback sees them.
+  /// clears it. Stops at the first (non-soft) allocation failure and
+  /// returns it, discarding the remaining ops (the serial run would have
+  /// died at that exact op); failed soft allocations are skipped,
+  /// reported to `on_soft_fail`, and replay continues. If a ledger is
+  /// bound to the calling thread — i.e. this commit happens inside an
+  /// outer parallel chunk — the ops are spliced into the bound ledger
+  /// instead and OK is returned; transient and soft flags travel with the
+  /// ops, so the outer commit's callbacks see them.
   Status CommitLedger(ChargeLedger& ledger,
-                      const TransientFn& on_transient = nullptr);
+                      const TransientFn& on_transient = nullptr,
+                      const SoftFailFn& on_soft_fail = nullptr);
 
  private:
   ClusterSpec spec_;
@@ -139,6 +187,22 @@ class ClusterSim {
 
   double noise_stddev_ = 0;
   stats::Rng noise_rng_;
+
+  std::shared_ptr<FaultInjector> faults_;
+  // Per-phase fault adjustments, applied in EndPhase. `phase_adjusted_`
+  // stays false for fault-free runs so their EndPhase arithmetic is
+  // untouched bit-for-bit.
+  struct PhaseMirror {
+    int src;
+    int dst;
+    double fraction;
+  };
+  bool phase_adjusted_ = false;
+  std::vector<double> phase_cpu_scale_;
+  std::vector<double> phase_net_scale_;
+  std::vector<PhaseMirror> phase_mirrors_;
+
+  void EnsurePhaseAdjust();
 };
 
 }  // namespace mlbench::sim

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file faults.h
+/// Seeded, deterministic fault injection for the cluster simulator.
+///
+/// The paper's platforms differ as much in how they *fail* as in how fast
+/// they run: Hadoop re-executes failed tasks and speculatively duplicates
+/// stragglers, Spark recomputes lost cached partitions from lineage,
+/// Giraph checkpoints supersteps, and GraphLab snapshots vertex state.
+/// This header provides the shared fault schedule those recovery paths
+/// consume.
+///
+/// Determinism contract (see DESIGN.md §12):
+///  * Faults are scheduled in *simulated* coordinates — MapReduce job K,
+///    superstep N, sweep S — never wall-clock or host time.
+///  * Every query is a pure hash of (seed, kind, unit, machine). There is
+///    no sequential RNG stream to perturb, so querying faults from engine
+///    code cannot change any model's sample path, and the schedule is
+///    identical at any MLBENCH_THREADS.
+///  * An empty FaultPlan must leave every engine charge-, RNG- and
+///    result-bit-identical to a build without fault support. Engines gate
+///    all fault work behind FaultInjector::active().
+
+namespace mlbench::sim {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,        ///< machine fails mid-unit; platform-specific recovery
+  kStraggler,    ///< machine computes slower by a multiplicative factor
+  kSendFailure,  ///< outbound messages need retries before succeeding
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// Bounded-retry policy with exponential backoff, charged in simulated
+/// seconds. Shared by all engines so recovery costs are comparable.
+struct RetryPolicy {
+  int max_retries = 3;
+  double base_backoff_s = 1.0;
+  double backoff_multiplier = 2.0;
+
+  /// Total simulated backoff paid for `failures` consecutive failed
+  /// attempts: sum of base * multiplier^i for i in [0, failures).
+  double BackoffSeconds(int failures) const;
+
+  /// True when `failures` consecutive failures exhaust the retry budget
+  /// and the unit of work must be declared permanently failed.
+  bool Exhausted(int failures) const { return failures > max_retries; }
+};
+
+/// Per-(unit, machine) fault probabilities for a seeded plan.
+struct FaultRates {
+  double crash = 0;             ///< P(machine crashes during a unit)
+  double straggler = 0;         ///< P(machine straggles during a unit)
+  double straggler_factor = 2.5;  ///< compute multiplier when straggling
+  double send_failure = 0;      ///< P(machine's sends fail during a unit)
+
+  bool empty() const {
+    return crash <= 0 && straggler <= 0 && send_failure <= 0;
+  }
+};
+
+/// A deterministic fault schedule. Either seeded (faults derived by pure
+/// hashing from a seed and FaultRates) or explicit (tests pin exact
+/// faults with the Add* methods), or both.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// A plan whose queries are pure hashes of (seed, kind, unit, machine)
+  /// compared against `rates`.
+  static FaultPlan Seeded(std::uint64_t seed, FaultRates rates);
+
+  /// Explicit injections, for tests and benches. `count` is the number of
+  /// consecutive failed attempts (count > RetryPolicy::max_retries means
+  /// the failure is permanent).
+  void AddCrash(std::int64_t unit, int machine, int count = 1);
+  void AddStraggler(std::int64_t unit, int machine, double factor);
+  void AddSendFailure(std::int64_t unit, int machine, int count = 1);
+
+  /// True when no seeded rates and no explicit faults are present. Empty
+  /// plans are never consulted by engines.
+  bool empty() const;
+
+  // ---- Pure queries --------------------------------------------------------
+  // Each is a deterministic function of (seed, kind, unit, machine) plus
+  // the explicit maps; safe to call from any thread, any number of times.
+
+  /// Number of consecutive crash attempts for `machine` in `unit`
+  /// (0 = no crash). Values above RetryPolicy::max_retries mean the
+  /// machine never comes back and the unit fails permanently.
+  int CrashCountAt(std::int64_t unit, int machine) const;
+
+  /// Compute-time multiplier for `machine` in `unit`; 1.0 = no straggle.
+  double StragglerFactorAt(std::int64_t unit, int machine) const;
+
+  /// Number of failed message-send attempts for `machine` in `unit`
+  /// before a send succeeds (0 = clean network).
+  int SendFailureCountAt(std::int64_t unit, int machine) const;
+
+ private:
+  bool seeded_ = false;
+  std::uint64_t seed_ = 0;
+  FaultRates rates_;
+  std::map<std::pair<std::int64_t, int>, int> crashes_;
+  std::map<std::pair<std::int64_t, int>, double> stragglers_;
+  std::map<std::pair<std::int64_t, int>, int> send_failures_;
+};
+
+/// One recovery action an engine performed, for benches and tests.
+/// Recorded from serial engine code only (unit boundaries), so the log
+/// order is deterministic.
+struct RecoveryEvent {
+  FaultKind kind;
+  std::string site;  ///< e.g. "reldb:job", "bsp:superstep", "gas:sweep"
+  std::int64_t unit = 0;
+  int machine = 0;
+  double recovery_seconds = 0;  ///< simulated time charged to recover
+};
+
+/// Shared handle installed on a ClusterSim; engines consult plan() and
+/// retry() at each unit boundary and log what they paid.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, RetryPolicy retry)
+      : plan_(std::move(plan)), retry_(retry) {}
+
+  /// False for empty plans; engines skip all fault logic when inactive,
+  /// preserving bit-parity with fault-free builds.
+  bool active() const { return !plan_.empty(); }
+
+  const FaultPlan& plan() const { return plan_; }
+  const RetryPolicy& retry() const { return retry_; }
+
+  void RecordRecovery(RecoveryEvent ev) {
+    recoveries_.push_back(std::move(ev));
+  }
+  const std::vector<RecoveryEvent>& recoveries() const { return recoveries_; }
+
+  /// Sum of simulated seconds spent recovering, across all events.
+  double total_recovery_seconds() const;
+
+ private:
+  FaultPlan plan_;
+  RetryPolicy retry_;
+  std::vector<RecoveryEvent> recoveries_;
+};
+
+/// Config-level fault knobs, carried by core::ExperimentConfig and wired
+/// to engine options by the drivers.
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  FaultRates rates;
+  RetryPolicy retry;
+  /// Giraph-style checkpoint every N supersteps (<= 0: engine default).
+  int checkpoint_interval = 0;
+  /// GraphLab-style snapshot every N sweeps (<= 0: engine default).
+  int snapshot_interval = 0;
+  /// Spark-style graceful degradation: evict / skip caching under memory
+  /// pressure instead of failing the job with OutOfMemory.
+  bool evict_cache_on_pressure = false;
+  /// Explicit faults merged on top of the seeded schedule (tests).
+  FaultPlan explicit_plan;
+  bool use_explicit_plan = false;
+
+  bool Enabled() const { return !rates.empty() || use_explicit_plan; }
+
+  /// Builds the plan/injector this spec describes; null when disabled.
+  std::shared_ptr<FaultInjector> MakeInjector() const;
+
+  /// Reads MLBENCH_FAULT_SEED, MLBENCH_FAULT_CRASH, MLBENCH_FAULT_STRAGGLER,
+  /// MLBENCH_FAULT_SENDFAIL, MLBENCH_CHECKPOINT_INTERVAL and
+  /// MLBENCH_SNAPSHOT_INTERVAL. Faults stay disabled unless
+  /// MLBENCH_FAULT_SEED is set.
+  static FaultSpec FromEnv();
+};
+
+}  // namespace mlbench::sim

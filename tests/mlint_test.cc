@@ -367,6 +367,41 @@ TEST(MlintTextReport, SummarizesCounts) {
       << text;
 }
 
+// ---- Rule 7: ignored-status ------------------------------------------------
+
+TEST(MlintIgnoredStatus, FlagsBareStatusCalls) {
+  auto r = LintContent("src/core/x.cc", R"cc(
+    void f(sim::ClusterSim* sim, Engine& engine) {
+      sim->Allocate(0, 64.0, "buf");
+      engine.Boot();
+      if (ready) engine.RunSweep(program, "sweep");
+    }
+  )cc");
+  EXPECT_EQ(CountRule(r, "ignored-status"), 3) << mlint::TextReport(r);
+}
+
+TEST(MlintIgnoredStatus, QuietWhenConsumedOrVoidCast) {
+  auto r = LintContent("src/core/x.cc", R"cc(
+    Status f(sim::ClusterSim* sim, Engine& engine) {
+      Status st = sim->Allocate(0, 64.0, "buf");
+      MLBENCH_RETURN_NOT_OK(engine.Boot());
+      if (!engine.RunSweep(program, "s").ok()) return st;
+      (void)sim->Allocate(1, 8.0, "scratch");
+      return engine.RunSuperstep(fn, cost, "step");
+    }
+  )cc");
+  EXPECT_EQ(CountRule(r, "ignored-status"), 0) << mlint::TextReport(r);
+}
+
+TEST(MlintIgnoredStatus, SuppressibleWithReason) {
+  auto r = LintContent("src/core/x.cc",
+                       "void f(E& e) {\n"
+                       "  e.Boot();  // mlint: allow(ignored-status) — boot "
+                       "failure is the experiment outcome\n"
+                       "}\n");
+  EXPECT_EQ(CountRule(r, "ignored-status"), 0) << mlint::TextReport(r);
+}
+
 // ---- Registry --------------------------------------------------------------
 
 TEST(MlintRegistry, AllSixRulesRegistered) {
@@ -374,7 +409,7 @@ TEST(MlintRegistry, AllSixRulesRegistered) {
   for (const auto& r : mlint::Rules()) names.push_back(r.name);
   for (const char* expected :
        {"nondet-random", "unordered-iter", "charge-in-parallel", "raw-thread",
-        "naive-reduction", "header-hygiene"}) {
+        "naive-reduction", "header-hygiene", "ignored-status"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }

@@ -705,6 +705,65 @@ void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 7: ignored-status
+// ---------------------------------------------------------------------------
+
+/// Known Status-returning APIs whose result must be consumed. The compiler
+/// already enforces `[[nodiscard]]` on common::Status itself (status.h);
+/// this rule is the repo-side backstop — it catches discards in code that a
+/// given configuration never compiles, and names the idiomatic fixes.
+bool IsStatusReturningName(const std::string& s) {
+  static const std::set<std::string> kStatusFns = {
+      "Allocate",       "AllocateEverywhere", "AllocateSoft",
+      "CommitLedger",   "Boot",               "RunSuperstep",
+      "RunSweep",       "BroadcastClosure",   "SpillToDisk",
+  };
+  return kStatusFns.count(s) != 0;
+}
+
+void CheckIgnoredStatus(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent ||
+        !IsStatusReturningName(t[i].text) || !IsPunct(t, i + 1, "(")) {
+      continue;
+    }
+    // The call's value must flow somewhere: the matching ')' directly
+    // followed by ';' means a bare expression statement.
+    std::size_t close = MatchParen(t, i + 1);
+    if (close >= t.size() || !IsPunct(t, close + 1, ";")) continue;
+    // Walk the receiver chain (sim_->Allocate, mlbench::sim::Foo) back to
+    // its root: pairs of member/scope punctuation preceded by an
+    // identifier. Anything else (return, =, a type name) ends the chain.
+    std::size_t j = i;
+    while (j >= 2 && t[j - 1].kind == Token::Kind::kPunct &&
+           (t[j - 1].text == "." || t[j - 1].text == "->" ||
+            t[j - 1].text == "::") &&
+           t[j - 2].kind == Token::Kind::kIdent) {
+      j -= 2;
+    }
+    // A statement boundary before the chain root means nothing consumes
+    // the value. `(void)expr;` is the sanctioned explicit discard.
+    bool stmt_start =
+        j == 0 ||
+        (t[j - 1].kind == Token::Kind::kPunct &&
+         (t[j - 1].text == ";" || t[j - 1].text == "{" ||
+          t[j - 1].text == "}" || t[j - 1].text == ")")) ||
+        (t[j - 1].kind == Token::Kind::kIdent && t[j - 1].text == "else") ||
+        t[j - 1].kind == Token::Kind::kPreproc;
+    if (!stmt_start) continue;
+    bool void_cast = j >= 3 && IsPunct(t, j - 3, "(") &&
+                     IsIdent(t, j - 2, "void") && IsPunct(t, j - 1, ")");
+    if (void_cast) continue;
+    Add(out, f, "ignored-status", t[i].line,
+        "result of Status-returning call '" + t[i].text +
+            "(...)' is discarded — check it (MLBENCH_RETURN_NOT_OK / "
+            "MLBENCH_CHECK) or cast to (void) with a comment arguing why "
+            "failure is impossible here");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule 6: header-hygiene
 // ---------------------------------------------------------------------------
 
@@ -761,6 +820,8 @@ std::vector<RuleInfo> Rules() {
        "captured `x +=` accumulation inside a parallel region"},
       {"header-hygiene",
        "missing include guard / `using namespace` at header scope"},
+      {"ignored-status",
+       "discarded result of a known Status-returning call"},
       {"bad-suppression",
        "mlint: allow(...) comment with no reason, or for an unknown rule"},
   };
@@ -774,6 +835,7 @@ void CheckFile(const SourceFile& file, std::vector<Finding>* out) {
   CheckRawThread(file, &raw);
   CheckNaiveReduction(file, &raw);
   CheckHeaderHygiene(file, &raw);
+  CheckIgnoredStatus(file, &raw);
 
   std::set<std::string> known;
   for (const auto& r : Rules()) known.insert(r.name);
