@@ -282,10 +282,9 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
       .Materialize("mean_prior");
   Rel::Scan(db, "data")
       .Project(Schema{"dim_id", "sq"},
-               {reldb::ColExpr::Col(1), reldb::ColExpr::Fn([](const Tuple& t) {
-                  double v = AsDouble(t[2]);
-                  return v * v;
-                })})
+               {reldb::ColExpr::Col(1),
+                reldb::ColExpr::Expr(reldb::ScalarExpr::Mul(
+                    reldb::ScalarExpr::Col(2), reldb::ScalarExpr::Col(2)))})
       .GroupBy({"dim_id"}, {{AggOp::kAvg, "sq", "sq_val"}}, 1.0)
       .Materialize("sq_prior");
   db.EndQuery();
@@ -453,9 +452,9 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
           .Project(Schema{"clus_id", "d1", "d2", "prod"},
                    {reldb::ColExpr::Col(3), reldb::ColExpr::Col(1),
                     reldb::ColExpr::Col(4),
-                    reldb::ColExpr::Fn([](const Tuple& t) {
-                      return AsDouble(t[val1]) * AsDouble(t[val2]);
-                    })})
+                    reldb::ColExpr::Expr(reldb::ScalarExpr::Mul(
+                        reldb::ScalarExpr::Col(val1),
+                        reldb::ScalarExpr::Col(val2)))})
           .GroupBy({"clus_id", "d1", "d2"}, {{AggOp::kSum, "prod", "val"}},
                    1.0)
           .Project(Schema{"clus_id", "kind", "d1", "d2", "val"},
@@ -534,9 +533,9 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
     counts
         .HashJoin(Rel::Scan(db, "cluster"), {"clus_id"}, {"clus_id"}, 1.0)
         .Project(Schema{"clus_id", "diri_para"},
-                 {reldb::ColExpr::Col(0), reldb::ColExpr::Fn([](const Tuple& t) {
-                    return AsDouble(t[1]) + AsDouble(t[2]);
-                  })})
+                 {reldb::ColExpr::Col(0),
+                  reldb::ColExpr::Expr(reldb::ScalarExpr::Add(
+                      reldb::ScalarExpr::Col(1), reldb::ScalarExpr::Col(2)))})
         .VgApply(diri_i, {}, 1.0)
         .Renamed(Schema{"clus_id", "prob"})
         .Materialize(Database::Versioned("clus_prob", i));

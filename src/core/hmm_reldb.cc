@@ -206,9 +206,8 @@ RunResult RunHmmRelDb(const HmmExperiment& exp,
     // contents are held natively) and emits word-level state tuples. The
     // non-word plans dedup to one row per doc; the word plan keeps a
     // same-cost pass-through filter (the paper's plan still scans here).
-    auto dedup = word_based
-                     ? source.Filter([](const Tuple&) { return true; })
-                     : source.FilterIntIn("pos", {0});
+    auto dedup = word_based ? source.FilterAll()
+                            : source.FilterIntIn("pos", {0});
     // Output is one tuple per word position in every variant.
     auto states_rel = dedup.VgApply(vg, {"doc_id"}, word_scale, word_flops);
     states_rel.Materialize(Database::Versioned("states", i));

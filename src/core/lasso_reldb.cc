@@ -163,18 +163,24 @@ RunResult RunLassoRelDb(const LassoExperiment& exp,
     auto tau =
         Rel::Scan(db, Database::Versioned("beta", i - 1))
             .HashJoin(Rel::Scan(db, "prior"), {}, {}, 1.0)
-            .Project(Schema{"rigid", "mu", "lambda2"},
-                     {reldb::ColExpr::Col(0),
-                      reldb::ColExpr::Fn([sigma2](const Tuple& t) {
-                        double lambda = AsDouble(t[2]);
-                        double b2 = std::max(
-                            AsDouble(t[1]) * AsDouble(t[1]), 1e-12);
-                        return std::sqrt(lambda * lambda * sigma2 / b2);
-                      }),
-                      reldb::ColExpr::Fn([](const Tuple& t) {
-                        double lambda = AsDouble(t[2]);
-                        return lambda * lambda;
-                      })})
+            // mu = sqrt(lambda^2 * sigma2 / max(beta^2, 1e-12)); the Max
+            // node keeps std::max's operand order for NaN parity.
+            .Project(
+                Schema{"rigid", "mu", "lambda2"},
+                {reldb::ColExpr::Col(0),
+                 reldb::ColExpr::Expr(reldb::ScalarExpr::Call(
+                     reldb::ScalarExpr::Fn1::kSqrt,
+                     reldb::ScalarExpr::Div(
+                         reldb::ScalarExpr::Mul(
+                             reldb::ScalarExpr::Mul(reldb::ScalarExpr::Col(2),
+                                                    reldb::ScalarExpr::Col(2)),
+                             reldb::ScalarExpr::Const(sigma2)),
+                         reldb::ScalarExpr::Max(
+                             reldb::ScalarExpr::Mul(reldb::ScalarExpr::Col(1),
+                                                    reldb::ScalarExpr::Col(1)),
+                             reldb::ScalarExpr::Const(1e-12))))),
+                 reldb::ColExpr::Expr(reldb::ScalarExpr::Mul(
+                     reldb::ScalarExpr::Col(2), reldb::ScalarExpr::Col(2)))})
             .VgApply(ig_vg, {"rigid"}, 1.0, 60.0);
     tau.Materialize(Database::Versioned("tau", i));
     db.EndQuery();

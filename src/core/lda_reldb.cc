@@ -188,9 +188,8 @@ RunResult RunLdaRelDb(const LdaExperiment& exp,
                                {"doc_id"}, word_scale,
                                /*co_partitioned=*/true);
     }
-    auto dedup = word_based
-                     ? source.Filter([](const Tuple&) { return true; })
-                     : source.FilterIntIn("pos", {0});
+    auto dedup = word_based ? source.FilterAll()
+                            : source.FilterIntIn("pos", {0});
     auto topics_rel = dedup.VgApply(vg, {"doc_id"}, word_scale, word_flops);
     topics_rel.Materialize(Database::Versioned("topics", i));
     db.EndQuery();

@@ -39,7 +39,8 @@ class Database {
  public:
   Database(sim::ClusterSim* sim, sim::RelDbCosts costs = {},
            std::uint64_t seed = 1)
-      : sim_(sim), costs_(costs), rng_(seed), columnar_(DefaultColumnar()) {}
+      : sim_(sim), costs_(costs), rng_(seed), columnar_(DefaultColumnar()),
+        expr_vm_(DefaultExprVm()) {}
 
   sim::ClusterSim& sim() { return *sim_; }
   const sim::RelDbCosts& costs() const { return costs_; }
@@ -58,6 +59,21 @@ class Database {
   /// switch exists for the row-vs-columnar parity suite and benchmarks.
   bool columnar() const { return columnar_; }
   void set_columnar(bool on) { columnar_ = on; }
+
+  /// Process-wide default for the expression bytecode VM (expr_vm.h).
+  /// Compiled evaluation is on unless the MLBENCH_RELDB_INTERP environment
+  /// variable restores the tree-walking interpreter (the bit-identical
+  /// parity baseline).
+  static bool DefaultExprVm() { return DefaultExprVmFlag(); }
+  static void SetDefaultExprVm(bool on) { DefaultExprVmFlag() = on; }
+
+  /// Whether compiled expressions (Filter(ScalarExpr), ColExpr::Expr,
+  /// FilterIntIn) evaluate through the batch-fused bytecode VM (true) or
+  /// the per-row interpreter. Either way results, charges, RNG streams and
+  /// selection orders are bit-identical; the switch exists for the
+  /// VM-vs-interpreter parity suite and benchmarks.
+  bool expr_vm() const { return expr_vm_; }
+  void set_expr_vm(bool on) { expr_vm_ = on; }
 
   /// Bytes of one materialized tuple with `cols` columns.
   double TupleBytes(std::size_t cols) const {
@@ -232,10 +248,16 @@ class Database {
     return flag;
   }
 
+  static bool& DefaultExprVmFlag() {
+    static bool flag = std::getenv("MLBENCH_RELDB_INTERP") == nullptr;
+    return flag;
+  }
+
   sim::ClusterSim* sim_;
   sim::RelDbCosts costs_;
   stats::Rng rng_;
   bool columnar_;
+  bool expr_vm_;
   std::unordered_map<std::string, StoredTable> tables_;
   std::int64_t job_index_ = 0;
   Status fault_status_ = Status::OK();

@@ -151,28 +151,87 @@ Rel Rel::Filter(const std::function<bool(const Tuple&)>& pred) const {
   return RowFilter(pred);
 }
 
+Rel Rel::Filter(const ScalarExpr& pred) const {
+  ChargeTuples(logical_rows(), db_->costs().per_tuple_s);
+  const ExprProgram prog = ExprProgram::Compile(pred);
+  if (UseColumnar()) {
+    const ColumnBatch& in = *batch_;
+    const std::int64_t n = static_cast<std::int64_t>(in.num_rows());
+    std::vector<std::vector<std::uint32_t>> sel(
+        static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
+    if (db_->expr_vm()) {
+      // Batch-fused VM: one dispatch per opcode per chunk, straight off
+      // the typed arrays.
+      exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+        ExprProgram::Scratch scratch;
+        prog.SelectBatch(in, chunk.begin, chunk.end,
+                         &sel[static_cast<std::size_t>(chunk.index)],
+                         &scratch);
+      });
+    } else {
+      // MLBENCH_RELDB_INTERP parity baseline: the pre-VM shape — a Tuple
+      // materialized per row and the program interpreted over it.
+      exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+        auto& keep = sel[static_cast<std::size_t>(chunk.index)];
+        Tuple scratch;
+        for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+          in.MaterializeRow(static_cast<std::size_t>(i), &scratch);
+          if (prog.EvalRowPred(scratch)) {
+            keep.push_back(static_cast<std::uint32_t>(i));
+          }
+        }
+      });
+    }
+    return Rel(db_, std::make_shared<const ColumnBatch>(
+                        in.schema(), GatherColumns(in, sel), in.scale()));
+  }
+  return RowFilter(
+      [&prog](const Tuple& t) { return prog.EvalRowPred(t); });
+}
+
+Rel Rel::FilterAll() const {
+  // Same charge as a Filter that keeps everything; the output is the
+  // input relation, so both engines share its representation zero-copy
+  // (operators never mutate their inputs).
+  ChargeTuples(logical_rows(), db_->costs().per_tuple_s);
+  if (UseColumnar()) return Rel(db_, batch_);
+  EnsureTable();
+  return Rel(db_, table_);
+}
+
 Rel Rel::FilterIntIn(const std::string& col,
                      const std::vector<std::int64_t>& values) const {
   ChargeTuples(logical_rows(), db_->costs().per_tuple_s);
   const std::size_t c = schema().IndexOf(col);
   if (UseColumnar() && batch_->col(c).type == ColType::kInt) {
     const ColumnBatch& in = *batch_;
-    const auto& ints = in.col(c).ints;
     const std::int64_t n = static_cast<std::int64_t>(in.num_rows());
     std::vector<std::vector<std::uint32_t>> sel(
         static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
-    exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
-      auto& keep = sel[static_cast<std::size_t>(chunk.index)];
-      for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
-        const std::int64_t v = ints[static_cast<std::size_t>(i)];
-        for (std::int64_t want : values) {
-          if (v == want) {
-            keep.push_back(static_cast<std::uint32_t>(i));
-            break;
+    if (db_->expr_vm()) {
+      const ExprProgram prog =
+          ExprProgram::Compile(ScalarExpr::IntIn(c, values));
+      exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+        ExprProgram::Scratch scratch;
+        prog.SelectBatch(in, chunk.begin, chunk.end,
+                         &sel[static_cast<std::size_t>(chunk.index)],
+                         &scratch);
+      });
+    } else {
+      const auto& ints = in.col(c).ints;
+      exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+        auto& keep = sel[static_cast<std::size_t>(chunk.index)];
+        for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+          const std::int64_t v = ints[static_cast<std::size_t>(i)];
+          for (std::int64_t want : values) {
+            if (v == want) {
+              keep.push_back(static_cast<std::uint32_t>(i));
+              break;
+            }
           }
         }
-      }
-    });
+      });
+    }
     return Rel(db_, std::make_shared<const ColumnBatch>(
                         in.schema(), GatherColumns(in, sel), in.scale()));
   }
@@ -256,19 +315,39 @@ Rel Rel::Project(Schema out_schema, const std::vector<ColExpr>& exprs) const {
     if (!fn_slots.empty()) {
       std::vector<std::vector<double>> computed(fn_slots.size(),
                                                 std::vector<double>(n));
-      exec::ParallelFor(static_cast<std::int64_t>(n), kRowGrain,
-                        [&](const exec::Chunk& chunk) {
-                          Tuple scratch;
-                          for (std::int64_t i = chunk.begin; i < chunk.end;
-                               ++i) {
-                            in.MaterializeRow(static_cast<std::size_t>(i),
-                                              &scratch);
-                            for (std::size_t s = 0; s < fn_slots.size(); ++s) {
-                              computed[s][static_cast<std::size_t>(i)] =
-                                  exprs[fn_slots[s]].fn(scratch);
-                            }
-                          }
-                        });
+      // Compiled slots run batch-fused through the VM; opaque lambda slots
+      // (and compiled slots under MLBENCH_RELDB_INTERP) share one
+      // materialized scratch Tuple per row, exactly the pre-VM shape.
+      const bool vm = db_->expr_vm();
+      std::vector<std::size_t> row_slots;
+      for (std::size_t s = 0; s < fn_slots.size(); ++s) {
+        if (!(vm && exprs[fn_slots[s]].prog != nullptr)) row_slots.push_back(s);
+      }
+      exec::ParallelFor(
+          static_cast<std::int64_t>(n), kRowGrain,
+          [&](const exec::Chunk& chunk) {
+            ExprProgram::Scratch scratch;
+            for (std::size_t s = 0; s < fn_slots.size(); ++s) {
+              const ColExpr& e = exprs[fn_slots[s]];
+              if (vm && e.prog != nullptr) {
+                e.prog->EvalBatch(
+                    in, chunk.begin, chunk.end,
+                    computed[s].data() + static_cast<std::size_t>(chunk.begin),
+                    &scratch);
+              }
+            }
+            if (!row_slots.empty()) {
+              Tuple row;
+              for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+                in.MaterializeRow(static_cast<std::size_t>(i), &row);
+                for (std::size_t s : row_slots) {
+                  const ColExpr& e = exprs[fn_slots[s]];
+                  computed[s][static_cast<std::size_t>(i)] =
+                      e.prog != nullptr ? e.prog->EvalRow(row) : e.fn(row);
+                }
+              }
+            }
+          });
       for (std::size_t s = 0; s < fn_slots.size(); ++s) {
         out_cols[fn_slots[s]] = std::make_shared<const Column>(
             Column::Doubles(std::move(computed[s])));
@@ -295,6 +374,8 @@ Rel Rel::Project(Schema out_schema, const std::vector<ColExpr>& exprs) const {
           out_row.push_back(row[static_cast<std::size_t>(e.src)]);
         } else if (e.is_const) {
           out_row.push_back(e.constant);
+        } else if (e.prog != nullptr) {
+          out_row.emplace_back(e.prog->EvalRow(row));
         } else {
           out_row.emplace_back(e.fn(row));
         }

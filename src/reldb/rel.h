@@ -8,6 +8,7 @@
 
 #include "reldb/column_batch.h"
 #include "reldb/database.h"
+#include "reldb/expr_vm.h"
 #include "reldb/table.h"
 #include "reldb/vg_function.h"
 
@@ -57,15 +58,20 @@ struct Agg {
 };
 
 /// One output column of a structured Project: a passthrough of an input
-/// column, a constant, or a computed double expression. Structured projects
-/// let the columnar engine share passthrough columns zero-copy and fill
-/// constant/computed columns without touching row storage; the row engine
-/// evaluates them per row with identical results.
+/// column, a constant, a compiled ScalarExpr, or an opaque computed double
+/// lambda. Structured projects let the columnar engine share passthrough
+/// columns zero-copy and fill constant/computed columns without touching
+/// row storage; the row engine evaluates them per row with identical
+/// results. Prefer ColExpr::Expr for computed columns — compiled programs
+/// run batch-fused through the bytecode VM (expr_vm.h); ColExpr::Fn stays
+/// as the fallback for expressions outside the ScalarExpr vocabulary and
+/// always pays the per-row interpretation price.
 struct ColExpr {
   int src = -1;           ///< passthrough input column (when >= 0)
   bool is_const = false;  ///< emit `constant` for every row
   Value constant = std::int64_t{0};
-  std::function<double(const Tuple&)> fn;  ///< computed double column
+  std::shared_ptr<const ExprProgram> prog;  ///< compiled double column
+  std::function<double(const Tuple&)> fn;   ///< opaque computed column
 
   static ColExpr Col(std::size_t idx) {
     ColExpr e;
@@ -76,6 +82,11 @@ struct ColExpr {
     ColExpr e;
     e.is_const = true;
     e.constant = v;
+    return e;
+  }
+  static ColExpr Expr(const ScalarExpr& expr) {
+    ColExpr e;
+    e.prog = std::make_shared<const ExprProgram>(ExprProgram::Compile(expr));
     return e;
   }
   static ColExpr Fn(std::function<double(const Tuple&)> f) {
@@ -110,6 +121,18 @@ class Rel {
 
   /// Keeps rows satisfying `pred` (narrow, pipelined).
   Rel Filter(const std::function<bool(const Tuple&)>& pred) const;
+
+  /// Keeps rows where the compiled predicate is non-zero. Same semantics
+  /// and charges as the lambda form, but the columnar engine runs the
+  /// bytecode VM batch-fused over the typed arrays (one dispatch per
+  /// opcode per chunk) instead of materializing a Tuple per row.
+  Rel Filter(const ScalarExpr& pred) const;
+
+  /// The identity filter: keeps every row, charging exactly what a
+  /// Filter whose predicate returns true charges. Used where the paper's
+  /// plan scans a relation without dropping anything; shares the input
+  /// representation zero-copy on both engines.
+  Rel FilterAll() const;
 
   /// Keeps rows whose integer column `col` is one of `values`. Same
   /// semantics and charges as Filter with an AsInt membership predicate,

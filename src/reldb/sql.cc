@@ -6,6 +6,8 @@
 #include <optional>
 #include <utility>
 
+#include "reldb/expr_vm.h"
+
 namespace mlbench::reldb {
 
 namespace {
@@ -608,54 +610,66 @@ Result<std::size_t> ResolveColumn(const Schema& schema,
   return *found;
 }
 
-/// Compiles an expression into an evaluator over rows of `schema`.
-Result<std::function<double(const Tuple&)>> CompileExpr(
-    const Expr& e, const Schema& schema) {
+/// Lowers an AST expression to a structured ScalarExpr over rows of
+/// `schema`: column references resolve to indices, operators and function
+/// names to opcodes — all at plan time, never per row. The result compiles
+/// into the bytecode VM (expr_vm.h) inside Rel::Filter / ColExpr::Expr.
+Result<ScalarExpr> LowerExpr(const Expr& e, const Schema& schema) {
   switch (e.kind) {
-    case Expr::Kind::kNumber: {
-      double v = e.num;
-      return std::function<double(const Tuple&)>(
-          [v](const Tuple&) { return v; });
-    }
+    case Expr::Kind::kNumber:
+      return ScalarExpr::Const(e.num);
     case Expr::Kind::kColumn: {
       MLBENCH_ASSIGN_OR_RETURN(std::size_t idx,
                                ResolveColumn(schema, e.column));
-      return std::function<double(const Tuple&)>(
-          [idx](const Tuple& t) { return AsDouble(t[idx]); });
+      return ScalarExpr::Col(idx);
     }
     case Expr::Kind::kBinary: {
-      MLBENCH_ASSIGN_OR_RETURN(auto lhs, CompileExpr(e.kids[0], schema));
-      MLBENCH_ASSIGN_OR_RETURN(auto rhs, CompileExpr(e.kids[1], schema));
-      char op = e.op;
-      return std::function<double(const Tuple&)>(
-          [lhs, rhs, op](const Tuple& t) {
-            double a = lhs(t), b = rhs(t);
-            switch (op) {
-              case '+':
-                return a + b;
-              case '-':
-                return a - b;
-              case '*':
-                return a * b;
-              default:
-                return a / b;
-            }
-          });
+      MLBENCH_ASSIGN_OR_RETURN(ScalarExpr lhs, LowerExpr(e.kids[0], schema));
+      MLBENCH_ASSIGN_OR_RETURN(ScalarExpr rhs, LowerExpr(e.kids[1], schema));
+      switch (e.op) {
+        case '+':
+          return ScalarExpr::Add(std::move(lhs), std::move(rhs));
+        case '-':
+          return ScalarExpr::Sub(std::move(lhs), std::move(rhs));
+        case '*':
+          return ScalarExpr::Mul(std::move(lhs), std::move(rhs));
+        default:
+          return ScalarExpr::Div(std::move(lhs), std::move(rhs));
+      }
     }
     case Expr::Kind::kFunc: {
-      MLBENCH_ASSIGN_OR_RETURN(auto arg, CompileExpr(e.kids[0], schema));
-      std::string f = e.func;
-      return std::function<double(const Tuple&)>(
-          [arg, f](const Tuple& t) {
-            double v = arg(t);
-            if (f == "sqrt") return std::sqrt(v);
-            if (f == "exp") return std::exp(v);
-            if (f == "log") return std::log(v);
-            return std::fabs(v);
-          });
+      MLBENCH_ASSIGN_OR_RETURN(ScalarExpr arg, LowerExpr(e.kids[0], schema));
+      ScalarExpr::Fn1 fn = ScalarExpr::Fn1::kAbs;
+      if (e.func == "sqrt") fn = ScalarExpr::Fn1::kSqrt;
+      if (e.func == "exp") fn = ScalarExpr::Fn1::kExp;
+      if (e.func == "log") fn = ScalarExpr::Fn1::kLog;
+      return ScalarExpr::Call(fn, std::move(arg));
     }
   }
   return Status::Internal("unreachable expression kind");
+}
+
+/// Lowers a WHERE predicate: both sides lower as expressions and the
+/// comparison operator resolves to its opcode once, at plan time — there
+/// is no per-row string comparison on either engine.
+Result<ScalarExpr> LowerPred(const Pred& p, const Schema& schema) {
+  MLBENCH_ASSIGN_OR_RETURN(ScalarExpr lhs, LowerExpr(p.lhs, schema));
+  MLBENCH_ASSIGN_OR_RETURN(ScalarExpr rhs, LowerExpr(p.rhs, schema));
+  ScalarExpr::CmpOp op;
+  if (p.cmp == "=") {
+    op = ScalarExpr::CmpOp::kEq;
+  } else if (p.cmp == "<") {
+    op = ScalarExpr::CmpOp::kLt;
+  } else if (p.cmp == ">") {
+    op = ScalarExpr::CmpOp::kGt;
+  } else if (p.cmp == "<=") {
+    op = ScalarExpr::CmpOp::kLe;
+  } else if (p.cmp == ">=") {
+    op = ScalarExpr::CmpOp::kGe;
+  } else {  // <>
+    op = ScalarExpr::CmpOp::kNe;
+  }
+  return ScalarExpr::Compare(op, std::move(lhs), std::move(rhs));
 }
 
 /// Column name an expression naturally carries (for output schemas).
@@ -758,20 +772,11 @@ class Evaluator {
       plan = plan->HashJoin(next, lq, rq, out_scale);
     }
 
-    // 3. Residual WHERE predicates become filters.
+    // 3. Residual WHERE predicates become compiled filters.
     for (const auto& p : remaining) {
-      MLBENCH_ASSIGN_OR_RETURN(auto lhs, CompileExpr(p.lhs, plan->schema()));
-      MLBENCH_ASSIGN_OR_RETURN(auto rhs, CompileExpr(p.rhs, plan->schema()));
-      std::string cmp = p.cmp;
-      plan = plan->Filter([lhs, rhs, cmp](const Tuple& t) {
-        double a = lhs(t), b = rhs(t);
-        if (cmp == "=") return a == b;
-        if (cmp == "<") return a < b;
-        if (cmp == ">") return a > b;
-        if (cmp == "<=") return a <= b;
-        if (cmp == ">=") return a >= b;
-        return a != b;  // <>
-      });
+      MLBENCH_ASSIGN_OR_RETURN(ScalarExpr pred,
+                               LowerPred(p, plan->schema()));
+      plan = plan->Filter(pred);
     }
 
     // 4. Aggregation or plain projection.
@@ -802,8 +807,9 @@ class Evaluator {
           continue;
         }
       }
-      MLBENCH_ASSIGN_OR_RETURN(auto fn, CompileExpr(item.expr, in.schema()));
-      exprs.push_back(ColExpr::Fn(std::move(fn)));
+      MLBENCH_ASSIGN_OR_RETURN(ScalarExpr lowered,
+                               LowerExpr(item.expr, in.schema()));
+      exprs.push_back(ColExpr::Expr(lowered));
     }
     return in.Project(Schema(std::move(names)), exprs);
   }
@@ -821,7 +827,7 @@ class Evaluator {
                               ? in.schema().name(idx)
                               : in.schema().name(idx).substr(dot + 1));
     }
-    std::vector<std::function<double(const Tuple&)>> agg_evals;
+    std::vector<ScalarExpr> agg_evals;
     std::vector<Agg> aggs;
     std::vector<std::string> out_names = key_names;
     // Post-aggregation arithmetic: per output aggregate, an optional
@@ -851,22 +857,22 @@ class Evaluator {
           item.alias.empty() ? "agg" + std::to_string(i) : item.alias;
       if (item.count_star) {
         aggs.push_back({AggOp::kCount, "", out_name});
-        agg_evals.emplace_back([](const Tuple&) { return 1.0; });
+        agg_evals.push_back(ScalarExpr::Const(1.0));
       } else {
-        MLBENCH_ASSIGN_OR_RETURN(auto fn,
-                                 CompileExpr(item.expr, in.schema()));
+        MLBENCH_ASSIGN_OR_RETURN(ScalarExpr lowered,
+                                 LowerExpr(item.expr, in.schema()));
         aggs.push_back({item.agg, agg_col, out_name});
-        agg_evals.push_back(std::move(fn));
+        agg_evals.push_back(std::move(lowered));
       }
       out_names.push_back(out_name);
       if (item.post_expr.has_value()) {
-        MLBENCH_ASSIGN_OR_RETURN(auto pfn,
-                                 CompileExpr(*item.post_expr, in.schema()));
+        MLBENCH_ASSIGN_OR_RETURN(ScalarExpr post,
+                                 LowerExpr(*item.post_expr, in.schema()));
         std::string hidden = "_agg" + std::to_string(agg_ordinal++);
         post_fixes.push_back(
             {aggs.size() - 1, item.post_op, aggs.size()});
         aggs.push_back({AggOp::kMax, hidden, hidden});
-        agg_evals.push_back(std::move(pfn));
+        agg_evals.push_back(std::move(post));
       }
     }
     // Build the pre-projection schema: keys, then _agg columns.
@@ -878,7 +884,7 @@ class Evaluator {
     // entries keep their empty column.
     std::vector<ColExpr> pre_exprs;
     for (int k : key_idx) pre_exprs.push_back(ColExpr::Col(k));
-    for (auto& fn : agg_evals) pre_exprs.push_back(ColExpr::Fn(std::move(fn)));
+    for (const auto& eval : agg_evals) pre_exprs.push_back(ColExpr::Expr(eval));
     Rel pre = in.Project(Schema(pre_names), pre_exprs);
     // Rewire count-star aggregates: they consumed an eval slot producing
     // 1.0, aggregate that column with kSum to keep actual/logical scaling

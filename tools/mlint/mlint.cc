@@ -522,14 +522,32 @@ bool IsChargeCall(const Tokens& t, std::size_t i) {
   return chargey && IsPunct(t, i + 1, "(");
 }
 
+/// True when the call at `i` hands its callback arguments to a parallel
+/// region: the exec entry points themselves, the Rel operators whose
+/// row callbacks run inside the engine's chunked loop (member-call forms
+/// only, so a local helper named Filter is not matched), and the ColExpr
+/// factories whose payloads the columnar Project executes per chunk
+/// (Fn lambdas; Expr takes a compiled program, matched for uniformity).
+bool IsParallelCallee(const Tokens& t, std::size_t i) {
+  if (t[i].kind != Token::Kind::kIdent) return false;
+  const std::string& x = t[i].text;
+  if (x == "ParallelFor" || x == "ParallelReduce") return true;
+  if (x == "Filter" || x == "Project" || x == "RowFilter") {
+    return i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"));
+  }
+  if (x == "Fn" || x == "Expr") {
+    return i >= 2 && IsPunct(t, i - 1, "::") && IsIdent(t, i - 2, "ColExpr");
+  }
+  return false;
+}
+
 /// Collects the parallel-region lambda bodies: arguments of lexical
-/// exec::ParallelFor / exec::ParallelReduce call expressions.
+/// exec::ParallelFor / exec::ParallelReduce call expressions and of the
+/// engine operators that run their callbacks under those loops.
 std::vector<LambdaBody> ParallelLambdas(const Tokens& t) {
   std::vector<LambdaBody> bodies;
   for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!(IsIdent(t, i, "ParallelFor") || IsIdent(t, i, "ParallelReduce"))) {
-      continue;
-    }
+    if (!IsParallelCallee(t, i)) continue;
     std::size_t j = i + 1;
     if (IsPunct(t, j, "<")) {
       j = SkipAngles(t, j, t.size());
