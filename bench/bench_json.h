@@ -33,6 +33,10 @@ class CollectingReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.error_occurred) continue;
+      // With --benchmark_repetitions, skip the derived mean/median/stddev
+      // rows: WriteJson averages the per-repetition records itself, and a
+      // "_stddev" record would otherwise pair as a bogus speedup row.
+      if (run.run_type == Run::RT_Aggregate) continue;
       BenchRecord rec;
       rec.name = run.benchmark_name();
       rec.iterations = run.iterations;
@@ -90,8 +94,10 @@ inline void WriteJson(const std::vector<BenchRecord>& records,
   }
   std::fprintf(f, "  ],\n  \"speedups\": [\n");
   // Pair naive/kernel variants by stripped name; emit naive/kernel ratios.
+  // Duplicate names (one record per --benchmark_repetitions run) average.
   struct Pair {
     double naive_ns = 0, kernel_ns = 0;
+    int naive_n = 0, kernel_n = 0;
   };
   std::map<std::string, Pair> pairs;
   for (const auto& rec : records) {
@@ -99,10 +105,16 @@ inline void WriteJson(const std::vector<BenchRecord>& records,
     std::string key = PairKey(rec.name, &is_kernel);
     if (key.empty()) continue;
     if (is_kernel) {
-      pairs[key].kernel_ns = rec.ns_per_op;
+      pairs[key].kernel_ns += rec.ns_per_op;
+      pairs[key].kernel_n += 1;
     } else {
-      pairs[key].naive_ns = rec.ns_per_op;
+      pairs[key].naive_ns += rec.ns_per_op;
+      pairs[key].naive_n += 1;
     }
+  }
+  for (auto& [key, p] : pairs) {
+    if (p.naive_n > 0) p.naive_ns /= p.naive_n;
+    if (p.kernel_n > 0) p.kernel_ns /= p.kernel_n;
   }
   bool first = true;
   for (const auto& [key, p] : pairs) {

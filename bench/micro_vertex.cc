@@ -1,0 +1,281 @@
+// Microbenchmarks for batched vertex programs and columnar VG functions
+// (DESIGN.md §14): whole-driver runs with the per-edge / per-tuple scalar
+// dispatch (_Naive) against the chunk-batched paths (_Kernel, the default).
+// Both sides are bit-identical in results, simulated charges and RNG
+// streams (see tests/vertex_batch_test.cc); these pairs measure host wall
+// time only. Writes BENCH_vertex.json (GAS gather pairs) and BENCH_vg.json
+// (VG function pairs) via bench_json.h.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/gmm_gas.h"
+#include "core/gmm_reldb.h"
+#include "core/hmm_gas.h"
+#include "core/hmm_reldb.h"
+#include "core/lasso_gas.h"
+#include "core/lasso_reldb.h"
+#include "core/lda_gas.h"
+#include "core/lda_reldb.h"
+#include "gas/engine.h"
+#include "reldb/database.h"
+
+namespace {
+
+using namespace mlbench;
+
+// ---- GAS gather pairs ------------------------------------------------------
+
+core::GmmExperiment GasGmmConfig() {
+  core::GmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 6;
+  // Low-dim, many-cluster mix: each data vertex pulls k (mu, sigma) model
+  // rows per sweep, so per-edge dispatch and double-copied model rows are
+  // the dominant scalar cost rather than the O(dim^3) sampler build. The
+  // 450-edge hubs stay under the engine's parallel threshold: one serial
+  // whole-span batch per hub, with run-to-run timing jitter far below the
+  // ParallelFor path's (the parity tests cover the chunked path).
+  exp.dim = 2;
+  exp.k = 8;
+  exp.config.data.logical_per_machine = 1e6;
+  exp.config.data.actual_per_machine = 150;
+  exp.config.seed = 77;
+  return exp;
+}
+
+void GasGmmRun(benchmark::State& state, bool batched) {
+  gas::SetDefaultBatchedGather(batched);
+  core::GmmExperiment exp = GasGmmConfig();
+  for (auto _ : state) {
+    core::RunResult r = core::RunGmmGas(exp, nullptr);
+    benchmark::DoNotOptimize(r.init_seconds);
+  }
+  gas::SetDefaultBatchedGather(true);
+}
+
+void BM_GasGmm_Naive(benchmark::State& state) { GasGmmRun(state, false); }
+void BM_GasGmm_Kernel(benchmark::State& state) { GasGmmRun(state, true); }
+BENCHMARK(BM_GasGmm_Naive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GasGmm_Kernel)->Unit(benchmark::kMillisecond);
+
+core::HmmExperiment GasHmmConfig() {
+  core::HmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.states = 10;
+  exp.vocab = 500;
+  exp.mean_doc_len = 40;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 30;
+  exp.config.seed = 19;
+  return exp;
+}
+
+void GasHmmRun(benchmark::State& state, bool batched) {
+  gas::SetDefaultBatchedGather(batched);
+  core::HmmExperiment exp = GasHmmConfig();
+  for (auto _ : state) {
+    core::RunResult r = core::RunHmmGas(exp, nullptr);
+    benchmark::DoNotOptimize(r.init_seconds);
+  }
+  gas::SetDefaultBatchedGather(true);
+}
+
+void BM_GasHmm_Naive(benchmark::State& state) { GasHmmRun(state, false); }
+void BM_GasHmm_Kernel(benchmark::State& state) { GasHmmRun(state, true); }
+BENCHMARK(BM_GasHmm_Naive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GasHmm_Kernel)->Unit(benchmark::kMillisecond);
+
+core::LdaExperiment GasLdaConfig() {
+  core::LdaExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.topics = 8;
+  exp.vocab = 500;
+  exp.mean_doc_len = 40;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 30;
+  exp.config.seed = 31;
+  return exp;
+}
+
+void GasLdaRun(benchmark::State& state, bool batched) {
+  gas::SetDefaultBatchedGather(batched);
+  core::LdaExperiment exp = GasLdaConfig();
+  for (auto _ : state) {
+    core::RunResult r = core::RunLdaGas(exp, nullptr);
+    benchmark::DoNotOptimize(r.init_seconds);
+  }
+  gas::SetDefaultBatchedGather(true);
+}
+
+void BM_GasLda_Naive(benchmark::State& state) { GasLdaRun(state, false); }
+void BM_GasLda_Kernel(benchmark::State& state) { GasLdaRun(state, true); }
+BENCHMARK(BM_GasLda_Naive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GasLda_Kernel)->Unit(benchmark::kMillisecond);
+
+core::LassoExperiment GasLassoConfig() {
+  core::LassoExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.p = 16;
+  exp.config.data.actual_per_machine = 400;
+  // 600 data supers + 16 model vertices: the center runs chunked gathers.
+  exp.supers_per_machine = 200;
+  exp.config.seed = 7;
+  return exp;
+}
+
+void GasLassoRun(benchmark::State& state, bool batched) {
+  gas::SetDefaultBatchedGather(batched);
+  core::LassoExperiment exp = GasLassoConfig();
+  for (auto _ : state) {
+    core::RunResult r = core::RunLassoGas(exp, nullptr);
+    benchmark::DoNotOptimize(r.init_seconds);
+  }
+  gas::SetDefaultBatchedGather(true);
+}
+
+void BM_GasLasso_Naive(benchmark::State& state) { GasLassoRun(state, false); }
+void BM_GasLasso_Kernel(benchmark::State& state) { GasLassoRun(state, true); }
+BENCHMARK(BM_GasLasso_Naive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GasLasso_Kernel)->Unit(benchmark::kMillisecond);
+
+// ---- Columnar VG pairs -----------------------------------------------------
+
+core::GmmExperiment VgGmmConfig() {
+  core::GmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 5;
+  exp.dim = 2;
+  exp.k = 8;
+  // Super-vertex (chunked-record) plan: membership resampling and the
+  // sufficient-stats emission both run inside SuperVertexVg, so the
+  // iteration is VG-bound instead of join/aggregate-bound. Many small
+  // groups put the per-tuple dispatch overhead in the numerator.
+  exp.super_vertex = true;
+  exp.supers_per_machine = 400;
+  exp.config.data.logical_per_machine = 1e6;
+  exp.config.data.actual_per_machine = 400;
+  exp.config.seed = 77;
+  return exp;
+}
+
+void VgGmmRun(benchmark::State& state, bool batched) {
+  reldb::Database::SetDefaultVgBatch(batched);
+  core::GmmExperiment exp = VgGmmConfig();
+  for (auto _ : state) {
+    core::RunResult r = core::RunGmmRelDb(exp, nullptr);
+    benchmark::DoNotOptimize(r.init_seconds);
+  }
+  reldb::Database::SetDefaultVgBatch(true);
+}
+
+void BM_VgGmm_Naive(benchmark::State& state) { VgGmmRun(state, false); }
+void BM_VgGmm_Kernel(benchmark::State& state) { VgGmmRun(state, true); }
+BENCHMARK(BM_VgGmm_Naive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VgGmm_Kernel)->Unit(benchmark::kMillisecond);
+
+core::HmmExperiment VgHmmConfig() {
+  core::HmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.states = 6;
+  exp.vocab = 300;
+  exp.mean_doc_len = 40;
+  exp.granularity = core::TextGranularity::kDocument;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 60;
+  exp.config.seed = 19;
+  return exp;
+}
+
+void VgHmmRun(benchmark::State& state, bool batched) {
+  reldb::Database::SetDefaultVgBatch(batched);
+  core::HmmExperiment exp = VgHmmConfig();
+  for (auto _ : state) {
+    core::RunResult r = core::RunHmmRelDb(exp, nullptr);
+    benchmark::DoNotOptimize(r.init_seconds);
+  }
+  reldb::Database::SetDefaultVgBatch(true);
+}
+
+void BM_VgHmm_Naive(benchmark::State& state) { VgHmmRun(state, false); }
+void BM_VgHmm_Kernel(benchmark::State& state) { VgHmmRun(state, true); }
+BENCHMARK(BM_VgHmm_Naive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VgHmm_Kernel)->Unit(benchmark::kMillisecond);
+
+core::LdaExperiment VgLdaConfig() {
+  core::LdaExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.topics = 8;
+  exp.vocab = 300;
+  exp.mean_doc_len = 40;
+  exp.granularity = core::TextGranularity::kDocument;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 60;
+  exp.config.seed = 31;
+  return exp;
+}
+
+void VgLdaRun(benchmark::State& state, bool batched) {
+  reldb::Database::SetDefaultVgBatch(batched);
+  core::LdaExperiment exp = VgLdaConfig();
+  for (auto _ : state) {
+    core::RunResult r = core::RunLdaRelDb(exp, nullptr);
+    benchmark::DoNotOptimize(r.init_seconds);
+  }
+  reldb::Database::SetDefaultVgBatch(true);
+}
+
+void BM_VgLda_Naive(benchmark::State& state) { VgLdaRun(state, false); }
+void BM_VgLda_Kernel(benchmark::State& state) { VgLdaRun(state, true); }
+BENCHMARK(BM_VgLda_Naive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VgLda_Kernel)->Unit(benchmark::kMillisecond);
+
+void VgLassoRun(benchmark::State& state, bool batched) {
+  reldb::Database::SetDefaultVgBatch(batched);
+  core::LassoExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.p = 32;
+  exp.config.data.actual_per_machine = 200;
+  exp.config.seed = 7;
+  for (auto _ : state) {
+    core::RunResult r = core::RunLassoRelDb(exp, nullptr);
+    benchmark::DoNotOptimize(r.init_seconds);
+  }
+  reldb::Database::SetDefaultVgBatch(true);
+}
+
+void BM_VgLasso_Naive(benchmark::State& state) { VgLassoRun(state, false); }
+void BM_VgLasso_Kernel(benchmark::State& state) { VgLassoRun(state, true); }
+BENCHMARK(BM_VgLasso_Naive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VgLasso_Kernel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mlbench::bench::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  // Two JSON files, split by pair family: GAS gathers vs VG functions.
+  std::vector<mlbench::bench::BenchRecord> gas_recs, vg_recs;
+  for (const auto& rec : reporter.records()) {
+    if (rec.name.rfind("BM_Vg", 0) == 0) {
+      vg_recs.push_back(rec);
+    } else {
+      gas_recs.push_back(rec);
+    }
+  }
+  mlbench::bench::WriteJson(gas_recs, "BENCH_vertex.json");
+  mlbench::bench::WriteJson(vg_recs, "BENCH_vg.json");
+  benchmark::Shutdown();
+  return 0;
+}

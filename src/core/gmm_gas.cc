@@ -45,6 +45,16 @@ struct Gathered {
   Vector pi;
   GmmSuffStats stats;
   Vector counts;
+  // Batched-gather borrow slots: elements of a CSR span reference the
+  // neighbor's exported state instead of copying it. Safe because the
+  // engine consumes a vertex's gathered values within that vertex's own
+  // turn (no other vertex mutates in between), and the fold reads all
+  // span elements after the accumulator const (engine.h mutates only the
+  // accumulator it moves out of the span's first element, which for the
+  // additive stats stays an owned copy).
+  std::vector<std::pair<std::size_t, const VData*>> model_src;
+  const GmmSuffStats* stats_src = nullptr;
+  const std::vector<GmmSuffStats>* counts_src = nullptr;
 };
 
 class GmmProgram : public gas::GasProgram<VData, Gathered> {
@@ -89,11 +99,88 @@ class GmmProgram : public gas::GasProgram<VData, Gathered> {
     return g;
   }
 
+  // Batched gather over one CSR span. Model pieces and pi fold by
+  // placement (push_back concatenation / last-writer overwrite), so the
+  // data-vertex case collapses a whole chunk into its first element —
+  // edge order preserved, later elements stay Merge identities. The
+  // cluster and mixture cases carry additive statistics and must stay
+  // per-edge to keep the global fold's FP association (see engine.h), but
+  // the engine fold only mutates the accumulator it moves out of the
+  // span's first element and reads the rest const — so later elements
+  // borrow the neighbor's exported stats instead of copying a dim x dim
+  // sufficient-stat block (or building a length-k count vector) per edge.
+  void GatherBatch(const gas::Graph<VData>::Vertex& center,
+                   const gas::Graph<VData>& graph,
+                   const std::size_t* neighbors, std::size_t count,
+                   Gathered* out) override {
+    switch (center.data.kind) {
+      case VData::Kind::kData: {
+        Gathered& g = out[0];
+        for (std::size_t j = 0; j < count; ++j) {
+          const auto& nbr = graph.vertex(neighbors[j]);
+          if (nbr.data.kind == VData::Kind::kCluster) {
+            g.model_src.push_back({nbr.data.cluster_id, &nbr.data});
+          } else if (nbr.data.kind == VData::Kind::kMixture &&
+                     !nbr.data.pi.empty()) {
+            // Same last-non-empty-wins rule the Merge fold applies.
+            g.pi = nbr.data.pi;
+          }
+        }
+        break;
+      }
+      case VData::Kind::kCluster: {
+        bool first = true;
+        for (std::size_t j = 0; j < count; ++j) {
+          const auto& nbr = graph.vertex(neighbors[j]);
+          if (nbr.data.kind == VData::Kind::kData &&
+              !nbr.data.stats.empty()) {
+            if (first) {
+              // The span's first element seeds the fold accumulator,
+              // which later merges mutate: it must be an owned copy.
+              out[j].stats = nbr.data.stats[center.data.cluster_id];
+              first = false;
+            } else {
+              out[j].stats_src = &nbr.data.stats[center.data.cluster_id];
+            }
+          }
+        }
+        break;
+      }
+      case VData::Kind::kMixture: {
+        bool first = true;
+        for (std::size_t j = 0; j < count; ++j) {
+          const auto& nbr = graph.vertex(neighbors[j]);
+          if (nbr.data.kind == VData::Kind::kData &&
+              !nbr.data.stats.empty()) {
+            if (first) {
+              out[j].counts = Vector(hyper_.k);
+              for (std::size_t c = 0; c < hyper_.k; ++c) {
+                out[j].counts[c] = nbr.data.stats[c].n;
+              }
+              first = false;
+            } else {
+              out[j].counts_src = &nbr.data.stats;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
   Gathered Merge(Gathered a, const Gathered& b) override {
     for (const auto& m : b.model) a.model.push_back(m);
+    for (const auto& m : b.model_src) a.model_src.push_back(m);
     if (!b.pi.empty()) a.pi = b.pi;
-    a.stats.Merge(b.stats);
-    if (!b.counts.empty()) {
+    // Borrowed stats carry the same numbers the scalar gather would have
+    // copied; the fold arithmetic and its order are unchanged.
+    a.stats.Merge(b.stats_src != nullptr ? *b.stats_src : b.stats);
+    if (b.counts_src != nullptr) {
+      if (a.counts.empty()) a.counts = Vector(hyper_.k);
+      for (std::size_t c = 0; c < hyper_.k; ++c) {
+        a.counts[c] += (*b.counts_src)[c].n;
+      }
+    } else if (!b.counts.empty()) {
       if (a.counts.empty()) {
         a.counts = b.counts;
       } else {
@@ -116,6 +203,12 @@ class GmmProgram : public gas::GasProgram<VData, Gathered> {
         for (const auto& [cid, ms] : g.model) {
           params.mu[cid] = ms.first;
           params.sigma[cid] = ms.second;
+        }
+        // Borrowed rows carry the same values the scalar gather copied;
+        // distinct cluster ids make the assignment order immaterial.
+        for (const auto& [cid, src] : g.model_src) {
+          params.mu[cid] = src->mu;
+          params.sigma[cid] = src->sigma;
         }
         auto sampler = models::GmmMembershipSampler::Build(params);
         v.data.stats.assign(hyper_.k, GmmSuffStats(hyper_.dim));

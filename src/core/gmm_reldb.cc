@@ -22,11 +22,14 @@ using models::Vector;
 using reldb::AggOp;
 using reldb::AsDouble;
 using reldb::AsInt;
+using reldb::ColType;
+using reldb::ColumnBatch;
 using reldb::Database;
 using reldb::Rel;
 using reldb::Schema;
 using reldb::Table;
 using reldb::Tuple;
+using reldb::VgBatchOut;
 
 /// multinomial_membership: the one hand-written C++ VG function of the
 /// paper's SimSQL GMM. Each invocation group is one data point's dimension
@@ -66,6 +69,44 @@ class MembershipVg : public reldb::VgFunction {
       (void)st;
     }
     out->push_back(Tuple{params[0][id_c_], static_cast<std::int64_t>(k)});
+  }
+  std::size_t OutRowsHint(std::size_t) const override { return 1; }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, VgBatchOut* out) override {
+    const ColumnBatch::Column& idc = params.col(id_c_);
+    const ColumnBatch::Column& dimc = params.col(dim_c_);
+    const ColumnBatch::Column& valc = params.col(val_c_);
+    const std::size_t n_groups = group_offsets.size() - 1;
+    out->columnar = true;
+    // One output row per group: the point's id (input storage type) and
+    // the sampled cluster.
+    out->cols.push_back(ColumnBatch::Column::Sized(idc.type, n_groups));
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kInt, n_groups));
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::size_t lo = group_offsets[g];
+      const std::size_t hi = group_offsets[g + 1];
+      // Fresh zero-initialized point per group, like the tuple path.
+      Vector x(dim_);
+      for (std::size_t i = lo; i < hi; ++i) {
+        x[static_cast<std::size_t>(AsInt(dimc.At(i)))] = valc.AsDoubleAt(i);
+      }
+      auto id = static_cast<std::size_t>(AsInt(idc.At(lo)));
+      if (censored_ != nullptr) x = (*censored_)[id].x;
+      std::size_t k = sampler_->Sample(rng, x, &scratch_);
+      if (censored_ != nullptr && params_ != nullptr) {
+        Status st = models::ImputeMissing(rng, params_->mu[k],
+                                          params_->sigma[k],
+                                          &(*censored_)[id]);
+        (void)st;
+      }
+      if (idc.type == ColType::kInt) {
+        out->cols[0].ints[g] = idc.ints[lo];
+      } else {
+        out->cols[0].doubles[g] = idc.doubles[lo];
+      }
+      out->cols[1].ints[g] = static_cast<std::int64_t>(k);
+    }
   }
 
  private:
@@ -135,6 +176,71 @@ class ClusterPosteriorVg : public reldb::VgFunction {
       }
     }
   }
+  std::size_t OutRowsHint(std::size_t) const override {
+    return hyper_.dim + hyper_.dim * hyper_.dim;
+  }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, VgBatchOut* out) override {
+    const ColumnBatch::Column& kindc = params.col(kind_c_);
+    const ColumnBatch::Column& d1c = params.col(d1_c_);
+    const ColumnBatch::Column& d2c = params.col(d2_c_);
+    const ColumnBatch::Column& valc = params.col(val_c_);
+    const ColumnBatch::Column& clusc = params.col(clus_c_);
+    const std::size_t n_groups = group_offsets.size() - 1;
+    const std::size_t per = hyper_.dim + hyper_.dim * hyper_.dim;
+    const std::size_t n_out = n_groups * per;
+    out->columnar = true;
+    out->cols.push_back(ColumnBatch::Column::Sized(clusc.type, n_out));
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kInt, n_out));
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kInt, n_out));
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kInt, n_out));
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kDouble, n_out));
+    std::size_t w = 0;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::size_t lo = group_offsets[g];
+      const std::size_t hi = group_offsets[g + 1];
+      GmmSuffStats stats(hyper_.dim);
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::int64_t kind = AsInt(kindc.At(i));
+        auto d1 = static_cast<std::size_t>(AsInt(d1c.At(i)));
+        auto d2 = static_cast<std::size_t>(AsInt(d2c.At(i)));
+        double v = valc.AsDoubleAt(i);
+        if (kind == 0) {
+          stats.sum_x[d1] += v;
+        } else if (kind == 1) {
+          stats.sum_outer(d1, d2) += v;
+        } else if (kind == 2) {
+          stats.n += v / count_scale_;
+        }  // kind 3: structural seed row ensuring every cluster has a group
+      }
+      auto post = models::SampleClusterPosterior(rng, hyper_, stats);
+      MLBENCH_CHECK_MSG(post.ok(), post.status().ToString().c_str());
+      // Every output row of this group carries the group's clus_id value
+      // (the tuple path re-emits params[0][clus_c_] verbatim).
+      auto emit = [&](std::int64_t kind, std::size_t d1, std::size_t d2,
+                      double val) {
+        if (clusc.type == ColType::kInt) {
+          out->cols[0].ints[w] = clusc.ints[lo];
+        } else {
+          out->cols[0].doubles[w] = clusc.doubles[lo];
+        }
+        out->cols[1].ints[w] = kind;
+        out->cols[2].ints[w] = static_cast<std::int64_t>(d1);
+        out->cols[3].ints[w] = static_cast<std::int64_t>(d2);
+        out->cols[4].doubles[w] = val;
+        ++w;
+      };
+      for (std::size_t d = 0; d < hyper_.dim; ++d) {
+        emit(0, d, 0, post->first[d]);
+      }
+      for (std::size_t r = 0; r < hyper_.dim; ++r) {
+        for (std::size_t c = 0; c < hyper_.dim; ++c) {
+          emit(1, r, c, post->second(r, c));
+        }
+      }
+    }
+  }
 
  private:
   GmmHyper hyper_;
@@ -182,6 +288,53 @@ class SuperVertexVg : public reldb::VgFunction {
                                static_cast<std::int64_t>(r),
                                static_cast<std::int64_t>(cc),
                                stats[c].sum_outer(r, cc)});
+        }
+      }
+    }
+  }
+  std::size_t OutRowsHint(std::size_t) const override {
+    return k_ * (1 + dim_ + dim_ * dim_);
+  }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, VgBatchOut* out) override {
+    const ColumnBatch::Column& gidc = params.col(gid_c_);
+    const std::size_t n_groups = group_offsets.size() - 1;
+    const std::size_t per = k_ * (1 + dim_ + dim_ * dim_);
+    const std::size_t n_out = n_groups * per;
+    out->columnar = true;
+    // All five output columns are freshly generated int64/double values
+    // (no passthrough), matching the tuple path's emitted alternatives.
+    for (int c = 0; c < 4; ++c) {
+      out->cols.push_back(ColumnBatch::Column::Sized(ColType::kInt, n_out));
+    }
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kDouble, n_out));
+    std::size_t w = 0;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::size_t lo = group_offsets[g];
+      auto gid = static_cast<std::size_t>(AsInt(gidc.At(lo)));
+      std::vector<GmmSuffStats> stats(k_, GmmSuffStats(dim_));
+      for (const auto& x : (*groups_)[gid]) {
+        stats[sampler_->Sample(rng, x, &scratch_)].Add(x);
+      }
+      auto emit = [&](std::size_t clus, std::int64_t kind, std::size_t d1,
+                      std::size_t d2, double val) {
+        out->cols[0].ints[w] = static_cast<std::int64_t>(clus);
+        out->cols[1].ints[w] = kind;
+        out->cols[2].ints[w] = static_cast<std::int64_t>(d1);
+        out->cols[3].ints[w] = static_cast<std::int64_t>(d2);
+        out->cols[4].doubles[w] = val;
+        ++w;
+      };
+      for (std::size_t c = 0; c < k_; ++c) {
+        emit(c, 2, 0, 0, stats[c].n);
+        for (std::size_t d = 0; d < dim_; ++d) {
+          emit(c, 0, d, 0, stats[c].sum_x[d]);
+        }
+        for (std::size_t r = 0; r < dim_; ++r) {
+          for (std::size_t cc = 0; cc < dim_; ++cc) {
+            emit(c, 1, r, cc, stats[c].sum_outer(r, cc));
+          }
         }
       }
     }

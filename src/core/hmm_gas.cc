@@ -60,6 +60,64 @@ class HmmProgram : public gas::GasProgram<VData, Gathered> {
     return g;
   }
 
+  // Batched gather over one CSR span. A data vertex's per-edge gathers
+  // each allocate a full K x V HmmParams only for the fold to copy single
+  // rows out of them; the batch builds one model per chunk directly, in
+  // edge order and under the same row-copy rule as Merge. A state
+  // vertex's gathers are additive counts and must stay per-edge, but the
+  // engine fold only mutates the accumulator it moves out of the span's
+  // first element and reads the rest const — so later elements share the
+  // neighbor's exported partial instead of copying K x V counts per edge.
+  void GatherBatch(const gas::Graph<VData>::Vertex& center,
+                   const gas::Graph<VData>& graph,
+                   const std::size_t* neighbors, std::size_t count,
+                   Gathered* out) override {
+    if (center.data.kind == VData::Kind::kData) {
+      std::shared_ptr<HmmParams> model;
+      for (std::size_t j = 0; j < count; ++j) {
+        const auto& nbr = graph.vertex(neighbors[j]);
+        if (nbr.data.kind != VData::Kind::kState) continue;
+        if (!model) {
+          // First state neighbor: taken wholesale, like the fold keeping
+          // the first gathered model.
+          model = std::make_shared<HmmParams>();
+          model->delta0 = Vector(hyper_.states);
+          model->delta.assign(hyper_.states, Vector(hyper_.states));
+          model->psi.assign(hyper_.states, Vector(hyper_.vocab));
+          model->psi[nbr.data.s] = nbr.data.psi;
+          model->delta[nbr.data.s] = nbr.data.delta;
+          model->delta0[nbr.data.s] = nbr.data.delta0;
+        } else if (!nbr.data.psi.empty() && nbr.data.psi.Sum() != 0) {
+          // Same row-copy rule the Merge fold applies.
+          model->psi[nbr.data.s] = nbr.data.psi;
+          model->delta[nbr.data.s] = nbr.data.delta;
+          model->delta0[nbr.data.s] = nbr.data.delta0;
+        }
+      }
+      out[0].model = std::move(model);
+    } else {
+      bool first = true;
+      for (std::size_t j = 0; j < count; ++j) {
+        const auto& nbr = graph.vertex(neighbors[j]);
+        if (nbr.data.kind != VData::Kind::kData || !nbr.data.partial) {
+          continue;
+        }
+        if (first) {
+          // The span's first counts element seeds the fold accumulator,
+          // which later merges mutate: it must be a fresh copy.
+          // Zero-init + Merge reproduces the scalar gather bit-for-bit
+          // (0 + x is x for these non-negative counts).
+          out[j].counts =
+              std::make_shared<HmmCounts>(hyper_.states, hyper_.vocab);
+          out[j].counts->Merge(*nbr.data.partial);
+          first = false;
+        } else {
+          out[j].counts = nbr.data.partial;
+        }
+      }
+    }
+  }
+
   Gathered Merge(Gathered a, const Gathered& b) override {
     if (b.model) {
       if (!a.model) {

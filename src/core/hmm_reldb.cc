@@ -20,6 +20,8 @@ using models::Vector;
 using reldb::AggOp;
 using reldb::AsDouble;
 using reldb::AsInt;
+using reldb::ColType;
+using reldb::ColumnBatch;
 using reldb::Database;
 using reldb::Rel;
 using reldb::Schema;
@@ -64,6 +66,47 @@ class StateVg : public reldb::VgFunction {
                            static_cast<std::int64_t>(doc.words[pos]),
                            static_cast<std::int64_t>(doc.states[pos])});
     }
+  }
+  std::size_t OutRowsHint(std::size_t mean_group_rows) const override {
+    if (docs_->empty()) return mean_group_rows;
+    std::size_t words = 0;
+    for (const auto& d : *docs_) words += d.words.size();
+    return words / docs_->size() + 1;
+  }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, reldb::VgBatchOut* out) override {
+    const ColumnBatch::Column& dc = params.col(doc_c_);
+    const std::size_t n_groups = group_offsets.size() - 1;
+    std::vector<std::int64_t> doc_col, pos_col, word_col, state_col;
+    const std::size_t est = n_groups * OutRowsHint(0);
+    doc_col.reserve(est);
+    pos_col.reserve(est);
+    word_col.reserve(est);
+    state_col.reserve(est);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      auto doc_id =
+          static_cast<std::size_t>(AsInt(dc.At(group_offsets[g])));
+      HmmDocument& doc = (*docs_)[doc_id];
+      if (!prepared_) {
+        std::size_t expected = 0;
+        for (const auto& d : *docs_) expected += d.words.size();
+        sampler_.Prepare(*params_, expected);
+        prepared_ = true;
+      }
+      sampler_.Resample(rng, iteration_, &doc);
+      for (std::size_t pos = 0; pos < doc.words.size(); ++pos) {
+        doc_col.push_back(static_cast<std::int64_t>(doc_id));
+        pos_col.push_back(static_cast<std::int64_t>(pos));
+        word_col.push_back(static_cast<std::int64_t>(doc.words[pos]));
+        state_col.push_back(static_cast<std::int64_t>(doc.states[pos]));
+      }
+    }
+    out->columnar = true;
+    out->cols.push_back(ColumnBatch::Column::Ints(std::move(doc_col)));
+    out->cols.push_back(ColumnBatch::Column::Ints(std::move(pos_col)));
+    out->cols.push_back(ColumnBatch::Column::Ints(std::move(word_col)));
+    out->cols.push_back(ColumnBatch::Column::Ints(std::move(state_col)));
   }
 
  private:

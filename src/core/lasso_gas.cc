@@ -62,6 +62,42 @@ class LassoProgram : public gas::GasProgram<VData, Gathered> {
     return g;
   }
 
+  // Batched gather over one CSR span. The scalar path allocates a length-p
+  // inv_tau2 vector per *edge* only for the fold to add one-hot scatters
+  // and zeros elementwise; the batch allocates one per chunk and scatters
+  // the chunk's model contributions into it directly — each position is
+  // written at most once across the whole neighborhood (model j appears on
+  // exactly one edge), and 0 + x is bitwise x for these non-negative
+  // precisions, so the fold result is unchanged. Residual partials are
+  // additive and stay per-edge; later elements' inv_tau2 stay empty (a
+  // Merge identity). Center-view placement (beta/sigma2) follows the same
+  // last-wins overwrite rule as the fold.
+  void GatherBatch(const gas::Graph<VData>::Vertex& center,
+                   const gas::Graph<VData>& graph,
+                   const std::size_t* neighbors, std::size_t count,
+                   Gathered* out) override {
+    out[0].inv_tau2 = Vector(hyper_.p);
+    if (center.data.kind == VData::Kind::kCenter) {
+      for (std::size_t j = 0; j < count; ++j) {
+        const auto& nbr = graph.vertex(neighbors[j]);
+        if (nbr.data.kind == VData::Kind::kModel) {
+          out[0].inv_tau2[nbr.data.j] = nbr.data.inv_tau2;
+        } else if (nbr.data.kind == VData::Kind::kData) {
+          out[j].sse = nbr.data.sse_partial;
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < count; ++j) {
+        const auto& nbr = graph.vertex(neighbors[j]);
+        if (nbr.data.kind == VData::Kind::kCenter) {
+          out[0].beta = nbr.data.state->beta;
+          out[0].sigma2 = nbr.data.state->sigma2;
+          out[0].has_center = true;
+        }
+      }
+    }
+  }
+
   Gathered Merge(Gathered a, const Gathered& b) override {
     if (b.has_center) {
       a.beta = b.beta;

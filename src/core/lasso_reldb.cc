@@ -46,6 +46,32 @@ class BetaVg : public reldb::VgFunction {
       out->push_back(Tuple{static_cast<std::int64_t>(j), (*beta)[j]});
     }
   }
+  std::size_t OutRowsHint(std::size_t) const override {
+    return inv_tau2_->size();
+  }
+  void SampleBatch(const reldb::ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng&, reldb::VgBatchOut* out) override {
+    (void)params;
+    std::vector<std::int64_t> rigid;
+    std::vector<double> beta_col;
+    // Like the tuple path, each invocation group re-seeds its own RNG and
+    // ignores both the parameter rows and the shared stream.
+    for (std::size_t g = 0; g + 1 < group_offsets.size(); ++g) {
+      stats::Rng rng(seed_);
+      auto beta = models::SampleBeta(rng, *stats_, *inv_tau2_, sigma2_);
+      MLBENCH_CHECK_MSG(beta.ok(), beta.status().ToString().c_str());
+      for (std::size_t j = 0; j < beta->size(); ++j) {
+        rigid.push_back(static_cast<std::int64_t>(j));
+        beta_col.push_back((*beta)[j]);
+      }
+    }
+    out->columnar = true;
+    out->cols.push_back(
+        reldb::ColumnBatch::Column::Ints(std::move(rigid)));
+    out->cols.push_back(
+        reldb::ColumnBatch::Column::Doubles(std::move(beta_col)));
+  }
 
  private:
   const LassoSuffStats* stats_;

@@ -61,6 +61,49 @@ class LdaProgram : public gas::GasProgram<VData, Gathered> {
     return g;
   }
 
+  // Batched gather over one CSR span. A data vertex's model rows fold by
+  // placement, so the chunk collapses into one LdaParams in its first
+  // element (edge order and the fold's non-empty row rule preserved). A
+  // topic vertex's row partials are additive and stay per-edge so the
+  // global fold keeps its FP association.
+  void GatherBatch(const gas::Graph<VData>::Vertex& center,
+                   const gas::Graph<VData>& graph,
+                   const std::size_t* neighbors, std::size_t count,
+                   Gathered* out) override {
+    if (center.data.kind == VData::Kind::kData) {
+      std::shared_ptr<LdaParams> model;
+      for (std::size_t j = 0; j < count; ++j) {
+        const auto& nbr = graph.vertex(neighbors[j]);
+        if (nbr.data.kind != VData::Kind::kTopic) continue;
+        if (!model) {
+          // First topic neighbor: taken wholesale, like the fold keeping
+          // the first gathered model.
+          model = std::make_shared<LdaParams>();
+          model->phi.assign(hyper_.topics, Vector());
+          model->phi[nbr.data.t] = nbr.data.phi;
+        } else if (!nbr.data.phi.empty()) {
+          // Same non-empty row rule the Merge fold applies.
+          model->phi[nbr.data.t] = nbr.data.phi;
+        }
+      }
+      out[0].model = std::move(model);
+    } else {
+      for (std::size_t j = 0; j < count; ++j) {
+        const auto& nbr = graph.vertex(neighbors[j]);
+        if (nbr.data.kind != VData::Kind::kData || !nbr.data.partial) {
+          continue;
+        }
+        out[j].row = Vector(hyper_.vocab);
+        auto lo = static_cast<std::uint32_t>(center.data.t * hyper_.vocab);
+        auto hi =
+            static_cast<std::uint32_t>((center.data.t + 1) * hyper_.vocab);
+        for (const auto& [key, count_f] : *nbr.data.partial) {
+          if (key >= lo && key < hi) out[j].row[key - lo] += count_f;
+        }
+      }
+    }
+  }
+
   Gathered Merge(Gathered a, const Gathered& b) override {
     if (b.model) {
       if (!a.model) {

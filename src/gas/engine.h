@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,20 @@
 
 namespace mlbench::gas {
 
+/// Process-wide default for batched gather dispatch (DESIGN.md §14).
+/// Batched is on unless MLBENCH_GAS_SCALAR is set in the environment;
+/// tests and benches flip it programmatically via SetDefaultBatchedGather.
+/// Inline-function statics are a single instance across TUs, mirroring
+/// the reldb Database knob pattern.
+inline bool& BatchedGatherDefaultFlag() {
+  static bool flag = std::getenv("MLBENCH_GAS_SCALAR") == nullptr;
+  return flag;
+}
+inline bool DefaultBatchedGather() { return BatchedGatherDefaultFlag(); }
+inline void SetDefaultBatchedGather(bool on) {
+  BatchedGatherDefaultFlag() = on;
+}
+
 /// User program: gather a value from each neighbor, fold, apply.
 ///
 /// `VData` is the vertex payload (typically a variant over the model's
@@ -49,6 +64,36 @@ class GasProgram {
 
   /// Folds two gather values (commutative + associative).
   virtual GatherT Merge(GatherT a, const GatherT& b) = 0;
+
+  /// Batched gather: fill `out[0..count)` for one contiguous span of
+  /// `center`'s edges (`neighbors` points into the graph's CSR image, in
+  /// edge order). The engine left-folds the filled elements with `Merge`
+  /// in edge order exactly as it folds per-edge `Gather` results, so the
+  /// contract is: the fold over `out` must be bit-identical to the fold
+  /// over per-edge gathers. The default keeps programs working unported.
+  ///
+  /// Overrides may pre-aggregate a span's content into its first element
+  /// and leave the rest as `Merge` identities — but only content whose
+  /// fold is placement/overwrite (model rows) or touches each position at
+  /// most once over the whole neighborhood (one-hot scatters): 0 + x is
+  /// bitwise x for the non-negative values flowing here. Additive content
+  /// (counts, sufficient statistics, residuals) must stay per-edge, since
+  /// pre-folding a chunk changes the FP association of the global fold.
+  /// Elements past the first may also *share* immutable state (e.g. a
+  /// neighbor's exported shared_ptr): the engine fold only ever mutates
+  /// the accumulator it moved out of the very first element, and reads
+  /// every later element const.
+  ///
+  /// This and SampleBatch bodies run inside engine worker chunks; mlint
+  /// treats them as parallel callees (no sim charges inside).
+  virtual void GatherBatch(const typename Graph<VData>::Vertex& center,
+                           const Graph<VData>& graph,
+                           const std::size_t* neighbors, std::size_t count,
+                           GatherT* out) {
+    for (std::size_t j = 0; j < count; ++j) {
+      out[j] = Gather(center, graph.vertex(neighbors[j]));
+    }
+  }
 
   /// Updates the center vertex from its folded gather.
   virtual void Apply(typename Graph<VData>::Vertex& center,
@@ -69,6 +114,11 @@ class GasEngine {
   sim::ClusterSim& sim() { return *sim_; }
   Graph<VData>& graph() { return *graph_; }
   const sim::GasCosts& costs() const { return costs_; }
+
+  /// Whether sweeps dispatch gathers in chunks (GatherBatch) or per edge
+  /// (Gather). Defaults from the process-wide MLBENCH_GAS_SCALAR knob.
+  bool batched() const { return batched_; }
+  void set_batched(bool on) { batched_ = on; }
 
   /// GraphLab-style snapshotting: every `n` sweeps each machine writes its
   /// graph partition to distributed storage. On a machine crash the job
@@ -312,26 +362,53 @@ class GasEngine {
     // data vertices gather the fresh model) relies on the Gauss-Seidel
     // sweep order. Host parallelism goes *inside* a vertex instead: when a
     // vertex has many edges (the super-vertex / hub layouts that dominate
-    // sweep time), its Gather calls — pure reads of two vertices — are
+    // sweep time), its gathers — pure reads of two vertices — are
     // materialized across the pool into an edge-indexed buffer, then folded
     // serially in edge order. The fold order matches the streaming serial
     // loop exactly, so results are bit-identical at any thread count.
+    //
+    // Dispatch granularity is the only difference between the two host
+    // paths: batched (the default) issues one GatherBatch virtual call per
+    // edge chunk over the graph's CSR spans; scalar (MLBENCH_GAS_SCALAR=1
+    // or set_batched(false)) issues one Gather virtual call per edge. The
+    // GatherBatch contract (see GasProgram) makes the folded results
+    // bit-identical between the two.
     double flops = 0;
     std::vector<GatherT> gathered;
     for (std::size_t i = 0; i < graph_->size(); ++i) {
       auto& v = graph_->vertex(i);
       if (v.out.empty()) continue;
-      const std::int64_t n_edges = static_cast<std::int64_t>(v.out.size());
+      const typename Graph<VData>::NeighborSpan nbrs = graph_->Neighbors(i);
+      const std::int64_t n_edges = static_cast<std::int64_t>(nbrs.count);
       GatherT acc{};
       if (n_edges >= kEdgeParallelThreshold) {
         gathered.clear();
         gathered.resize(static_cast<std::size_t>(n_edges));
         exec::ParallelFor(n_edges, kEdgeGrain, [&](const exec::Chunk& chunk) {
-          for (std::int64_t e = chunk.begin; e < chunk.end; ++e) {
-            std::size_t j = static_cast<std::size_t>(e);
-            gathered[j] = program.Gather(v, graph_->vertex(v.out[j]));
+          if (batched_) {
+            program.GatherBatch(
+                v, *graph_, nbrs.idx + chunk.begin,
+                static_cast<std::size_t>(chunk.end - chunk.begin),
+                gathered.data() + chunk.begin);
+          } else {
+            for (std::int64_t e = chunk.begin; e < chunk.end; ++e) {
+              std::size_t j = static_cast<std::size_t>(e);
+              gathered[j] = program.Gather(v, graph_->vertex(nbrs.idx[j]));
+            }
           }
         });
+        acc = std::move(gathered[0]);
+        for (std::size_t j = 1; j < gathered.size(); ++j) {
+          acc = program.Merge(std::move(acc), gathered[j]);
+        }
+      } else if (batched_) {
+        // One batch spanning the whole (small) neighborhood; materialize
+        // then fold — identical order to the streaming loop below because
+        // gathers are pure and the fold is the same left fold.
+        gathered.clear();
+        gathered.resize(static_cast<std::size_t>(n_edges));
+        program.GatherBatch(v, *graph_, nbrs.idx, nbrs.count,
+                            gathered.data());
         acc = std::move(gathered[0]);
         for (std::size_t j = 1; j < gathered.size(); ++j) {
           acc = program.Merge(std::move(acc), gathered[j]);
@@ -349,9 +426,16 @@ class GasEngine {
         }
       }
       program.Apply(v, acc);
-      for (std::size_t nidx : v.out) {
-        flops += program.GatherFlopsPerEdge() * v.scale *
-                 graph_->vertex(nidx).scale;
+      // Flops accounting streams the CSR scale array instead of re-walking
+      // the neighbor vertex structs a second time. Hoisting the per-edge
+      // common factor is exact (the scalar loop evaluated the same
+      // left-associated product), and the per-edge additions happen in the
+      // same order — charges are bit-identical. A factored per-vertex
+      // scale *sum* would not be: sum(cv * s_j) != cv * sum(s_j) in
+      // floating point.
+      const double cv = program.GatherFlopsPerEdge() * v.scale;
+      for (std::size_t j = 0; j < nbrs.count; ++j) {
+        flops += cv * nbrs.scale[j];
       }
       flops += program.ApplyFlopsPerVertex() * v.scale;
     }
@@ -459,6 +543,7 @@ class GasEngine {
   sim::ClusterSim* sim_;
   Graph<VData>* graph_;
   sim::GasCosts costs_;
+  bool batched_ = DefaultBatchedGather();
   bool booted_ = false;
   double graph_bytes_ = 0;
   /// Sweeps between snapshot writes; <= 0 disables snapshotting.

@@ -16,6 +16,17 @@
 /// memory behaviour). Vertices are hash-placed on machines; the resulting
 /// imbalance for small vertex classes (20 HMM state vertices over 20
 /// machines) is part of what the simulation reproduces.
+///
+/// Alongside the per-vertex adjacency lists the graph keeps a lazily built
+/// CSR image of them (flat neighbor indices plus a parallel array of the
+/// neighbors' logical scales, both in per-vertex edge order). The engine's
+/// batched sweep hands contiguous spans of it to `GasProgram::GatherBatch`
+/// and streams the scale array for flops accounting instead of re-walking
+/// the vertex structs. The image is invalidated by any graph mutation
+/// (AddVertex / AddEdge) and rebuilt on next use; vertex *data* mutations
+/// (what Apply and TransformVertices do) never touch it. Vertex scales are
+/// fixed at AddVertex time by every driver, so the cached scale copies
+/// stay valid for the life of the topology.
 
 namespace mlbench::gas {
 
@@ -37,6 +48,15 @@ class Graph {
     std::vector<std::size_t> out;  ///< indices of neighbors (undirected)
   };
 
+  /// Contiguous view of one vertex's neighborhood in the CSR image:
+  /// neighbor slot indices and the matching neighbor scales, both in the
+  /// vertex's edge order. Pointers stay valid until the next mutation.
+  struct NeighborSpan {
+    const std::size_t* idx = nullptr;
+    const double* scale = nullptr;
+    std::size_t count = 0;
+  };
+
   /// Adds a vertex; ids must be unique and are assigned by the caller.
   std::size_t AddVertex(VertexId id, VData data, double scale,
                         double state_bytes, double export_bytes) {
@@ -47,6 +67,7 @@ class Graph {
     v.state_bytes = state_bytes;
     v.export_bytes = export_bytes;
     vertices_.push_back(std::move(v));
+    csr_valid_ = false;
     return vertices_.size() - 1;
   }
 
@@ -55,6 +76,18 @@ class Graph {
     MLBENCH_CHECK(a < vertices_.size() && b < vertices_.size());
     vertices_[a].out.push_back(b);
     vertices_[b].out.push_back(a);
+    csr_valid_ = false;
+  }
+
+  /// CSR view of vertex `i`'s adjacency, (re)building the flat image if a
+  /// mutation invalidated it. Not thread-safe against the first call —
+  /// the engine triggers the build from its serial sweep loop before any
+  /// spans cross into worker chunks.
+  NeighborSpan Neighbors(std::size_t i) const {
+    if (!csr_valid_) BuildCsr();
+    std::size_t begin = csr_offsets_[i];
+    return {csr_adj_.data() + begin, csr_nbr_scale_.data() + begin,
+            csr_offsets_[i + 1] - begin};
   }
 
   std::size_t size() const { return vertices_.size(); }
@@ -72,7 +105,33 @@ class Graph {
   }
 
  private:
+  void BuildCsr() const {
+    csr_offsets_.assign(vertices_.size() + 1, 0);
+    std::size_t edges = 0;
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+      csr_offsets_[i] = edges;
+      edges += vertices_[i].out.size();
+    }
+    csr_offsets_[vertices_.size()] = edges;
+    csr_adj_.resize(edges);
+    csr_nbr_scale_.resize(edges);
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+      std::size_t at = csr_offsets_[i];
+      for (std::size_t nidx : vertices_[i].out) {
+        csr_adj_[at] = nidx;
+        csr_nbr_scale_[at] = vertices_[nidx].scale;
+        ++at;
+      }
+    }
+    csr_valid_ = true;
+  }
+
   std::vector<Vertex> vertices_;
+  // Lazily built CSR image of the adjacency lists (see file comment).
+  mutable std::vector<std::size_t> csr_offsets_;
+  mutable std::vector<std::size_t> csr_adj_;
+  mutable std::vector<double> csr_nbr_scale_;
+  mutable bool csr_valid_ = false;
 };
 
 }  // namespace mlbench::gas

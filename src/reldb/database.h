@@ -40,7 +40,7 @@ class Database {
   Database(sim::ClusterSim* sim, sim::RelDbCosts costs = {},
            std::uint64_t seed = 1)
       : sim_(sim), costs_(costs), rng_(seed), columnar_(DefaultColumnar()),
-        expr_vm_(DefaultExprVm()) {}
+        expr_vm_(DefaultExprVm()), vg_batch_(DefaultVgBatch()) {}
 
   sim::ClusterSim& sim() { return *sim_; }
   const sim::RelDbCosts& costs() const { return costs_; }
@@ -74,6 +74,20 @@ class Database {
   /// VM-vs-interpreter parity suite and benchmarks.
   bool expr_vm() const { return expr_vm_; }
   void set_expr_vm(bool on) { expr_vm_ = on; }
+
+  /// Process-wide default for columnar VG-function execution (DESIGN.md
+  /// §14). Batched is on unless the MLBENCH_VG_TUPLES environment variable
+  /// restores the tuple-at-a-time path (the bit-identical parity baseline).
+  static bool DefaultVgBatch() { return DefaultVgBatchFlag(); }
+  static void SetDefaultVgBatch(bool on) { DefaultVgBatchFlag() = on; }
+
+  /// Whether VgApply feeds VG functions group-sorted column spans through
+  /// VgFunction::SampleBatch (true) or materializes per-group Tuple
+  /// vectors for Sample. Either way results, charges and RNG streams are
+  /// bit-identical; the switch exists for the VG parity suite and
+  /// benchmarks.
+  bool vg_batch() const { return vg_batch_; }
+  void set_vg_batch(bool on) { vg_batch_ = on; }
 
   /// Bytes of one materialized tuple with `cols` columns.
   double TupleBytes(std::size_t cols) const {
@@ -253,11 +267,17 @@ class Database {
     return flag;
   }
 
+  static bool& DefaultVgBatchFlag() {
+    static bool flag = std::getenv("MLBENCH_VG_TUPLES") == nullptr;
+    return flag;
+  }
+
   sim::ClusterSim* sim_;
   sim::RelDbCosts costs_;
   stats::Rng rng_;
   bool columnar_;
   bool expr_vm_;
+  bool vg_batch_;
   std::unordered_map<std::string, StoredTable> tables_;
   std::int64_t job_index_ = 0;
   Status fault_status_ = Status::OK();

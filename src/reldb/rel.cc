@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "exec/parallel_for.h"
 
@@ -771,27 +772,106 @@ Rel Rel::VgApply(VgFunction& vg, const std::vector<std::string>& group_cols,
   vg.BindSchema(schema());
 
   Table out(vg.output_schema(), out_scale);
+  std::shared_ptr<const ColumnBatch> out_batch;
   if (UseColumnar() && CanPackKeys(*batch_, gidx)) {
     const ColumnBatch& in = *batch_;
-    // Group row indices by packed key in first-seen order (an empty key
-    // packs as n = 0, one group over the whole input — same as the row
-    // engine's empty-Tuple key).
-    std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> slots;
-    std::vector<std::vector<std::uint32_t>> group_rows;
-    for (std::size_t r = 0; r < in.num_rows(); ++r) {
-      auto [it, inserted] = slots.try_emplace(
-          PackRowKey(in, gidx, r),
-          static_cast<std::uint32_t>(group_rows.size()));
-      if (inserted) group_rows.emplace_back();
-      group_rows[it->second].push_back(static_cast<std::uint32_t>(r));
-    }
-    std::vector<Tuple> params;
-    for (const auto& rows_in_group : group_rows) {
-      params.resize(rows_in_group.size());
-      for (std::size_t j = 0; j < rows_in_group.size(); ++j) {
-        in.MaterializeRow(rows_in_group[j], &params[j]);
+    if (db_->vg_batch()) {
+      // Columnar VG dispatch: every invocation group must be one
+      // contiguous column span, groups in first-seen order, rows in
+      // original order, so the function consumes the shared RNG exactly
+      // as the per-group tuple loop below does. Inputs produced
+      // group-major (member lists, doc-major word tables, an empty key
+      // over the whole input) already satisfy that: one adjacent-key scan
+      // verifies it — one hash insert per *group* rejects keys that
+      // reappear in a later run — and the spans then alias the input
+      // columns outright. Otherwise group-sort into fresh columns with
+      // the same first-seen hash grouping the tuple path uses.
+      const std::size_t n_rows = in.num_rows();
+      std::vector<std::uint32_t> group_offsets{0};
+      bool pre_grouped = true;
+      {
+        std::unordered_set<PackedKey, PackedKeyHash> seen;
+        PackedKey prev{};
+        for (std::size_t r = 0; r < n_rows; ++r) {
+          PackedKey key = PackRowKey(in, gidx, r);
+          if (r == 0 || !(key == prev)) {
+            if (!seen.insert(key).second) {
+              pre_grouped = false;
+              break;
+            }
+            if (r != 0) group_offsets.push_back(static_cast<std::uint32_t>(r));
+            prev = key;
+          }
+        }
       }
-      vg.Sample(params, schema(), db_->rng(), &out.rows());
+      ColumnBatch grouped;
+      if (pre_grouped) {
+        if (n_rows > 0) {
+          group_offsets.push_back(static_cast<std::uint32_t>(n_rows));
+        }
+        std::vector<std::shared_ptr<const Column>> cols;
+        cols.reserve(in.num_cols());
+        for (std::size_t c = 0; c < in.num_cols(); ++c) {
+          cols.push_back(in.col_ptr(c));
+        }
+        grouped = ColumnBatch(in.schema(), std::move(cols), in.scale());
+      } else {
+        std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> slots;
+        std::vector<std::vector<std::uint32_t>> group_rows;
+        for (std::size_t r = 0; r < n_rows; ++r) {
+          auto [it, inserted] = slots.try_emplace(
+              PackRowKey(in, gidx, r),
+              static_cast<std::uint32_t>(group_rows.size()));
+          if (inserted) group_rows.emplace_back();
+          group_rows[it->second].push_back(static_cast<std::uint32_t>(r));
+        }
+        group_offsets.assign(group_rows.size() + 1, 0);
+        for (std::size_t g = 0; g < group_rows.size(); ++g) {
+          group_offsets[g + 1] =
+              group_offsets[g] +
+              static_cast<std::uint32_t>(group_rows[g].size());
+        }
+        grouped = ColumnBatch(in.schema(), GatherColumns(in, group_rows),
+                              in.scale());
+      }
+      const std::size_t n_groups = group_offsets.size() - 1;
+      const std::size_t hint =
+          n_groups == 0 ? 0 : n_groups * vg.OutRowsHint(n_rows / n_groups);
+      VgBatchOut vout;
+      vout.rows.reserve(hint);
+      vg.SampleBatch(grouped, group_offsets, db_->rng(), &vout);
+      if (vout.columnar) {
+        out_batch = std::make_shared<const ColumnBatch>(
+            vg.output_schema(), std::move(vout.cols), out_scale);
+      } else {
+        // Fallback default went through Sample: adopt its rows wholesale.
+        out.rows() = std::move(vout.rows);
+      }
+    } else {
+      // Group row indices by packed key in first-seen order (an empty key
+      // packs as n = 0, one group over the whole input — same as the row
+      // engine's empty-Tuple key).
+      std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> slots;
+      std::vector<std::vector<std::uint32_t>> group_rows;
+      for (std::size_t r = 0; r < in.num_rows(); ++r) {
+        auto [it, inserted] = slots.try_emplace(
+            PackRowKey(in, gidx, r),
+            static_cast<std::uint32_t>(group_rows.size()));
+        if (inserted) group_rows.emplace_back();
+        group_rows[it->second].push_back(static_cast<std::uint32_t>(r));
+      }
+      const std::size_t n_groups = group_rows.size();
+      out.Reserve(n_groups == 0
+                      ? 0
+                      : n_groups * vg.OutRowsHint(in.num_rows() / n_groups));
+      std::vector<Tuple> params;
+      for (const auto& rows_in_group : group_rows) {
+        params.resize(rows_in_group.size());
+        for (std::size_t j = 0; j < rows_in_group.size(); ++j) {
+          in.MaterializeRow(rows_in_group[j], &params[j]);
+        }
+        vg.Sample(params, schema(), db_->rng(), &out.rows());
+      }
     }
   } else {
     // Partition parameter rows into invocation groups (stable order).
@@ -808,17 +888,27 @@ Rel Rel::VgApply(VgFunction& vg, const std::vector<std::string>& group_cols,
         it->second.push_back(row);
       }
     }
+    out.Reserve(group_order.empty()
+                    ? 0
+                    : group_order.size() *
+                          vg.OutRowsHint(tin.rows().size() /
+                                         group_order.size()));
     for (const auto& key : group_order) {
       vg.Sample(groups[key], schema(), db_->rng(), &out.rows());
     }
   }
   // Parameter tuples in, sampled tuples out — each crosses the Java/C++
-  // VG boundary; the function body itself runs at C++ speed.
+  // VG boundary; the function body itself runs at C++ speed. actual_rows
+  // and out_scale are representation-independent, so the charges are the
+  // same doubles whichever form the function emitted.
+  const std::size_t actual_out =
+      out_batch != nullptr ? out_batch->num_rows() : out.actual_rows();
   ChargeTuples(logical_rows(), db_->costs().vg_tuple_s);
-  double logical_out = static_cast<double>(out.actual_rows()) * out_scale;
+  double logical_out = static_cast<double>(actual_out) * out_scale;
   ChargeTuples(logical_out, db_->costs().vg_tuple_s);
   db_->sim().ChargeParallelCpu(logical_out * flops_per_out_tuple *
                                sim::CppModel().flop_s);
+  if (out_batch != nullptr) return Rel(db_, std::move(out_batch));
   return Rel(db_, std::make_shared<Table>(std::move(out)));
 }
 

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "reldb/column_batch.h"
 #include "reldb/value.h"
 #include "stats/rng.h"
 
@@ -13,8 +15,27 @@
 /// tuples and emits output tuples. SimSQL's VG functions are written in
 /// C++ and called from the Java engine — the per-tuple boundary-crossing
 /// cost is modeled in RelDbCosts::vg_tuple_s.
+///
+/// Two execution surfaces (DESIGN.md §14): the tuple-at-a-time Sample and
+/// the columnar SampleBatch, which receives every invocation group of one
+/// VgApply as contiguous column spans of a group-sorted ColumnBatch. The
+/// SampleBatch default falls back to Sample per group, so functions opt in
+/// incrementally; ported functions must consume the shared RNG in exactly
+/// the per-group order the tuple path does, which is what keeps batched
+/// and scalar runs bit-identical.
 
 namespace mlbench::reldb {
+
+/// Result sink of one SampleBatch call (all groups of one VgApply).
+/// Functions emit either typed columns (set `columnar`, fill `cols` to the
+/// output schema, all groups concatenated in group order) or row tuples in
+/// `rows` (what the fallback default does); VgApply moves either form into
+/// the operator output without another copy.
+struct VgBatchOut {
+  std::vector<ColumnBatch::Column> cols;
+  std::vector<Tuple> rows;
+  bool columnar = false;
+};
 
 class VgFunction {
  public:
@@ -36,6 +57,33 @@ class VgFunction {
   /// group's input schema) and appends output tuples.
   virtual void Sample(const std::vector<Tuple>& params, const Schema& schema,
                       stats::Rng& rng, std::vector<Tuple>* out) = 0;
+
+  /// Expected output rows per invocation, given the mean parameter rows
+  /// per group of this VgApply; used to presize the operator output
+  /// before the sample loop. A hint only — emitting more or fewer rows is
+  /// always correct.
+  virtual std::size_t OutRowsHint(std::size_t mean_group_rows) const {
+    return mean_group_rows;
+  }
+
+  /// Batched invocation: `params` holds every group's parameter rows,
+  /// group-sorted so group g occupies rows [group_offsets[g],
+  /// group_offsets[g+1]) (first-seen group order, original row order
+  /// within each group — the exact sequence the tuple path feeds Sample).
+  /// The default materializes each group and delegates to Sample, reusing
+  /// one scratch tuple vector across groups.
+  virtual void SampleBatch(const ColumnBatch& params,
+                           const std::vector<std::uint32_t>& group_offsets,
+                           stats::Rng& rng, VgBatchOut* out) {
+    std::vector<Tuple> group;
+    for (std::size_t g = 0; g + 1 < group_offsets.size(); ++g) {
+      group.resize(group_offsets[g + 1] - group_offsets[g]);
+      for (std::size_t j = 0; j < group.size(); ++j) {
+        params.MaterializeRow(group_offsets[g] + j, &group[j]);
+      }
+      Sample(group, params.schema(), rng, &out->rows);
+    }
+  }
 };
 
 }  // namespace mlbench::reldb

@@ -12,6 +12,13 @@
 /// functions are all library functions"). Each consumes the parameter rows
 /// of one invocation group and emits sampled rows. Parameter column indices
 /// resolve once in BindSchema; Sample never does a name lookup.
+///
+/// Every function also implements the columnar SampleBatch surface: it
+/// reads parameters straight from the group-sorted column spans and emits
+/// typed output columns. Passthrough identifier columns copy the input
+/// column's storage type, so converting the output back to rows
+/// reproduces the tuple path's Value alternatives exactly; draws consume
+/// the RNG in the identical per-group order.
 
 namespace mlbench::reldb {
 
@@ -35,6 +42,29 @@ class DirichletVg : public VgFunction {
     linalg::Vector draw = stats::SampleDirichlet(rng, alpha);
     for (std::size_t i = 0; i < params.size(); ++i) {
       out->push_back(Tuple{params[i][id_c_], draw[i]});
+    }
+  }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, VgBatchOut* out) override {
+    const ColumnBatch::Column& idc = params.col(id_c_);
+    const ColumnBatch::Column& ac = params.col(a_c_);
+    const std::size_t n = params.num_rows();
+    out->columnar = true;
+    // One output row per parameter row, in row order: the id column
+    // passes through verbatim.
+    out->cols.push_back(idc);
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kDouble, n));
+    std::vector<double>& prob = out->cols[1].doubles;
+    for (std::size_t g = 0; g + 1 < group_offsets.size(); ++g) {
+      const std::size_t lo = group_offsets[g];
+      const std::size_t hi = group_offsets[g + 1];
+      linalg::Vector alpha(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        alpha[i - lo] = ac.AsDoubleAt(i);
+      }
+      linalg::Vector draw = stats::SampleDirichlet(rng, alpha);
+      for (std::size_t i = lo; i < hi; ++i) prob[i] = draw[i - lo];
     }
   }
   DirichletVg(std::string id_col, std::string alpha_col)
@@ -66,6 +96,28 @@ class CategoricalVg : public VgFunction {
     }
     out->push_back(Tuple{params[stats::SampleCategorical(rng, w)][id_c_]});
   }
+  std::size_t OutRowsHint(std::size_t) const override { return 1; }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, VgBatchOut* out) override {
+    const ColumnBatch::Column& idc = params.col(id_c_);
+    const ColumnBatch::Column& wc = params.col(w_c_);
+    const std::size_t n_groups = group_offsets.size() - 1;
+    out->columnar = true;
+    out->cols.push_back(ColumnBatch::Column::Sized(idc.type, n_groups));
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::size_t lo = group_offsets[g];
+      const std::size_t hi = group_offsets[g + 1];
+      linalg::Vector w(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) w[i - lo] = wc.AsDoubleAt(i);
+      const std::size_t pick = lo + stats::SampleCategorical(rng, w);
+      if (idc.type == ColType::kInt) {
+        out->cols[0].ints[g] = idc.ints[pick];
+      } else {
+        out->cols[0].doubles[g] = idc.doubles[pick];
+      }
+    }
+  }
 
  private:
   std::string id_col_, weight_col_;
@@ -96,6 +148,25 @@ class NormalVg : public VgFunction {
       out->push_back(Tuple{row[id_c_], draw});
     }
   }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, VgBatchOut* out) override {
+    // Draws are per-row and groups are contiguous in row order, so one
+    // pass over the rows consumes the RNG exactly like the group loop.
+    (void)group_offsets;
+    const ColumnBatch::Column& idc = params.col(id_c_);
+    const ColumnBatch::Column& mc = params.col(m_c_);
+    const ColumnBatch::Column& vc = params.col(v_c_);
+    const std::size_t n = params.num_rows();
+    out->columnar = true;
+    out->cols.push_back(idc);
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kDouble, n));
+    std::vector<double>& value = out->cols[1].doubles;
+    for (std::size_t r = 0; r < n; ++r) {
+      value[r] = stats::SampleNormal(rng, mc.AsDoubleAt(r),
+                                     std::sqrt(vc.AsDoubleAt(r)));
+    }
+  }
 
  private:
   std::string id_col_, mean_col_, var_col_;
@@ -119,6 +190,22 @@ class InverseGammaVg : public VgFunction {
     for (const auto& row : params) {
       out->push_back(Tuple{stats::SampleInverseGamma(
           rng, AsDouble(row[s_c_]), AsDouble(row[r_c_]))});
+    }
+  }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, VgBatchOut* out) override {
+    // Per-row draws over contiguous groups: one pass, same RNG order.
+    (void)group_offsets;
+    const ColumnBatch::Column& sc = params.col(s_c_);
+    const ColumnBatch::Column& rc = params.col(r_c_);
+    const std::size_t n = params.num_rows();
+    out->columnar = true;
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kDouble, n));
+    std::vector<double>& value = out->cols[0].doubles;
+    for (std::size_t r = 0; r < n; ++r) {
+      value[r] =
+          stats::SampleInverseGamma(rng, sc.AsDoubleAt(r), rc.AsDoubleAt(r));
     }
   }
 
@@ -150,6 +237,24 @@ class InverseGaussianVg : public VgFunction {
       out->push_back(Tuple{row[id_c_],
                            stats::SampleInverseGaussian(
                                rng, AsDouble(row[m_c_]), AsDouble(row[l_c_]))});
+    }
+  }
+  void SampleBatch(const ColumnBatch& params,
+                   const std::vector<std::uint32_t>& group_offsets,
+                   stats::Rng& rng, VgBatchOut* out) override {
+    // Per-row draws over contiguous groups: one pass, same RNG order.
+    (void)group_offsets;
+    const ColumnBatch::Column& idc = params.col(id_c_);
+    const ColumnBatch::Column& mc = params.col(m_c_);
+    const ColumnBatch::Column& lc = params.col(l_c_);
+    const std::size_t n = params.num_rows();
+    out->columnar = true;
+    out->cols.push_back(idc);
+    out->cols.push_back(ColumnBatch::Column::Sized(ColType::kDouble, n));
+    std::vector<double>& value = out->cols[1].doubles;
+    for (std::size_t r = 0; r < n; ++r) {
+      value[r] = stats::SampleInverseGaussian(rng, mc.AsDoubleAt(r),
+                                              lc.AsDoubleAt(r));
     }
   }
 

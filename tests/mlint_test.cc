@@ -180,6 +180,66 @@ TEST(MlintChargeInParallel, FreeFunctionsNamedLikeOperatorsAreFine) {
   EXPECT_EQ(CountRule(r, "charge-in-parallel"), 0) << mlint::TextReport(r);
 }
 
+TEST(MlintChargeInParallel, GatherBatchOverrideBodyIsParallel) {
+  // The GAS engine calls GatherBatch once per ParallelFor chunk; charges
+  // inside the override interleave by scheduling like any lambda charge.
+  auto r = LintContent("src/core/x.cc", R"cc(
+    struct Prog : GasProgram {
+      void GatherBatch(const Vertex& center, const Graph& graph,
+                       const std::size_t* neighbors, std::size_t count,
+                       Gathered* out) override {
+        sim->ChargeParallelCpuOnMachine(0, count * 1e-9);
+      }
+    };
+  )cc");
+  EXPECT_EQ(CountRule(r, "charge-in-parallel"), 1) << mlint::TextReport(r);
+}
+
+TEST(MlintChargeInParallel, SampleBatchOverrideBodyIsParallel) {
+  auto r = LintContent("src/core/x.cc", R"cc(
+    struct Vg : reldb::VgFunction {
+      void SampleBatch(const ColumnBatch& in,
+                       const std::vector<std::uint32_t>& group_offsets,
+                       stats::Rng& rng, VgBatchOut* out) override {
+        sim->ChargeCpu(0, 1e-9);
+      }
+    };
+  )cc");
+  EXPECT_EQ(CountRule(r, "charge-in-parallel"), 1) << mlint::TextReport(r);
+}
+
+TEST(MlintChargeInParallel, BatchHooksWithoutOverrideAreFine) {
+  // A free helper that happens to share the name, and a plain call site,
+  // are not the engine's batched hooks.
+  auto r = LintContent("src/core/x.cc", R"cc(
+    void GatherBatch(sim::ClusterSim* sim, std::size_t count) {
+      sim->ChargeParallelCpuOnMachine(0, count * 1e-9);
+    }
+    void Drive(Prog& p) {
+      p.GatherBatch(center, graph, neighbors, count, &out);
+      sim->ChargeParallelCpu(1e-9);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(r, "charge-in-parallel"), 0) << mlint::TextReport(r);
+}
+
+TEST(MlintChargeInParallel, BatchHookOutputParamExemptFromNaiveReduction) {
+  // The output span is the hook's own per-chunk slot array; += into it is
+  // the intended aggregation, not a cross-chunk shared-root reduction.
+  auto r = LintContent("src/core/x.cc", R"cc(
+    struct Prog : GasProgram {
+      void GatherBatch(const Vertex& center, const Graph& graph,
+                       const std::size_t* neighbors, std::size_t count,
+                       Gathered* out) override {
+        for (std::size_t j = 0; j < count; ++j) {
+          out[j].weight += graph.vertices[neighbors[j]].data.weight;
+        }
+      }
+    };
+  )cc");
+  EXPECT_EQ(CountRule(r, "naive-reduction"), 0) << mlint::TextReport(r);
+}
+
 // ---- Rule 4: raw-thread ----------------------------------------------------
 
 TEST(MlintRawThread, FlagsPrimitivesAndIncludes) {

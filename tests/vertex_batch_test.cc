@@ -1,0 +1,515 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/gmm_gas.h"
+#include "core/gmm_reldb.h"
+#include "core/hmm_gas.h"
+#include "core/hmm_reldb.h"
+#include "core/lasso_gas.h"
+#include "core/lasso_reldb.h"
+#include "core/lda_gas.h"
+#include "core/lda_reldb.h"
+#include "exec/thread_pool.h"
+#include "gas/engine.h"
+#include "gas/graph.h"
+#include "reldb/database.h"
+#include "reldb/rel.h"
+#include "reldb/vg_function.h"
+#include "sim/cluster_sim.h"
+#include "sim/machine.h"
+
+// Batched-vs-scalar parity suite for DESIGN.md §14: the batched GAS gather
+// path (GasProgram::GatherBatch over CSR spans) and the columnar VG path
+// (VgFunction::SampleBatch over group-sorted column spans) must be
+// bit-identical to their scalar baselines — results, simulated charges and
+// RNG streams — at any host thread count.
+
+namespace mlbench {
+namespace {
+
+using core::RunResult;
+using reldb::AsDouble;
+using reldb::Database;
+using reldb::Rel;
+using reldb::Schema;
+using reldb::Table;
+using reldb::Tuple;
+
+void ExpectSameRun(const RunResult& a, const RunResult& b) {
+  ASSERT_TRUE(a.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.ok()) << b.status.ToString();
+  EXPECT_EQ(a.init_seconds, b.init_seconds);
+  ASSERT_EQ(a.iteration_seconds.size(), b.iteration_seconds.size());
+  for (std::size_t i = 0; i < a.iteration_seconds.size(); ++i) {
+    EXPECT_EQ(a.iteration_seconds[i], b.iteration_seconds[i]) << "iter " << i;
+  }
+  EXPECT_EQ(a.peak_machine_bytes, b.peak_machine_bytes);
+}
+
+void ExpectSameGmm(const models::GmmParams& a, const models::GmmParams& b) {
+  EXPECT_EQ(a.pi.raw(), b.pi.raw());
+  ASSERT_EQ(a.mu.size(), b.mu.size());
+  for (std::size_t k = 0; k < a.mu.size(); ++k) {
+    EXPECT_EQ(a.mu[k].raw(), b.mu[k].raw()) << "mu " << k;
+    for (std::size_t r = 0; r < a.sigma[k].rows(); ++r) {
+      for (std::size_t c = 0; c < a.sigma[k].cols(); ++c) {
+        EXPECT_EQ(a.sigma[k](r, c), b.sigma[k](r, c)) << "sigma " << k;
+      }
+    }
+  }
+}
+
+void ExpectSameHmm(const models::HmmParams& a, const models::HmmParams& b) {
+  EXPECT_EQ(a.delta0.raw(), b.delta0.raw());
+  ASSERT_EQ(a.delta.size(), b.delta.size());
+  for (std::size_t s = 0; s < a.delta.size(); ++s) {
+    EXPECT_EQ(a.delta[s].raw(), b.delta[s].raw()) << "delta " << s;
+    EXPECT_EQ(a.psi[s].raw(), b.psi[s].raw()) << "psi " << s;
+  }
+}
+
+void ExpectSameLda(const models::LdaParams& a, const models::LdaParams& b) {
+  ASSERT_EQ(a.phi.size(), b.phi.size());
+  for (std::size_t t = 0; t < a.phi.size(); ++t) {
+    EXPECT_EQ(a.phi[t].raw(), b.phi[t].raw()) << "topic " << t;
+  }
+}
+
+void ExpectSameLasso(const models::LassoState& a,
+                     const models::LassoState& b) {
+  EXPECT_EQ(a.beta.raw(), b.beta.raw());
+  EXPECT_EQ(a.inv_tau2.raw(), b.inv_tau2.raw());
+  EXPECT_EQ(a.sigma2, b.sigma2);
+}
+
+// ---- GAS driver parity -----------------------------------------------------
+//
+// Each GAS driver runs once with scalar per-edge gathers at 1 thread (the
+// baseline), then batched at 1 and 4 threads. The non-super GMM and the
+// Lasso configs give their hub vertices >= kEdgeParallelThreshold edges, so
+// the intra-vertex ParallelFor chunk path runs GatherBatch per chunk; the
+// rest exercise the serial whole-neighborhood batch.
+
+class GasBatchParity : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    exec::ThreadPool::SetGlobalThreads(1);
+    gas::SetDefaultBatchedGather(saved_);
+  }
+
+  template <typename Model, typename Runner>
+  void ExpectBatchParity(
+      Runner runner,
+      const std::function<void(const Model&, const Model&)>& same_model) {
+    exec::ThreadPool::SetGlobalThreads(1);
+    gas::SetDefaultBatchedGather(false);
+    Model base_model{};
+    RunResult base = runner(&base_model);
+
+    for (int threads : {1, 4}) {
+      exec::ThreadPool::SetGlobalThreads(threads);
+      gas::SetDefaultBatchedGather(true);
+      Model model{};
+      RunResult run = runner(&model);
+      ExpectSameRun(base, run);
+      same_model(base_model, model);
+    }
+  }
+
+ private:
+  bool saved_ = gas::DefaultBatchedGather();
+};
+
+core::GmmExperiment SmallGasGmm(bool super, bool imputation) {
+  core::GmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 3;
+  exp.dim = 3;
+  exp.k = 2;
+  exp.config.data.logical_per_machine = 1e6;
+  // Non-super: 600 data vertices, so each cluster vertex crosses the
+  // 512-edge parallel-gather threshold.
+  exp.config.data.actual_per_machine = 200;
+  exp.config.seed = 77;
+  exp.super_vertex = super;
+  exp.imputation = imputation;
+  return exp;
+}
+
+TEST_F(GasBatchParity, GmmHubsUseParallelChunks) {
+  core::GmmExperiment exp = SmallGasGmm(false, false);
+  ExpectBatchParity<models::GmmParams>(
+      [&](models::GmmParams* m) { return core::RunGmmGas(exp, m); },
+      ExpectSameGmm);
+}
+
+TEST_F(GasBatchParity, GmmSuperVertex) {
+  core::GmmExperiment exp = SmallGasGmm(true, false);
+  ExpectBatchParity<models::GmmParams>(
+      [&](models::GmmParams* m) { return core::RunGmmGas(exp, m); },
+      ExpectSameGmm);
+}
+
+TEST_F(GasBatchParity, GmmImputation) {
+  core::GmmExperiment exp = SmallGasGmm(false, true);
+  ExpectBatchParity<models::GmmParams>(
+      [&](models::GmmParams* m) { return core::RunGmmGas(exp, m); },
+      ExpectSameGmm);
+}
+
+TEST_F(GasBatchParity, Hmm) {
+  core::HmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.states = 3;
+  exp.vocab = 50;
+  exp.mean_doc_len = 12;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 20;
+  exp.config.seed = 19;
+  ExpectBatchParity<models::HmmParams>(
+      [&](models::HmmParams* m) { return core::RunHmmGas(exp, m); },
+      ExpectSameHmm);
+}
+
+TEST_F(GasBatchParity, Lda) {
+  core::LdaExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.topics = 4;
+  exp.vocab = 60;
+  exp.mean_doc_len = 15;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 20;
+  exp.config.seed = 31;
+  ExpectBatchParity<models::LdaParams>(
+      [&](models::LdaParams* m) { return core::RunLdaGas(exp, m); },
+      ExpectSameLda);
+}
+
+TEST_F(GasBatchParity, LassoCenterUsesParallelChunks) {
+  core::LassoExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 3;
+  exp.p = 8;
+  exp.config.data.actual_per_machine = 200;
+  // 600 data supers + 8 model vertices: the center's neighborhood crosses
+  // the parallel-gather threshold.
+  exp.supers_per_machine = 200;
+  exp.config.seed = 7;
+  ExpectBatchParity<models::LassoState>(
+      [&](models::LassoState* m) { return core::RunLassoGas(exp, m); },
+      ExpectSameLasso);
+}
+
+// ---- Engine-level default fallback & edge cases ----------------------------
+
+struct ToyData {
+  bool hub = false;
+  double value = 0;
+  double gathered = -1;
+};
+
+/// No GatherBatch override: the batched engine must hit the default
+/// per-edge fallback loop and still match the scalar engine bitwise.
+class ToySum : public gas::GasProgram<ToyData, double> {
+ public:
+  double Gather(const gas::Graph<ToyData>::Vertex& center,
+                const gas::Graph<ToyData>::Vertex& nbr) override {
+    (void)center;
+    return nbr.data.value;
+  }
+  double Merge(double a, const double& b) override { return a + b; }
+  void Apply(gas::Graph<ToyData>::Vertex& center,
+             const double& total) override {
+    center.data.gathered = total;
+  }
+  double GatherFlopsPerEdge() const override { return 2; }
+};
+
+gas::Graph<ToyData> ToyStar(int n_data, bool with_isolated) {
+  gas::Graph<ToyData> g;
+  std::size_t hub = g.AddVertex(0, ToyData{true, 0, -1}, 1.0, 1024, 128);
+  for (int i = 1; i <= n_data; ++i) {
+    std::size_t v = g.AddVertex(
+        i, ToyData{false, 0.125 * static_cast<double>(i), -1}, 1.0, 64, 64);
+    g.AddEdge(hub, v);
+  }
+  if (with_isolated) {
+    g.AddVertex(n_data + 1, ToyData{false, 99.0, -1}, 1.0, 64, 64);
+  }
+  return g;
+}
+
+double RunToy(bool batched, int threads, int n_data, bool with_isolated,
+              gas::Graph<ToyData>* out_graph) {
+  exec::ThreadPool::SetGlobalThreads(threads);
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(2));
+  *out_graph = ToyStar(n_data, with_isolated);
+  gas::GasEngine<ToyData> eng(&sim, out_graph);
+  eng.set_batched(batched);
+  EXPECT_TRUE(eng.Boot().ok());
+  ToySum prog;
+  EXPECT_TRUE(eng.RunSweep(prog).ok());
+  return sim.elapsed_seconds();
+}
+
+TEST(GasBatchFallback, DefaultGatherBatchMatchesScalarBothPaths) {
+  // 600 hub edges: the ParallelFor chunk path; 8 edges: the serial batch.
+  for (int n_data : {600, 8}) {
+    for (int threads : {1, 4}) {
+      gas::Graph<ToyData> scalar_g, batch_g;
+      double t_scalar = RunToy(false, 1, n_data, false, &scalar_g);
+      double t_batch = RunToy(true, threads, n_data, false, &batch_g);
+      EXPECT_EQ(t_scalar, t_batch) << n_data << "@" << threads;
+      for (std::size_t i = 0; i < scalar_g.size(); ++i) {
+        EXPECT_EQ(scalar_g.vertex(i).data.gathered,
+                  batch_g.vertex(i).data.gathered)
+            << "vertex " << i << " n=" << n_data << " t=" << threads;
+      }
+    }
+  }
+  exec::ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(GasBatchFallback, ZeroEdgeVertexIsSkippedIdentically) {
+  gas::Graph<ToyData> scalar_g, batch_g;
+  double t_scalar = RunToy(false, 1, 12, true, &scalar_g);
+  double t_batch = RunToy(true, 1, 12, true, &batch_g);
+  EXPECT_EQ(t_scalar, t_batch);
+  // The isolated vertex never gathers and never applies on either path.
+  EXPECT_EQ(scalar_g.vertex(13).data.gathered, -1.0);
+  EXPECT_EQ(batch_g.vertex(13).data.gathered, -1.0);
+  exec::ThreadPool::SetGlobalThreads(1);
+}
+
+// ---- Columnar VG parity ----------------------------------------------------
+//
+// Each VG-backed reldb driver runs once on the tuple path at 1 thread (the
+// baseline), then batched at 1 and 4 threads; all observables must be
+// bit-identical.
+
+class VgBatchParity : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    exec::ThreadPool::SetGlobalThreads(1);
+    Database::SetDefaultVgBatch(saved_);
+  }
+
+  template <typename Model, typename Runner>
+  void ExpectVgParity(
+      Runner runner,
+      const std::function<void(const Model&, const Model&)>& same_model) {
+    exec::ThreadPool::SetGlobalThreads(1);
+    Database::SetDefaultVgBatch(false);
+    Model base_model{};
+    RunResult base = runner(&base_model);
+
+    for (int threads : {1, 4}) {
+      exec::ThreadPool::SetGlobalThreads(threads);
+      Database::SetDefaultVgBatch(true);
+      Model model{};
+      RunResult run = runner(&model);
+      ExpectSameRun(base, run);
+      same_model(base_model, model);
+    }
+  }
+
+ private:
+  bool saved_ = Database::DefaultVgBatch();
+};
+
+core::GmmExperiment SmallRelGmm(bool super, bool imputation) {
+  core::GmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 3;
+  exp.dim = 3;
+  exp.k = 2;
+  exp.config.data.logical_per_machine = 1e6;
+  exp.config.data.actual_per_machine = 200;
+  exp.config.seed = 77;
+  exp.super_vertex = super;
+  exp.imputation = imputation;
+  return exp;
+}
+
+TEST_F(VgBatchParity, GmmMembership) {
+  core::GmmExperiment exp = SmallRelGmm(false, false);
+  ExpectVgParity<models::GmmParams>(
+      [&](models::GmmParams* m) { return core::RunGmmRelDb(exp, m); },
+      ExpectSameGmm);
+}
+
+TEST_F(VgBatchParity, GmmSuperVertex) {
+  core::GmmExperiment exp = SmallRelGmm(true, false);
+  ExpectVgParity<models::GmmParams>(
+      [&](models::GmmParams* m) { return core::RunGmmRelDb(exp, m); },
+      ExpectSameGmm);
+}
+
+TEST_F(VgBatchParity, GmmImputation) {
+  core::GmmExperiment exp = SmallRelGmm(false, true);
+  ExpectVgParity<models::GmmParams>(
+      [&](models::GmmParams* m) { return core::RunGmmRelDb(exp, m); },
+      ExpectSameGmm);
+}
+
+TEST_F(VgBatchParity, HmmWordBased) {
+  core::HmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.states = 3;
+  exp.vocab = 50;
+  exp.mean_doc_len = 12;
+  exp.granularity = core::TextGranularity::kWord;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 20;
+  exp.config.seed = 19;
+  ExpectVgParity<models::HmmParams>(
+      [&](models::HmmParams* m) { return core::RunHmmRelDb(exp, m); },
+      ExpectSameHmm);
+}
+
+TEST_F(VgBatchParity, HmmDocumentBased) {
+  core::HmmExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.states = 3;
+  exp.vocab = 50;
+  exp.mean_doc_len = 12;
+  exp.granularity = core::TextGranularity::kDocument;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 20;
+  exp.config.seed = 19;
+  ExpectVgParity<models::HmmParams>(
+      [&](models::HmmParams* m) { return core::RunHmmRelDb(exp, m); },
+      ExpectSameHmm);
+}
+
+TEST_F(VgBatchParity, LdaDocumentBased) {
+  core::LdaExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 2;
+  exp.topics = 4;
+  exp.vocab = 60;
+  exp.mean_doc_len = 15;
+  exp.granularity = core::TextGranularity::kDocument;
+  exp.config.data.logical_per_machine = 1e5;
+  exp.config.data.actual_per_machine = 20;
+  exp.config.seed = 31;
+  ExpectVgParity<models::LdaParams>(
+      [&](models::LdaParams* m) { return core::RunLdaRelDb(exp, m); },
+      ExpectSameLda);
+}
+
+TEST_F(VgBatchParity, Lasso) {
+  core::LassoExperiment exp;
+  exp.config.machines = 3;
+  exp.config.iterations = 3;
+  exp.p = 8;
+  exp.config.data.actual_per_machine = 100;
+  exp.config.seed = 7;
+  ExpectVgParity<models::LassoState>(
+      [&](models::LassoState* m) { return core::RunLassoRelDb(exp, m); },
+      ExpectSameLasso);
+}
+
+// ---- VG operator-level edge cases ------------------------------------------
+
+void ExpectSameTable(const Table& a, const Table& b) {
+  ASSERT_EQ(a.schema().columns(), b.schema().columns());
+  EXPECT_EQ(a.scale(), b.scale());
+  ASSERT_EQ(a.rows().size(), b.rows().size());
+  for (std::size_t r = 0; r < a.rows().size(); ++r) {
+    EXPECT_TRUE(a.rows()[r] == b.rows()[r]) << "row " << r;
+  }
+}
+
+/// A VG without a SampleBatch override: the batched VgApply must hit the
+/// tuple-materializing fallback default and stay bit-identical.
+class UnportedVg : public reldb::VgFunction {
+ public:
+  std::string name() const override { return "unported"; }
+  Schema output_schema() const override { return {"id", "draw"}; }
+  void BindSchema(const Schema& schema) override {
+    id_c_ = schema.IndexOf("id");
+    v_c_ = schema.IndexOf("v");
+  }
+  void Sample(const std::vector<Tuple>& params, const Schema& schema,
+              stats::Rng& rng, std::vector<Tuple>* out) override {
+    (void)schema;
+    double sum = 0;
+    for (const auto& row : params) sum += AsDouble(row[v_c_]);
+    out->push_back(
+        Tuple{params[0][id_c_], sum + rng.NextDouble()});
+  }
+
+ private:
+  std::size_t id_c_ = 0, v_c_ = 0;
+};
+
+class VgApplyEdgeCases : public ::testing::Test {
+ protected:
+  VgApplyEdgeCases()
+      : sim_a_(sim::Ec2M2XLargeCluster(3)),
+        sim_b_(sim::Ec2M2XLargeCluster(3)),
+        tuples_(&sim_a_, sim::RelDbCosts{}, 42),
+        batched_(&sim_b_, sim::RelDbCosts{}, 42) {
+    tuples_.set_vg_batch(false);
+    batched_.set_vg_batch(true);
+  }
+
+  void Load(const Table& t) {
+    tuples_.Put("params", t);
+    batched_.Put("params", t);
+  }
+
+  void ExpectParity(reldb::VgFunction& vg_a, reldb::VgFunction& vg_b,
+                    const std::vector<std::string>& group_cols) {
+    tuples_.BeginQuery("q");
+    Rel a = Rel::Scan(tuples_, "params").VgApply(vg_a, group_cols, 1.0);
+    tuples_.EndQuery();
+    batched_.BeginQuery("q");
+    Rel b = Rel::Scan(batched_, "params").VgApply(vg_b, group_cols, 1.0);
+    batched_.EndQuery();
+    ExpectSameTable(a.table(), b.table());
+    EXPECT_EQ(sim_a_.elapsed_seconds(), sim_b_.elapsed_seconds());
+    EXPECT_EQ(tuples_.rng().NextU64(), batched_.rng().NextU64());
+  }
+
+  sim::ClusterSim sim_a_, sim_b_;
+  Database tuples_, batched_;
+};
+
+TEST_F(VgApplyEdgeCases, FallbackDefaultSampleBatch) {
+  Table t(Schema{"id", "v"}, 1.0);
+  for (std::int64_t i = 0; i < 24; ++i) {
+    t.Append(Tuple{i % 5, 0.25 * static_cast<double>(i)});
+  }
+  Load(t);
+  UnportedVg a, b;
+  ExpectParity(a, b, {"id"});
+}
+
+TEST_F(VgApplyEdgeCases, EmptyInputEmitsNoGroups) {
+  Table t(Schema{"id", "v"}, 1.0);
+  Load(t);
+  UnportedVg a, b;
+  ExpectParity(a, b, {"id"});
+}
+
+TEST_F(VgApplyEdgeCases, EmptyGroupColsIsOneGroup) {
+  Table t(Schema{"id", "v"}, 1.0);
+  for (std::int64_t i = 0; i < 9; ++i) {
+    t.Append(Tuple{i, 1.5 * static_cast<double>(i)});
+  }
+  Load(t);
+  UnportedVg a, b;
+  ExpectParity(a, b, {});
+}
+
+}  // namespace
+}  // namespace mlbench

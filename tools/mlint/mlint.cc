@@ -543,7 +543,8 @@ bool IsParallelCallee(const Tokens& t, std::size_t i) {
 
 /// Collects the parallel-region lambda bodies: arguments of lexical
 /// exec::ParallelFor / exec::ParallelReduce call expressions and of the
-/// engine operators that run their callbacks under those loops.
+/// engine operators that run their callbacks under those loops, plus the
+/// batched vertex/VG hook overrides (see below).
 std::vector<LambdaBody> ParallelLambdas(const Tokens& t) {
   std::vector<LambdaBody> bodies;
   for (std::size_t i = 0; i < t.size(); ++i) {
@@ -557,6 +558,30 @@ std::vector<LambdaBody> ParallelLambdas(const Tokens& t) {
     std::size_t close = MatchParen(t, j);
     auto inner = FindLambdas(t, j + 1, close);
     bodies.insert(bodies.end(), inner.begin(), inner.end());
+  }
+  // Batched vertex/VG hooks: the GAS engine calls GatherBatch once per
+  // ParallelFor chunk, and the columnar VgApply calls SampleBatch once
+  // for every invocation group at once — simulator charges inside either
+  // body would interleave by scheduling or diverge from the per-edge /
+  // per-tuple accounting of the scalar paths. An override definition is
+  // the identifier, its parameter list, then qualifier identifiers
+  // including `override` before '{'; call sites and free functions that
+  // share the name don't match.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!(IsIdent(t, i, "GatherBatch") || IsIdent(t, i, "SampleBatch"))) {
+      continue;
+    }
+    if (!IsPunct(t, i + 1, "(")) continue;
+    std::size_t close = MatchParen(t, i + 1);
+    if (close >= t.size()) continue;
+    std::size_t j = close + 1;
+    bool has_override = false;
+    while (j < t.size() && t[j].kind == Token::Kind::kIdent) {
+      if (t[j].text == "override" || t[j].text == "final") has_override = true;
+      ++j;
+    }
+    if (!has_override || !IsPunct(t, j, "{")) continue;
+    bodies.push_back(LambdaBody{j + 1, MatchBrace(t, j), i + 2, close});
   }
   return bodies;
 }
