@@ -13,11 +13,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+// mlint: allow(raw-thread) — reads hardware_concurrency for JSON metadata
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace mlbench::bench {
@@ -69,6 +72,23 @@ inline std::string PairKey(const std::string& name, bool* is_kernel) {
   return "";
 }
 
+/// Extracts the "threads:N" axis from a benchmark name and returns the
+/// name with that axis removed, so the serial and parallel variants of a
+/// scaling benchmark map to one key. Returns empty (and leaves *threads
+/// alone) if the name has no threads axis.
+inline std::string ThreadsKey(const std::string& name, int* threads) {
+  static const std::string token = "threads:";
+  auto at = name.find(token);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + token.size();
+  std::size_t end = begin;
+  while (end < name.size() && name[end] >= '0' && name[end] <= '9') ++end;
+  if (end == begin) return "";
+  *threads = std::atoi(name.substr(begin, end - begin).c_str());
+  std::size_t from = at > 0 && name[at - 1] == '/' ? at - 1 : at;
+  return name.substr(0, from) + name.substr(end);
+}
+
 inline void WriteJson(const std::vector<BenchRecord>& records,
                       const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -81,9 +101,18 @@ inline void WriteJson(const std::vector<BenchRecord>& records,
     int n = std::atoi(env);
     if (n >= 1) threads = n;
   } else {
+    // mlint: allow(raw-thread) — hardware_concurrency is metadata, not sync
     threads = static_cast<int>(std::thread::hardware_concurrency());
   }
-  std::fprintf(f, "{\n  \"hw_threads\": %d,\n  \"benchmarks\": [\n", threads);
+  // Physical context count of the host that produced the numbers, so
+  // downstream gates (tools/check_scaling.py) can tell "parallelism did
+  // not help" apart from "this host has one core".
+  int host_cores =
+      // mlint: allow(raw-thread) — hardware_concurrency is metadata, not sync
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::fprintf(f, "{\n  \"hw_threads\": %d,\n  \"host_cores\": %d,\n",
+               threads, host_cores);
+  std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
@@ -124,6 +153,36 @@ inline void WriteJson(const std::vector<BenchRecord>& records,
                  "\"kernel_ns_per_op\": %.3f, \"speedup\": %.3f}",
                  first ? "" : ",\n", key.c_str(), p.naive_ns, p.kernel_ns,
                  p.naive_ns / p.kernel_ns);
+    first = false;
+  }
+  // Thread-scaling pairs: every threads:N (N > 1) run over its threads:1
+  // twin. Keyed by (name minus the threads axis, N); repetitions average.
+  struct ThreadsAccum {
+    double ns = 0;
+    int n = 0;
+  };
+  std::map<std::pair<std::string, int>, ThreadsAccum> scaling;
+  for (const auto& rec : records) {
+    int threads_axis = 0;
+    std::string key = ThreadsKey(rec.name, &threads_axis);
+    if (key.empty()) continue;
+    auto& acc = scaling[{key, threads_axis}];
+    acc.ns += rec.ns_per_op;
+    acc.n += 1;
+  }
+  for (const auto& [key, par] : scaling) {
+    if (key.second <= 1 || par.n == 0) continue;
+    auto serial = scaling.find({key.first, 1});
+    if (serial == scaling.end() || serial->second.n == 0) continue;
+    double serial_ns = serial->second.ns / serial->second.n;
+    double parallel_ns = par.ns / par.n;
+    if (serial_ns <= 0 || parallel_ns <= 0) continue;
+    std::fprintf(f,
+                 "%s    {\"name\": \"%s\", \"threads\": %d, "
+                 "\"serial_ns_per_op\": %.3f, \"parallel_ns_per_op\": %.3f, "
+                 "\"speedup\": %.3f}",
+                 first ? "" : ",\n", key.first.c_str(), key.second, serial_ns,
+                 parallel_ns, serial_ns / parallel_ns);
     first = false;
   }
   std::fprintf(f, "\n  ]\n}\n");

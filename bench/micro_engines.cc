@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+// mlint: allow(raw-thread) — reads hardware_concurrency for the bench axis
 #include <thread>
 
 #include "bench_json.h"
@@ -31,10 +32,47 @@ int HwThreads() {
     int n = std::atoi(env);
     if (n >= 1) return n;
   }
+  // mlint: allow(raw-thread) — hardware_concurrency is metadata, not sync
   return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 }
 
+// RAII scope for one benchmark's timed region: pins the global pool to
+// the requested thread count, arms per-Run dispatch timing, and on exit
+// reports the dispatch-overhead counters as per-iteration rates before
+// restoring the serial pool. `worker_share` is the fraction of chunks
+// executed off the calling thread — 0 means the parallel sections
+// degenerated to caller-only execution.
+class BenchPool {
+ public:
+  BenchPool(benchmark::State& state, int threads) : state_(state) {
+    exec::ThreadPool::SetGlobalThreads(threads);
+    exec::ThreadPool::Global().ResetStats();
+    exec::ThreadPool::Global().SetDispatchTiming(true);
+  }
+  ~BenchPool() {
+    exec::ThreadPool::Global().SetDispatchTiming(false);
+    const exec::DispatchStats stats = exec::ThreadPool::Global().Stats();
+    const double iters =
+        std::max<double>(1.0, static_cast<double>(state_.iterations()));
+    state_.counters["par_runs"] =
+        static_cast<double>(stats.parallel_runs) / iters;
+    state_.counters["ser_runs"] =
+        static_cast<double>(stats.serial_runs) / iters;
+    state_.counters["parks"] = static_cast<double>(stats.parks) / iters;
+    state_.counters["dispatch_us"] =
+        static_cast<double>(stats.dispatch_ns) / 1e3 / iters;
+    const double worker = static_cast<double>(stats.worker_chunks_total());
+    const double total = worker + static_cast<double>(stats.caller_chunks);
+    state_.counters["worker_share"] = total > 0 ? worker / total : 0;
+    exec::ThreadPool::SetGlobalThreads(1);
+  }
+
+ private:
+  benchmark::State& state_;
+};
+
 void BM_RddMapReduceByKey(benchmark::State& state) {
+  BenchPool pool(state, static_cast<int>(state.range(1)));
   for (auto _ : state) {
     sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
     dataflow::ContextOptions opts;
@@ -52,21 +90,26 @@ void BM_RddMapReduceByKey(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
 }
-BENCHMARK(BM_RddMapReduceByKey)->Arg(1000)->Arg(10000)
+BENCHMARK(BM_RddMapReduceByKey)
+    ->ArgsProduct({{1000, 10000}, {1, HwThreads()}})
+    ->ArgNames({"elems", "threads"})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_RelJoinGroupBy(benchmark::State& state) {
+  // Tables are built once outside the timed region: the loop measures the
+  // query (scan + join probe + group-by), not serial row appends.
+  sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
+  reldb::Database db(&sim);
+  reldb::Table left(reldb::Schema{"id", "v"}, 1e4);
+  reldb::Table right(reldb::Schema{"id", "grp"}, 1e4);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    left.Append(reldb::Tuple{i, static_cast<double>(i)});
+    right.Append(reldb::Tuple{i, i % 16});
+  }
+  db.Put("left", std::move(left));
+  db.Put("right", std::move(right));
+  BenchPool pool(state, static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
-    reldb::Database db(&sim);
-    reldb::Table left(reldb::Schema{"id", "v"}, 1e4);
-    reldb::Table right(reldb::Schema{"id", "grp"}, 1e4);
-    for (std::int64_t i = 0; i < state.range(0); ++i) {
-      left.Append(reldb::Tuple{i, static_cast<double>(i)});
-      right.Append(reldb::Tuple{i, i % 16});
-    }
-    db.Put("left", std::move(left));
-    db.Put("right", std::move(right));
     db.BeginQuery("bench");
     auto out = reldb::Rel::Scan(db, "left")
                    .HashJoin(reldb::Rel::Scan(db, "right"), {"id"}, {"id"},
@@ -77,11 +120,12 @@ void BM_RelJoinGroupBy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_RelJoinGroupBy)->Arg(1000)->Arg(10000)
+BENCHMARK(BM_RelJoinGroupBy)
+    ->ArgsProduct({{1000, 10000}, {1, HwThreads()}})
+    ->ArgNames({"rows", "threads"})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_BspSuperstep(benchmark::State& state) {
-  exec::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
   sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
   bsp::BspEngine<int, double> engine(&sim);
   engine.AddVertex(0, 0, 1.0, 64);
@@ -95,12 +139,12 @@ void BM_BspSuperstep(benchmark::State& state) {
                     bsp::BspEngine<int, double>::Context& ctx) {
     if (v.id != 0) ctx.Send(0, 1.0, 8);
   };
+  BenchPool pool(state, static_cast<int>(state.range(1)));
   for (auto _ : state) {
     auto st = engine.RunSuperstep(compute, {});
     benchmark::DoNotOptimize(st);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
-  exec::ThreadPool::SetGlobalThreads(1);
 }
 BENCHMARK(BM_BspSuperstep)
     ->ArgsProduct({{1000, 10000}, {1, HwThreads()}})
@@ -124,7 +168,6 @@ class SumProgram : public gas::GasProgram<GasData, double> {
 };
 
 void BM_GasSweep(benchmark::State& state) {
-  exec::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
   sim::ClusterSim sim(sim::Ec2M2XLargeCluster(4));
   gas::Graph<GasData> graph;
   std::size_t hub = graph.AddVertex(0, GasData{1.0}, 1.0, 64, 64);
@@ -135,12 +178,12 @@ void BM_GasSweep(benchmark::State& state) {
   gas::GasEngine<GasData> engine(&sim, &graph);
   if (!engine.Boot().ok()) state.SkipWithError("boot failed");
   SumProgram prog;
+  BenchPool pool(state, static_cast<int>(state.range(1)));
   for (auto _ : state) {
     auto st = engine.RunSweep<double>(prog);
     benchmark::DoNotOptimize(st);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
-  exec::ThreadPool::SetGlobalThreads(1);
 }
 BENCHMARK(BM_GasSweep)
     ->ArgsProduct({{1000, 10000}, {1, HwThreads()}})

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_index.h"
 #include "common/logging.h"
 #include "common/status.h"
 #include "exec/parallel_for.h"
@@ -159,6 +160,7 @@ class BspEngine {
     v.state_bytes = state_bytes;
     slot_of_[id] = vertices_.size();
     vertices_.push_back(std::move(v));
+    machine_of_.clear();  // placement cache rebuilt on next Boot
     return vertices_.size() - 1;
   }
 
@@ -191,8 +193,11 @@ class BspEngine {
   void SetCheckpointInterval(int n) { checkpoint_interval_ = n; }
 
   /// Machine hosting a vertex slot (hash placement, as Giraph's default
-  /// HashPartitioner).
+  /// HashPartitioner). Boot() memoizes the placement per slot; the hash
+  /// path only runs pre-Boot (or after a post-Boot AddVertex invalidated
+  /// the cache).
   int MachineOf(std::size_t slot) const {
+    if (slot < machine_of_.size()) return machine_of_[slot];
     std::uint64_t h = static_cast<std::uint64_t>(vertices_[slot].id) *
                       0x9E3779B97F4A7C15ULL;
     h ^= h >> 29;
@@ -202,6 +207,17 @@ class BspEngine {
   /// Launches the Hadoop job hosting the computation: charges the one-time
   /// job start and pins graph state + per-peer connection buffers.
   Status Boot() {
+    // Memoize hash placement: MachineOf is consulted for every vertex in
+    // every superstep (compute charge, residency, message routing), and
+    // placement is immutable once the graph is loaded.
+    machine_of_.resize(vertices_.size());
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+      std::uint64_t h = static_cast<std::uint64_t>(vertices_[i].id) *
+                        0x9E3779B97F4A7C15ULL;
+      h ^= h >> 29;
+      machine_of_[i] =
+          static_cast<int>(h % static_cast<std::uint64_t>(sim_->machines()));
+    }
     sim_->BeginPhase("bsp:boot");
     sim_->ChargeFixed(costs_.job_launch_s);
     Status st;
@@ -216,6 +232,7 @@ class BspEngine {
     }
     sim_->EndPhase();
     if (!st.ok()) return st;
+    inbox_.assign(vertices_.size(), {});
     next_inbox_.assign(vertices_.size(), {});
     inbox_meta_.assign(vertices_.size(), {});
     // Per-machine graph-state footprint, for checkpoint write / reload
@@ -313,10 +330,14 @@ class BspEngine {
 
     // Residency: last superstep's combined message buffers (in heap, or a
     // spill index when out-of-core messaging is on) plus a JVM
-    // allocation-churn check.
-    std::vector<double> resident(sim_->machines(), 0.0);
-    std::vector<double> spilled(sim_->machines(), 0.0);
-    std::vector<double> churn(sim_->machines(), 0.0);
+    // allocation-churn check. The accumulators are member scratch (assign
+    // keeps capacity) so steady-state supersteps don't allocate here.
+    std::vector<double>& resident = resident_scratch_;
+    std::vector<double>& spilled = spilled_scratch_;
+    std::vector<double>& churn = churn_scratch_;
+    resident.assign(static_cast<std::size_t>(sim_->machines()), 0.0);
+    spilled.assign(static_cast<std::size_t>(sim_->machines()), 0.0);
+    churn.assign(static_cast<std::size_t>(sim_->machines()), 0.0);
     for (std::size_t i = 0; i < vertices_.size(); ++i) {
       const auto& mb = inbox_meta_[i];
       int m = MachineOf(i);
@@ -358,13 +379,19 @@ class BspEngine {
       }
     }
 
-    // Swap in the inboxes and aggregators produced last superstep.
-    auto inboxes = std::move(next_inbox_);
-    next_inbox_.assign(vertices_.size(), {});
+    // Swap in the inboxes and aggregators produced last superstep. The
+    // inboxes double-buffer: the stale front buffer becomes the new back
+    // buffer with its per-vertex message vectors cleared element-wise, so
+    // their capacity survives and steady-state delivery stops allocating.
+    inbox_.swap(next_inbox_);
+    if (next_inbox_.size() < vertices_.size()) {
+      next_inbox_.resize(vertices_.size());
+    }
+    for (auto& box : next_inbox_) box.clear();
     inbox_meta_.assign(vertices_.size(), {});
     prev_aggregates_ = std::move(next_aggregates_);
     next_aggregates_.clear();
-    pending_.clear();
+    std::vector<std::vector<Msg>>& inboxes = inbox_;
 
     // Execute compute on every vertex; charge JVM record + declared flops.
     // The loop is chunked across the host pool: each chunk emits into its
@@ -372,12 +399,18 @@ class BspEngine {
     // commit below in chunk-index order — the exact serial sequence.
     static const std::vector<Msg> kEmpty;
     const std::int64_t n = static_cast<std::int64_t>(vertices_.size());
+    // Grain policy: pure in the vertex count (GrainFor never consults the
+    // thread count). The loop is grain-invariant — outboxes commit in
+    // chunk-index order, which concatenates to plain vertex order whatever
+    // the chunking — so adopting GrainFor cannot perturb results, charges
+    // or message sequences (exec_test pins this with a parity test).
+    const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
     // The outbox vector is engine state reused across supersteps: clearing
     // (instead of reconstructing) keeps each chunk's pending/agg vectors at
     // their high-water capacity, so steady-state supersteps allocate
     // nothing here.
     const std::size_t n_chunks =
-        static_cast<std::size_t>(exec::NumChunks(n, kComputeGrain));
+        static_cast<std::size_t>(exec::NumChunks(n, grain));
     if (outbox_scratch_.size() < n_chunks) outbox_scratch_.resize(n_chunks);
     for (std::size_t c = 0; c < n_chunks; ++c) {
       outbox_scratch_[c].pending.clear();
@@ -385,7 +418,7 @@ class BspEngine {
       outbox_scratch_[c].ledger.Clear();
     }
     std::vector<ChunkOutbox>& outboxes = outbox_scratch_;
-    exec::ParallelFor(n, kComputeGrain, [&](const exec::Chunk& chunk) {
+    exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
       ChunkOutbox& out = outboxes[static_cast<std::size_t>(chunk.index)];
       sim::ScopedLedger bind(&out.ledger);
       for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
@@ -404,18 +437,28 @@ class BspEngine {
                                     logical * cost.elements_per_vertex));
       }
     });
+    // Commit chunk effects in chunk-index order — the exact serial
+    // sequence. Ledgers replay through one batched call (the checks hoist
+    // out of the per-op loop); compute contexts can only charge CPU, so
+    // the commit cannot fail.
+    {
+      exec::ScratchVec<sim::ChargeLedger*> ledger_lease;
+      std::vector<sim::ChargeLedger*>& ledgers = ledger_lease.get();
+      ledgers.resize(n_chunks);
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        ledgers[c] = &outboxes[c].ledger;
+      }
+      MLBENCH_CHECK(sim_->CommitLedgers(ledgers.data(), n_chunks).ok());
+    }
     for (std::size_t c = 0; c < n_chunks; ++c) {
-      ChunkOutbox& out = outboxes[c];
-      // Compute contexts can only charge CPU, so commit cannot fail.
-      MLBENCH_CHECK(sim_->CommitLedger(out.ledger).ok());
-      for (auto& p : out.pending) pending_.push_back(std::move(p));
-      for (auto& a : out.agg_calls) {
+      for (auto& a : outboxes[c].agg_calls) {
         AggregateInto(a.name, a.value, a.bytes, a.sender);
       }
     }
 
-    // Route pending messages: combine per (sender machine, dst), then ship.
-    Status st = FlushMessages();
+    // Route pending messages straight out of the chunk outboxes (in chunk
+    // = vertex order): combine per (sender machine, dst), then ship.
+    Status st = FlushMessages(outboxes, n_chunks);
 
     for (int m = 0; m < sim_->machines(); ++m) sim_->Free(m, resident[m]);
 
@@ -462,11 +505,6 @@ class BspEngine {
  private:
   friend class Context;
 
-  /// Vertices per compute chunk. Chunk boundaries are a pure function of
-  /// the vertex count, so results are identical at any thread count; small
-  /// (test-sized) graphs fall into one chunk and run inline.
-  static constexpr std::int64_t kComputeGrain = 256;
-
   struct Aggregate {
     std::vector<double> value;
     double bytes = 0;
@@ -508,7 +546,8 @@ class BspEngine {
     return it == prev_aggregates_.end() ? kEmpty : it->second.value;
   }
 
-  Status FlushMessages() {
+  Status FlushMessages(std::vector<ChunkOutbox>& outboxes,
+                       std::size_t n_chunks) {
     if (next_inbox_.size() < vertices_.size()) {
       next_inbox_.resize(vertices_.size());
     }
@@ -517,39 +556,42 @@ class BspEngine {
     }
     if (combiner_) {
       // Sender-side combine per (source machine, destination vertex). One
-      // flat entry vector plus a key->index map, both reused across
-      // supersteps (cleared, never reallocated in steady state), replace
-      // the three per-superstep hash maps the engine used to rebuild here.
-      // Entries are delivered in first-seen order — a pure function of the
-      // (chunk-ordered) pending sequence, so delivery is deterministic and
+      // flat entry vector plus a generation-stamped open-addressing index
+      // (FlatIndex), both reused across supersteps — no per-entry node
+      // allocation, O(1) reset. Entries are delivered in first-seen order
+      // — a pure function of the chunk-ordered pending sequence (which
+      // concatenates to vertex order), so delivery is deterministic and
       // thread-count independent.
-      combine_index_.clear();
+      combine_index_.Clear();
       combine_entries_.clear();
-      for (auto& p : pending_) {
-        std::uint64_t key = (static_cast<std::uint64_t>(p.src_machine) << 48) |
-                            static_cast<std::uint64_t>(p.dst_slot);
-        auto [it, inserted] =
-            combine_index_.emplace(key, combine_entries_.size());
-        if (inserted) {
-          CombineEntry e;
-          e.logical_in = p.logical;
-          if (p.replicated) {
-            e.has_replicate = true;
-            e.replicate_out = p.logical;
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        for (auto& p : outboxes[c].pending) {
+          std::uint64_t key =
+              (static_cast<std::uint64_t>(p.src_machine) << 48) |
+              static_cast<std::uint64_t>(p.dst_slot);
+          bool inserted = false;
+          std::size_t* slot = combine_index_.FindOrInsert(key, &inserted);
+          if (inserted) {
+            *slot = combine_entries_.size();
+            CombineEntry e;
+            e.logical_in = p.logical;
+            if (p.replicated) {
+              e.has_replicate = true;
+              e.replicate_out = p.logical;
+            }
+            e.msg = std::move(p);
+            combine_entries_.push_back(std::move(e));
+          } else {
+            CombineEntry& e = combine_entries_[*slot];
+            e.logical_in += p.logical;
+            if (p.replicated) {
+              e.has_replicate = true;
+              e.replicate_out = std::max(e.replicate_out, p.logical);
+            }
+            e.msg.msg = combiner_(e.msg.msg, p.msg);
           }
-          e.msg = std::move(p);
-          combine_entries_.push_back(std::move(e));
-        } else {
-          CombineEntry& e = combine_entries_[it->second];
-          e.logical_in += p.logical;
-          if (p.replicated) {
-            e.has_replicate = true;
-            e.replicate_out = std::max(e.replicate_out, p.logical);
-          }
-          e.msg.msg = combiner_(e.msg.msg, p.msg);
         }
       }
-      pending_.clear();
       for (CombineEntry& e : combine_entries_) {
         // Folded messages collapse to one per (machine, dst); replicated
         // (broadcast) messages still deliver one copy per logical
@@ -562,11 +604,12 @@ class BspEngine {
         DeliverMessage(std::move(p), shipped);
       }
     } else {
-      for (auto& p : pending_) {
-        ChargeMessage(p, p.logical, p.logical);
-        DeliverMessage(std::move(p), p.logical);
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        for (auto& p : outboxes[c].pending) {
+          ChargeMessage(p, p.logical, p.logical);
+          DeliverMessage(std::move(p), p.logical);
+        }
       }
-      pending_.clear();
     }
     return Status::OK();
   }
@@ -615,7 +658,10 @@ class BspEngine {
   /// bill a crash pays.
   std::vector<double> wall_since_checkpoint_;
 
-  std::vector<PendingMsg> pending_;
+  /// Message double-buffer: compute reads inbox_, delivery fills
+  /// next_inbox_; RunSuperstep swaps them so inner vectors keep their
+  /// capacity across supersteps.
+  std::vector<std::vector<Msg>> inbox_;
   std::vector<std::vector<Msg>> next_inbox_;
   std::vector<InboxMeta> inbox_meta_;
   /// Ordered by name: EndSuperstep sums each aggregate's wire bytes while
@@ -633,10 +679,16 @@ class BspEngine {
     bool has_replicate = false;
   };
   /// Reused combiner scratch (see FlushMessages).
-  std::unordered_map<std::uint64_t, std::size_t> combine_index_;
+  common::FlatIndex combine_index_;
   std::vector<CombineEntry> combine_entries_;
   /// Reused per-chunk compute outboxes (see RunSuperstep).
   std::vector<ChunkOutbox> outbox_scratch_;
+  /// Hash-placement cache, filled by Boot (see MachineOf).
+  std::vector<int> machine_of_;
+  /// Residency accumulators reused across supersteps (see RunSuperstep).
+  std::vector<double> resident_scratch_;
+  std::vector<double> spilled_scratch_;
+  std::vector<double> churn_scratch_;
 };
 
 }  // namespace mlbench::bsp

@@ -167,9 +167,22 @@ Status ParallelPartitions(Context* ctx, int parts, Fn&& fn) {
   MLBENCH_RETURN_NOT_OK(fn(0));
   if (parts == 1) return Status::OK();
   const std::int64_t rest = parts - 1;
-  std::vector<sim::ChargeLedger> ledgers(static_cast<std::size_t>(rest));
-  std::vector<Status> statuses(static_cast<std::size_t>(rest));
-  exec::ParallelFor(rest, 1, [&](const exec::Chunk& chunk) {
+  // Ledger and status arrays are leased scratch: ledgers keep their op
+  // buffers (and interned label pools) across stages, so a steady-state
+  // stage records charges without allocating.
+  exec::ScratchVec<sim::ChargeLedger> ledger_lease;
+  exec::ScratchVec<Status> status_lease;
+  std::vector<sim::ChargeLedger>& ledgers = ledger_lease.get();
+  std::vector<Status>& statuses = status_lease.get();
+  ledgers.resize(static_cast<std::size_t>(rest));
+  statuses.resize(static_cast<std::size_t>(rest));
+  for (auto& ledger : ledgers) ledger.Clear();
+  // Partition tasks are whole stage bodies — the heavyweight cost class;
+  // GrainFor keeps the historical one-partition-per-chunk fan-out for any
+  // realistic partition count. Grain-invariant either way: ledgers and
+  // statuses commit in partition order below.
+  exec::ParallelFor(rest, exec::GrainFor(rest, exec::CostHint::kHeavy),
+                    [&](const exec::Chunk& chunk) {
     for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
       std::size_t s = static_cast<std::size_t>(i);
       sim::ScopedLedger bind(&ledgers[s]);

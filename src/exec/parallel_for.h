@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -20,6 +20,18 @@
 ///      message emission) is produced into per-chunk storage and committed
 ///      *in chunk-index order* on the calling thread after the loop.
 /// Under these rules results are bit-identical at any MLBENCH_THREADS.
+///
+/// Grain selection: GrainFor(n, hint) is itself a pure function of the
+/// range and the cost class — never of the thread count — so loops that
+/// adopt it keep property (1). Loops whose goldens, RNG substreams or
+/// ledger op-logs key on a historical chunk structure must keep their
+/// frozen grain constants instead (the engines comment each such site).
+///
+/// Allocation: ParallelFor never type-erases the body (the pool takes a
+/// plain function pointer plus a context pointer), and ParallelReduce
+/// leases its partials storage from a thread-local pool (ScratchVec), so
+/// the steady state of an engine sweep performs no heap allocation in
+/// this layer.
 
 namespace mlbench::exec {
 
@@ -45,10 +57,107 @@ inline Chunk ChunkAt(std::int64_t n, std::int64_t grain, std::int64_t c) {
   return Chunk{c, begin, end};
 }
 
+/// Per-item cost class for GrainFor. The classes only need to be right to
+/// an order of magnitude; they pick how many items it takes to amortize
+/// one dispatch and how small a chunk is worth handing out.
+enum class CostHint {
+  kCheap,   ///< a few ns/item: selection-vector filters, column copies
+  kNormal,  ///< tens of ns/item: hash probes, per-vertex message handling
+  kHeavy,   ///< microseconds+/item: whole partitions, model-block updates
+};
+
+/// Ceiling on chunks handed out per Run. A fixed constant (never derived
+/// from the thread count!) so chunk boundaries stay a pure function of
+/// (n, hint); 64 chunks keeps claim traffic trivial while still giving
+/// any plausible host enough slack for load balancing.
+inline constexpr std::int64_t kMaxChunksPerRun = 64;
+
+/// Deterministic grain for a loop of `n` items of the given cost class.
+/// Pure in (n, hint): the same range always chunks the same way, at any
+/// thread count, so adopting it preserves the determinism contract. Below
+/// the class's serial cutoff the whole range becomes one chunk, which
+/// ParallelFor runs inline — ranges too small to amortize a dispatch
+/// never pay for one.
+inline std::int64_t GrainFor(std::int64_t n, CostHint hint) {
+  std::int64_t serial_below;
+  std::int64_t min_grain;
+  switch (hint) {
+    case CostHint::kCheap:
+      serial_below = 16384;
+      min_grain = 4096;
+      break;
+    case CostHint::kNormal:
+      serial_below = 2048;
+      min_grain = 256;
+      break;
+    case CostHint::kHeavy:
+    default:
+      serial_below = 2;
+      min_grain = 1;
+      break;
+  }
+  if (n < serial_below) return n > 1 ? n : 1;
+  std::int64_t grain = (n + kMaxChunksPerRun - 1) / kMaxChunksPerRun;
+  return grain > min_grain ? grain : min_grain;
+}
+
+namespace detail {
+
+/// Thread-local freelist backing ScratchVec<T>. Checkout semantics (the
+/// lease removes the vector from the list) make nested leases safe: an
+/// inner ParallelReduce on the same thread simply checks out a different
+/// vector.
+template <typename T>
+std::vector<std::unique_ptr<std::vector<T>>>& ScratchFreelist() {
+  thread_local std::vector<std::unique_ptr<std::vector<T>>> freelist;
+  return freelist;
+}
+
+inline constexpr std::size_t kScratchFreelistCap = 8;
+
+}  // namespace detail
+
+/// RAII lease of a reusable std::vector<T> from a thread-local pool.
+/// Contents on checkout are unspecified (whatever the previous lease left,
+/// with its capacity intact — that is the point); size it yourself and
+/// treat existing elements as dirty. Returned to the pool on destruction
+/// without shrinking, so steady-state reuse performs no allocation.
+template <typename T>
+class ScratchVec {
+ public:
+  ScratchVec() {
+    auto& freelist = detail::ScratchFreelist<T>();
+    if (freelist.empty()) {
+      vec_ = std::make_unique<std::vector<T>>();
+    } else {
+      vec_ = std::move(freelist.back());
+      freelist.pop_back();
+    }
+  }
+  ~ScratchVec() {
+    auto& freelist = detail::ScratchFreelist<T>();
+    if (freelist.size() < detail::kScratchFreelistCap) {
+      freelist.push_back(std::move(vec_));
+    }
+  }
+
+  ScratchVec(const ScratchVec&) = delete;
+  ScratchVec& operator=(const ScratchVec&) = delete;
+
+  std::vector<T>& get() { return *vec_; }
+  std::vector<T>& operator*() { return *vec_; }
+  std::vector<T>* operator->() { return vec_.get(); }
+
+ private:
+  std::unique_ptr<std::vector<T>> vec_;
+};
+
 /// Runs `fn(chunk)` once per chunk of [0, n), spread across the global
 /// pool. Blocks until every chunk has run. `fn` must tolerate concurrent
 /// invocation on distinct chunks; use the chunk index for any per-chunk
 /// output slot so results can be committed in index order afterwards.
+/// The body is dispatched as a raw function pointer + context — no
+/// std::function, no allocation.
 template <typename Fn>
 void ParallelFor(std::int64_t n, std::int64_t grain, Fn&& fn) {
   std::int64_t chunks = NumChunks(n, grain);
@@ -57,27 +166,44 @@ void ParallelFor(std::int64_t n, std::int64_t grain, Fn&& fn) {
     fn(ChunkAt(n, grain, 0));
     return;
   }
-  const std::function<void(std::int64_t)> body = [&](std::int64_t c) {
-    fn(ChunkAt(n, grain, c));
-  };
-  ThreadPool::Global().Run(chunks, body);
+  struct Ctx {
+    Fn* fn;
+    std::int64_t n;
+    std::int64_t grain;
+  } ctx{std::addressof(fn), n, grain};
+  ThreadPool::Global().Run(
+      chunks,
+      [](void* raw, std::int64_t c) {
+        auto* context = static_cast<Ctx*>(raw);
+        (*context->fn)(ChunkAt(context->n, context->grain, c));
+      },
+      &ctx);
 }
 
 /// Parallel map + ordered fold. `map(chunk)` runs concurrently and returns
 /// a per-chunk partial of type T; `reduce(acc, partial)` folds the partials
 /// into `init` strictly in chunk-index order on the calling thread, so
-/// floating-point results are bit-identical at any thread count.
+/// floating-point results are bit-identical at any thread count. Partials
+/// storage is leased from the calling thread's scratch pool: the steady
+/// state allocates nothing.
 template <typename T, typename Map, typename Reduce>
 T ParallelReduce(std::int64_t n, std::int64_t grain, T init, Map&& map,
                  Reduce&& reduce) {
   std::int64_t chunks = NumChunks(n, grain);
   if (chunks == 0) return init;
-  std::vector<T> partials(static_cast<std::size_t>(chunks));
+  if (chunks == 1) {
+    return reduce(std::move(init), map(ChunkAt(n, grain, 0)));
+  }
+  ScratchVec<T> lease;
+  std::vector<T>& partials = lease.get();
+  partials.resize(static_cast<std::size_t>(chunks));
   ParallelFor(n, grain, [&](const Chunk& chunk) {
     partials[static_cast<std::size_t>(chunk.index)] = map(chunk);
   });
   T acc = std::move(init);
-  for (auto& partial : partials) acc = reduce(std::move(acc), std::move(partial));
+  for (auto& partial : partials) {
+    acc = reduce(std::move(acc), std::move(partial));
+  }
   return acc;
 }
 

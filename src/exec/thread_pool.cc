@@ -1,7 +1,7 @@
 #include "exec/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
-#include <memory>
 #include <string>
 
 namespace mlbench::exec {
@@ -10,79 +10,240 @@ namespace mlbench::exec {
 #define MLBENCH_DEFAULT_THREADS 0  // 0 = follow hardware_concurrency()
 #endif
 
+namespace {
+
+/// Polite busy-wait hint: tells the core we are spinning so a hyper-twin
+/// (or, on a loaded host, the thread we are waiting for) gets the pipeline.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// How long a worker that just executed chunks keeps spinning for the next
+/// Run before parking. Tuned for the back-to-back ParallelFor pattern the
+/// engines produce (one Run every few microseconds during a sweep): long
+/// enough to bridge consecutive Runs, short enough (~1-2us) that a pool
+/// going idle parks almost immediately.
+constexpr int kWorkerSpinIters = 4096;
+
+/// Caller-side spin before falling back to a futex wait on job completion.
+/// The tail it covers is another thread finishing its last claimed chunk,
+/// which for engine grains is microseconds at most.
+constexpr int kCallerSpinIters = 8192;
+
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
-  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
-  for (int i = 0; i < threads_ - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  int workers = threads_ - 1;
+  if (workers > 0) {
+    slots_ = std::make_unique<WorkerSlot[]>(static_cast<std::size_t>(workers));
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  job_available_.notify_all();
+  stopping_.store(true, std::memory_order_release);
+  // Bump the sequence so spinning workers notice, and kick parked ones.
+  seq_.fetch_add(1, std::memory_order_seq_cst);
+  seq_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Participate(Job* job) {
+std::int64_t ThreadPool::ClaimChunks(Job* job) {
+  std::int64_t claimed = 0;
   for (;;) {
-    std::int64_t chunk = job->next.fetch_add(1, std::memory_order_relaxed);
-    if (chunk >= job->num_chunks) return;
-    (*job->fn)(chunk);
+    std::int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) return claimed;
+    job->fn(job->ctx, c);
+    ++claimed;
   }
 }
 
-void ThreadPool::WorkerLoop() {
-  std::uint64_t seen_seq = 0;
+void ThreadPool::WorkerLoop(int slot) {
+  WorkerSlot& me = slots_[slot];
+  std::uint64_t seen = 0;
+  // Whether the previous wake actually yielded chunks. Only then is a
+  // brief spin worth it (back-to-back Runs); a fruitless wake means the
+  // caller drained the job alone — e.g. a single-core host, where a
+  // spinning worker would only steal cycles from the caller — so the
+  // worker re-parks immediately.
+  bool had_work = false;
   for (;;) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_available_.wait(lock, [&] {
-        return stopping_ || (job_ != nullptr && job_seq_ != seen_seq);
-      });
-      if (stopping_) return;
-      seen_seq = job_seq_;
-      job = job_;
-      // Register under the lock: Run() cannot observe completion until
-      // this worker has deregistered, so `job` stays alive throughout.
-      job->active += 1;
+    std::uint64_t s = seq_.load(std::memory_order_acquire);
+    if (s == seen) {
+      if (had_work) {
+        for (int i = 0; i < kWorkerSpinIters && s == seen; ++i) {
+          CpuRelax();
+          s = seq_.load(std::memory_order_acquire);
+        }
+        if (s == seen) had_work = false;  // spin expired: park next pass
+        continue;
+      }
+      parks_.fetch_add(1, std::memory_order_relaxed);
+      parked_.fetch_add(1, std::memory_order_seq_cst);
+      // Dekker re-check against Run(): either we see the bump here, or
+      // Run's parked_ load (after its bump) sees us and notifies.
+      if (seq_.load(std::memory_order_seq_cst) == seen) {
+        seq_.wait(seen, std::memory_order_seq_cst);
+      }
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
     }
-    Participate(job);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      job->active -= 1;
+    seen = s;
+    if (stopping_.load(std::memory_order_acquire)) return;
+
+    Job* job = job_.load(std::memory_order_acquire);
+    if (job == nullptr) {
+      had_work = false;
+      continue;
     }
-    job_finished_.notify_all();
+    // Hazard acquisition: publish intent, then confirm the job is still
+    // current. If the re-check fails the job may already be retracted
+    // (and its stack frame dying), so back off without touching it.
+    me.hazard.store(job, std::memory_order_seq_cst);
+    if (job_.load(std::memory_order_seq_cst) != job) {
+      me.hazard.store(nullptr, std::memory_order_release);
+      had_work = false;
+      continue;
+    }
+    std::int64_t claimed = ClaimChunks(job);
+    if (claimed > 0) {
+      me.chunks.fetch_add(static_cast<std::uint64_t>(claimed),
+                          std::memory_order_relaxed);
+      std::int64_t finished =
+          job->done.fetch_add(claimed, std::memory_order_seq_cst) + claimed;
+      if (finished == job->num_chunks &&
+          job->caller_waiting.load(std::memory_order_seq_cst) != 0) {
+        // Touching job->done here is safe: the caller cannot destroy the
+        // job until our hazard slot (still set) releases it below.
+        job->done.notify_all();
+      }
+    }
+    me.hazard.store(nullptr, std::memory_order_release);
+    had_work = claimed > 0;
   }
 }
 
-void ThreadPool::Run(std::int64_t num_chunks,
-                     const std::function<void(std::int64_t)>& fn) {
+void ThreadPool::Run(std::int64_t num_chunks, RunFn fn, void* ctx) {
   if (num_chunks <= 0) return;
   if (threads_ == 1 || num_chunks == 1) {
-    for (std::int64_t c = 0; c < num_chunks; ++c) fn(c);
+    serial_runs_.fetch_add(1, std::memory_order_relaxed);
+    for (std::int64_t c = 0; c < num_chunks; ++c) fn(ctx, c);
     return;
   }
+  parallel_runs_.fetch_add(1, std::memory_order_relaxed);
+  using Clock = std::chrono::steady_clock;
+  const bool timing = timing_.load(std::memory_order_relaxed);
+  Clock::time_point t0;
+  if (timing) t0 = Clock::now();
+
   Job job;
   job.num_chunks = num_chunks;
-  job.fn = &fn;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = &job;
-    ++job_seq_;
+  job.fn = fn;
+  job.ctx = ctx;
+  job_.store(&job, std::memory_order_release);
+  seq_.fetch_add(1, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    notifies_.fetch_add(1, std::memory_order_relaxed);
+    seq_.notify_all();
   }
-  job_available_.notify_all();
-  Participate(&job);
-  // The cursor is exhausted: every chunk has been claimed, and the chunks
-  // this thread claimed have finished. Retract the job so no new worker
-  // registers, then wait for registered workers to drain their chunks.
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    job_ = nullptr;
-    job_finished_.wait(lock, [&] { return job.active == 0; });
+  std::uint64_t publish_ns = 0;
+  Clock::time_point t1;
+  if (timing) {
+    t1 = Clock::now();
+    publish_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  }
+
+  std::int64_t claimed = ClaimChunks(&job);
+  if (timing) t1 = Clock::now();
+  std::int64_t done;
+  if (claimed > 0) {
+    caller_chunks_.fetch_add(static_cast<std::uint64_t>(claimed),
+                             std::memory_order_relaxed);
+    done = job.done.fetch_add(claimed, std::memory_order_seq_cst) + claimed;
+  } else {
+    done = job.done.load(std::memory_order_acquire);
+  }
+  if (done != num_chunks) {
+    for (int i = 0; i < kCallerSpinIters && done != num_chunks; ++i) {
+      CpuRelax();
+      done = job.done.load(std::memory_order_acquire);
+    }
+    if (done != num_chunks) {
+      // Declare the wait, then futex-sleep on `done`. The seq_cst store
+      // pairs with the workers' seq_cst done/caller_waiting accesses:
+      // either a worker's final increment sees the flag and notifies, or
+      // we see the final count and never sleep.
+      job.caller_waiting.store(1, std::memory_order_seq_cst);
+      for (;;) {
+        std::int64_t d = job.done.load(std::memory_order_seq_cst);
+        if (d == num_chunks) break;
+        job.done.wait(d, std::memory_order_seq_cst);
+      }
+    }
+  }
+  // Retract the job so no late worker adopts it. CAS, not a plain store: a
+  // nested Run may have republished job_ since, and clobbering its pointer
+  // would strand that job's workers.
+  Job* expected = &job;
+  job_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel,
+                               std::memory_order_relaxed);
+  // Quiesce: a worker between hazard-store and re-check may still hold a
+  // pointer to our (stack-allocated) job. Wait for every slot to release
+  // it; this is at most the tail of one hazard protocol round, since all
+  // chunks are already done.
+  int workers = threads_ - 1;
+  for (int i = 0; i < workers; ++i) {
+    while (slots_[i].hazard.load(std::memory_order_seq_cst) == &job) {
+      CpuRelax();
+    }
+  }
+  if (timing) {
+    auto t2 = Clock::now();
+    dispatch_ns_.fetch_add(
+        publish_ns +
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+                    .count()),
+        std::memory_order_relaxed);
+  }
+}
+
+DispatchStats ThreadPool::Stats() const {
+  DispatchStats s;
+  s.parallel_runs = parallel_runs_.load(std::memory_order_relaxed);
+  s.serial_runs = serial_runs_.load(std::memory_order_relaxed);
+  s.notifies = notifies_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.caller_chunks = caller_chunks_.load(std::memory_order_relaxed);
+  s.dispatch_ns = dispatch_ns_.load(std::memory_order_relaxed);
+  int workers = threads_ - 1;
+  s.worker_chunks.resize(static_cast<std::size_t>(workers > 0 ? workers : 0));
+  for (int i = 0; i < workers; ++i) {
+    s.worker_chunks[static_cast<std::size_t>(i)] =
+        slots_[i].chunks.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void ThreadPool::ResetStats() {
+  parallel_runs_.store(0, std::memory_order_relaxed);
+  serial_runs_.store(0, std::memory_order_relaxed);
+  notifies_.store(0, std::memory_order_relaxed);
+  parks_.store(0, std::memory_order_relaxed);
+  caller_chunks_.store(0, std::memory_order_relaxed);
+  dispatch_ns_.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < threads_ - 1; ++i) {
+    slots_[i].chunks.store(0, std::memory_order_relaxed);
   }
 }
 

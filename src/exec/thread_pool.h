@@ -1,10 +1,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -27,6 +26,18 @@
 /// threads that reach it, and degenerates to serial execution when every
 /// worker is busy.
 ///
+/// Dispatch is lock-free: Run() publishes the job through an atomic
+/// pointer and broadcasts a job-sequence bump; workers notice the bump by
+/// spinning briefly (when the pool is hot with back-to-back Runs) or by a
+/// futex wait on the sequence word (when it has gone idle). Job pointers
+/// live on the caller's stack, so workers acquire them through a
+/// hazard-slot protocol: store the candidate pointer into the worker's
+/// hazard slot, then re-check the published pointer; the caller retracts
+/// the job and waits for every hazard slot to release it before returning.
+/// No mutex or condition_variable is involved anywhere on the dispatch
+/// path, and a Run that finds the pool warm costs nanoseconds, not a
+/// contended wake/sleep round-trip.
+///
 /// Determinism contract: the pool never influences *what* is computed, only
 /// *when*. Chunk boundaries are a pure function of (range, grain) — see
 /// parallel_for.h — and all commit steps happen in chunk-index order on the
@@ -34,8 +45,36 @@
 
 namespace mlbench::exec {
 
+/// Snapshot of the pool's dispatch overhead counters (see ThreadPool::Stats).
+/// Counters accumulate since construction or the last ResetStats().
+struct DispatchStats {
+  std::uint64_t parallel_runs = 0;  ///< Runs that engaged the dispatch path
+  std::uint64_t serial_runs = 0;    ///< Runs taken by the inline fast path
+  std::uint64_t notifies = 0;       ///< futex broadcasts to parked workers
+  std::uint64_t parks = 0;          ///< worker park (futex wait) events
+  std::uint64_t caller_chunks = 0;  ///< chunks executed by submitting callers
+  /// Caller-side dispatch overhead: publish/wake plus join/quiesce time,
+  /// excluding the caller's own chunk execution. Only accumulated while
+  /// SetDispatchTiming(true) is in effect (the clock reads cost more than
+  /// the dispatch itself, so benches opt in).
+  std::uint64_t dispatch_ns = 0;
+  /// Chunks executed by each background worker, in worker index order.
+  std::vector<std::uint64_t> worker_chunks;
+
+  std::uint64_t worker_chunks_total() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : worker_chunks) total += c;
+    return total;
+  }
+};
+
 class ThreadPool {
  public:
+  /// Chunk body: `fn(ctx, chunk_index)`. A plain function pointer (not
+  /// std::function) so ParallelFor can dispatch templated bodies with zero
+  /// allocation and zero type-erasure overhead.
+  using RunFn = void (*)(void*, std::int64_t);
+
   /// A pool with `threads` total execution contexts (the submitting caller
   /// counts as one, so `threads - 1` background workers are spawned).
   /// `threads <= 1` means fully serial: no workers, Run executes inline.
@@ -48,12 +87,34 @@ class ThreadPool {
   /// Total execution contexts (caller + workers), >= 1.
   int threads() const { return threads_; }
 
-  /// Runs `fn(chunk_index)` for every chunk_index in [0, num_chunks),
+  /// Runs `fn(ctx, chunk_index)` for every chunk_index in [0, num_chunks),
   /// each exactly once, across the caller and the pool's workers. Blocks
   /// until all chunks have finished. `fn` must be safe to invoke
   /// concurrently with itself on distinct chunk indices.
+  void Run(std::int64_t num_chunks, RunFn fn, void* ctx);
+
+  /// Convenience overload for callers that already hold a std::function
+  /// (tests, non-hot-path code). The hot path is the RunFn overload.
   void Run(std::int64_t num_chunks,
-           const std::function<void(std::int64_t)>& fn);
+           const std::function<void(std::int64_t)>& fn) {
+    Run(
+        num_chunks,
+        [](void* ctx, std::int64_t c) {
+          (*static_cast<const std::function<void(std::int64_t)>*>(ctx))(c);
+        },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+  /// Dispatch overhead counters accumulated so far. Safe to call between
+  /// Runs; concurrent with a Run the totals are approximate.
+  DispatchStats Stats() const;
+  /// Zeroes every counter.
+  void ResetStats();
+  /// Enables per-Run dispatch wall-time measurement (off by default: two
+  /// steady_clock reads per Run would dominate the dispatch cost itself).
+  void SetDispatchTiming(bool enabled) {
+    timing_.store(enabled, std::memory_order_relaxed);
+  }
 
   /// The process-wide pool used by ParallelFor / ParallelReduce. Sized on
   /// first use from, in priority order: SetGlobalThreads() if it was
@@ -71,24 +132,58 @@ class ThreadPool {
  private:
   struct Job {
     std::int64_t num_chunks = 0;
-    std::atomic<std::int64_t> next{0};
-    int active = 0;  ///< workers currently inside the job, guarded by mu_
-    const std::function<void(std::int64_t)>* fn = nullptr;
+    RunFn fn = nullptr;
+    void* ctx = nullptr;
+    /// Claim cursor: fetch_add hands out chunk indices.
+    alignas(64) std::atomic<std::int64_t> next{0};
+    /// Chunks finished (batched per participant). done == num_chunks is
+    /// the completion signal the caller waits on.
+    alignas(64) std::atomic<std::int64_t> done{0};
+    /// Dekker flag paired with `done`: workers only pay the futex notify
+    /// when the caller has declared it is (or is about to be) waiting.
+    std::atomic<int> caller_waiting{0};
   };
 
-  void WorkerLoop();
-  /// Claims and runs chunks of `job` until the cursor is exhausted.
-  static void Participate(Job* job);
+  /// Per-worker state, cacheline-padded so hazard publication and chunk
+  /// counting never false-share across workers.
+  struct alignas(64) WorkerSlot {
+    /// Hazard pointer: the job this worker may be touching. The caller
+    /// must not destroy a job while any slot still points at it.
+    std::atomic<Job*> hazard{nullptr};
+    /// Chunks this worker has executed (stats; single-writer).
+    std::atomic<std::uint64_t> chunks{0};
+  };
+
+  void WorkerLoop(int slot);
+  /// Claims and runs chunks of `job` until the cursor is exhausted;
+  /// returns the number of chunks this thread executed. Does not touch
+  /// `job->done` — callers batch-add the count themselves.
+  static std::int64_t ClaimChunks(Job* job);
 
   int threads_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerSlot[]> slots_;
 
-  std::mutex mu_;
-  std::condition_variable job_available_;
-  std::condition_variable job_finished_;
-  Job* job_ = nullptr;          ///< current job, guarded by mu_
-  std::uint64_t job_seq_ = 0;   ///< bumped per job so workers spot new work
-  bool stopping_ = false;
+  /// Published job pointer (null when no job is being dispatched). Nested
+  /// Runs overwrite it; the retract is a CAS so an outer Run never
+  /// clobbers an inner publication.
+  alignas(64) std::atomic<Job*> job_{nullptr};
+  /// Job sequence: bumped on every publication (and on shutdown). Workers
+  /// futex-wait on this word when parked.
+  alignas(64) std::atomic<std::uint64_t> seq_{0};
+  /// Number of workers currently inside a futex wait (Dekker-paired with
+  /// the seq_ bump so a Run only pays notify_all when someone is parked).
+  alignas(64) std::atomic<int> parked_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Stats (relaxed; batched per Run, not per chunk).
+  alignas(64) std::atomic<std::uint64_t> parallel_runs_{0};
+  std::atomic<std::uint64_t> serial_runs_{0};
+  std::atomic<std::uint64_t> notifies_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> caller_chunks_{0};
+  std::atomic<std::uint64_t> dispatch_ns_{0};
+  std::atomic<bool> timing_{false};
 };
 
 }  // namespace mlbench::exec

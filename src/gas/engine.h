@@ -137,6 +137,7 @@ class GasEngine {
           " machines (max observed bootable: " +
           std::to_string(costs_.max_bootable_machines) + ")");
     }
+    graph_->EnsurePlacement(sim_->machines());
     sim_->BeginPhase("gas:boot");
     std::vector<double> machine_bytes(sim_->machines(), 0.0);
     Status st;
@@ -186,6 +187,10 @@ class GasEngine {
                   const std::string& name = "sweep") {
     MLBENCH_CHECK_MSG(booted_, "engine not booted");
     const int machines = sim_->machines();
+    // Build the placement memo from this serial section: the phase-1
+    // reduce below calls MachineOf per vertex *and* per edge from worker
+    // chunks, and the memo must not be built racily from inside them.
+    graph_->EnsurePlacement(machines);
     sim_->BeginPhase("gas:" + name);
     sim_->ChargeFixed(costs_.sweep_launch_s);
 
@@ -374,17 +379,30 @@ class GasEngine {
     // GatherBatch contract (see GasProgram) makes the folded results
     // bit-identical between the two.
     double flops = 0;
-    std::vector<GatherT> gathered;
+    // The per-vertex gather buffer is leased from the thread-local scratch
+    // pool: it grows to the widest neighborhood once and is reused across
+    // vertices *and* sweeps (the old function-local vector re-grew every
+    // sweep).
+    exec::ScratchVec<GatherT> gathered_lease;
+    std::vector<GatherT>& gathered = gathered_lease.get();
     for (std::size_t i = 0; i < graph_->size(); ++i) {
       auto& v = graph_->vertex(i);
       if (v.out.empty()) continue;
       const typename Graph<VData>::NeighborSpan nbrs = graph_->Neighbors(i);
       const std::int64_t n_edges = static_cast<std::int64_t>(nbrs.count);
+      // Edge-chunk grain via the deterministic policy (pure in the edge
+      // count). Grain changes cannot perturb results here: the scalar
+      // path folds individual `gathered` elements in edge order whatever
+      // the chunking, and GatherBatch's contract (see GasProgram) makes
+      // any span decomposition fold bit-identically to the per-edge one
+      // (vertex_batch_test pins that equivalence).
+      const std::int64_t edge_grain =
+          exec::GrainFor(n_edges, exec::CostHint::kNormal);
       GatherT acc{};
       if (n_edges >= kEdgeParallelThreshold) {
         gathered.clear();
         gathered.resize(static_cast<std::size_t>(n_edges));
-        exec::ParallelFor(n_edges, kEdgeGrain, [&](const exec::Chunk& chunk) {
+        exec::ParallelFor(n_edges, edge_grain, [&](const exec::Chunk& chunk) {
           if (batched_) {
             program.GatherBatch(
                 v, *graph_, nbrs.idx + chunk.begin,
@@ -443,11 +461,19 @@ class GasEngine {
 
     // Asynchronous execution: no barrier, utilization-scaled cores --
     // bounded by the number of vertices (a vertex's apply is sequential,
-    // so very coarse super-vertex graphs cannot use every core).
-    double logical_vertices = 0;
-    for (std::size_t i = 0; i < graph_->size(); ++i) {
-      logical_vertices += graph_->vertex(i).scale;
+    // so very coarse super-vertex graphs cannot use every core). The
+    // logical-vertex total is memoized per graph version: scales are
+    // fixed at AddVertex (the CSR's invariant), and reusing the one
+    // serial fold is bit-identical to recomputing it.
+    if (logical_vertices_version_ != graph_->version() + 1) {
+      double sum = 0;
+      for (std::size_t i = 0; i < graph_->size(); ++i) {
+        sum += graph_->vertex(i).scale;
+      }
+      logical_vertices_cache_ = sum;
+      logical_vertices_version_ = graph_->version() + 1;
     }
+    const double logical_vertices = logical_vertices_cache_;
     double usable =
         std::min<double>(sim_->spec().total_cores(), logical_vertices);
     sim_->ChargeCpuAllMachines(total_core_s /
@@ -533,12 +559,16 @@ class GasEngine {
 
  private:
   /// Vertices per accounting / transform chunk (pure function of the
-  /// vertex count — never of the thread count).
+  /// vertex count — never of the thread count). FROZEN: the residency and
+  /// transform reductions fold per-chunk floating-point partials in
+  /// chunk-index order, so their results are a function of this chunking;
+  /// the fault-parity goldens were recorded against it. Do not switch
+  /// these loops to GrainFor without re-deriving the goldens.
   static constexpr std::int64_t kVertexGrain = 256;
-  /// Minimum edge count before a vertex's gathers fan out across the pool,
-  /// and the edge-chunk size when they do.
+  /// Minimum edge count before a vertex's gathers fan out across the
+  /// pool. The edge-chunk grain itself comes from exec::GrainFor (safe:
+  /// see the sweep loop comment).
   static constexpr std::int64_t kEdgeParallelThreshold = 512;
-  static constexpr std::int64_t kEdgeGrain = 256;
 
   sim::ClusterSim* sim_;
   Graph<VData>* graph_;
@@ -555,6 +585,10 @@ class GasEngine {
   /// Wall time of each sweep since the last snapshot: the replay cost a
   /// crash pays on restart.
   std::vector<double> wall_since_snapshot_;
+  /// Memoized sum of vertex scales, keyed on graph version + 1 (0 =
+  /// unset); see RunSweep.
+  double logical_vertices_cache_ = 0;
+  std::uint64_t logical_vertices_version_ = 0;
 };
 
 }  // namespace mlbench::gas

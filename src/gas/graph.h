@@ -68,6 +68,7 @@ class Graph {
     v.export_bytes = export_bytes;
     vertices_.push_back(std::move(v));
     csr_valid_ = false;
+    ++version_;
     return vertices_.size() - 1;
   }
 
@@ -77,7 +78,15 @@ class Graph {
     vertices_[a].out.push_back(b);
     vertices_[b].out.push_back(a);
     csr_valid_ = false;
+    ++version_;
   }
+
+  /// Bumped by every structural mutation (AddVertex / AddEdge). Engines
+  /// key topology-derived caches on it; like the CSR's cached neighbor
+  /// scales, such caches may also rely on `scale` (fixed at AddVertex by
+  /// every driver) but must not depend on mutable accounting fields
+  /// (export_bytes / state_bytes), which tests tweak in place.
+  std::uint64_t version() const { return version_; }
 
   /// CSR view of vertex `i`'s adjacency, (re)building the flat image if a
   /// mutation invalidated it. Not thread-safe against the first call —
@@ -96,15 +105,41 @@ class Graph {
   std::vector<Vertex>& vertices() { return vertices_; }
   const std::vector<Vertex>& vertices() const { return vertices_; }
 
-  /// Machine hosting vertex slot `i` under hash placement.
+  /// Machine hosting vertex slot `i` under hash placement. Served from
+  /// the memoized placement table when EnsurePlacement(machines) has been
+  /// called for this topology; the hash only runs otherwise.
   int MachineOf(std::size_t i, int machines) const {
+    if (placement_machines_ == machines &&
+        placement_.size() == vertices_.size()) {
+      return placement_[i];
+    }
+    return HashMachine(i, machines);
+  }
+
+  /// Builds (or refreshes) the placement memo for `machines`. Ids are
+  /// immutable, so the table stays valid until a vertex is added or the
+  /// machine count changes. Call from serial code only — the engines
+  /// build it at sweep start, before MachineOf races across worker
+  /// chunks, exactly like the CSR build.
+  void EnsurePlacement(int machines) const {
+    if (placement_machines_ == machines &&
+        placement_.size() == vertices_.size()) {
+      return;
+    }
+    placement_.resize(vertices_.size());
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+      placement_[i] = HashMachine(i, machines);
+    }
+    placement_machines_ = machines;
+  }
+
+ private:
+  int HashMachine(std::size_t i, int machines) const {
     std::uint64_t h = static_cast<std::uint64_t>(vertices_[i].id) *
                       0x9E3779B97F4A7C15ULL;
     h ^= h >> 29;
     return static_cast<int>(h % static_cast<std::uint64_t>(machines));
   }
-
- private:
   void BuildCsr() const {
     csr_offsets_.assign(vertices_.size() + 1, 0);
     std::size_t edges = 0;
@@ -127,11 +162,15 @@ class Graph {
   }
 
   std::vector<Vertex> vertices_;
+  std::uint64_t version_ = 0;
   // Lazily built CSR image of the adjacency lists (see file comment).
   mutable std::vector<std::size_t> csr_offsets_;
   mutable std::vector<std::size_t> csr_adj_;
   mutable std::vector<double> csr_nbr_scale_;
   mutable bool csr_valid_ = false;
+  // Memoized hash placement (see EnsurePlacement).
+  mutable std::vector<int> placement_;
+  mutable int placement_machines_ = 0;
 };
 
 }  // namespace mlbench::gas

@@ -11,10 +11,14 @@ namespace mlbench::reldb {
 
 namespace {
 
-/// Rows per host-parallel chunk of a tuple loop. Simulated charges are bulk
-/// (outside the loops), so chunks only need their outputs stitched back in
-/// chunk-index order to match the serial operator exactly. Test-sized
-/// tables (hundreds of rows) stay in one chunk and run inline.
+/// FROZEN grain for GroupBy's row chunking. GroupBy folds per-chunk Acc
+/// partials (floating-point sums) in chunk-index order, so its numeric
+/// results depend on the chunk structure itself; fault-parity goldens were
+/// recorded against 1024-row chunks. Do not switch GroupBy to
+/// exec::GrainFor without re-deriving every golden that flows through an
+/// aggregate. The other operator loops (filters, projects, join probes)
+/// only stitch chunk outputs back in chunk = row order — they are
+/// grain-invariant and pick their grain with exec::GrainFor below.
 constexpr std::int64_t kRowGrain = 1024;
 
 using Column = ColumnBatch::Column;
@@ -115,9 +119,12 @@ Rel Rel::RowFilter(const std::function<bool(const Tuple&)>& pred) const {
   const Table& in = *EnsureTable();
   const auto& rows = in.rows();
   const std::int64_t n = static_cast<std::int64_t>(rows.size());
-  std::vector<std::vector<Tuple>> parts(
-      static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
-  exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+  const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+  exec::ScratchVec<std::vector<Tuple>> parts_lease;
+  std::vector<std::vector<Tuple>>& parts = *parts_lease;
+  parts.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+  for (auto& part : parts) part.clear();
+  exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
     auto& out = parts[static_cast<std::size_t>(chunk.index)];
     for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
       const auto& row = rows[static_cast<std::size_t>(i)];
@@ -136,9 +143,12 @@ Rel Rel::Filter(const std::function<bool(const Tuple&)>& pred) const {
   if (UseColumnar()) {
     const ColumnBatch& in = *batch_;
     const std::int64_t n = static_cast<std::int64_t>(in.num_rows());
-    std::vector<std::vector<std::uint32_t>> sel(
-        static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
-    exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+    const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+    exec::ScratchVec<std::vector<std::uint32_t>> sel_lease;
+    std::vector<std::vector<std::uint32_t>>& sel = *sel_lease;
+    sel.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+    for (auto& keep : sel) keep.clear();
+    exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
       auto& keep = sel[static_cast<std::size_t>(chunk.index)];
       Tuple scratch;
       for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
@@ -158,12 +168,15 @@ Rel Rel::Filter(const ScalarExpr& pred) const {
   if (UseColumnar()) {
     const ColumnBatch& in = *batch_;
     const std::int64_t n = static_cast<std::int64_t>(in.num_rows());
-    std::vector<std::vector<std::uint32_t>> sel(
-        static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
+    const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+    exec::ScratchVec<std::vector<std::uint32_t>> sel_lease;
+    std::vector<std::vector<std::uint32_t>>& sel = *sel_lease;
+    sel.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+    for (auto& keep : sel) keep.clear();
     if (db_->expr_vm()) {
       // Batch-fused VM: one dispatch per opcode per chunk, straight off
       // the typed arrays.
-      exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+      exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
         ExprProgram::Scratch scratch;
         prog.SelectBatch(in, chunk.begin, chunk.end,
                          &sel[static_cast<std::size_t>(chunk.index)],
@@ -172,7 +185,7 @@ Rel Rel::Filter(const ScalarExpr& pred) const {
     } else {
       // MLBENCH_RELDB_INTERP parity baseline: the pre-VM shape — a Tuple
       // materialized per row and the program interpreted over it.
-      exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+      exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
         auto& keep = sel[static_cast<std::size_t>(chunk.index)];
         Tuple scratch;
         for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
@@ -207,12 +220,15 @@ Rel Rel::FilterIntIn(const std::string& col,
   if (UseColumnar() && batch_->col(c).type == ColType::kInt) {
     const ColumnBatch& in = *batch_;
     const std::int64_t n = static_cast<std::int64_t>(in.num_rows());
-    std::vector<std::vector<std::uint32_t>> sel(
-        static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
+    const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+    exec::ScratchVec<std::vector<std::uint32_t>> sel_lease;
+    std::vector<std::vector<std::uint32_t>>& sel = *sel_lease;
+    sel.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+    for (auto& keep : sel) keep.clear();
     if (db_->expr_vm()) {
       const ExprProgram prog =
           ExprProgram::Compile(ScalarExpr::IntIn(c, values));
-      exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+      exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
         ExprProgram::Scratch scratch;
         prog.SelectBatch(in, chunk.begin, chunk.end,
                          &sel[static_cast<std::size_t>(chunk.index)],
@@ -220,7 +236,7 @@ Rel Rel::FilterIntIn(const std::string& col,
       });
     } else {
       const auto& ints = in.col(c).ints;
-      exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+      exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
         auto& keep = sel[static_cast<std::size_t>(chunk.index)];
         for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
           const std::int64_t v = ints[static_cast<std::size_t>(i)];
@@ -254,9 +270,12 @@ Rel Rel::Project(Schema out_schema,
     // the whole input table. The next operator re-types the output.
     const ColumnBatch& in = *batch_;
     const std::int64_t n = static_cast<std::int64_t>(in.num_rows());
-    std::vector<std::vector<Tuple>> parts(
-        static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
-    exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+    const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+    exec::ScratchVec<std::vector<Tuple>> parts_lease;
+    std::vector<std::vector<Tuple>>& parts = *parts_lease;
+    parts.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+    for (auto& part : parts) part.clear();
+    exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
       auto& out = parts[static_cast<std::size_t>(chunk.index)];
       out.reserve(static_cast<std::size_t>(chunk.end - chunk.begin));
       Tuple scratch;
@@ -275,9 +294,12 @@ Rel Rel::Project(Schema out_schema,
   const Table& tin = *EnsureTable();
   const auto& rows = tin.rows();
   const std::int64_t n = static_cast<std::int64_t>(rows.size());
-  std::vector<std::vector<Tuple>> parts(
-      static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
-  exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+  const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+  exec::ScratchVec<std::vector<Tuple>> parts_lease;
+  std::vector<std::vector<Tuple>>& parts = *parts_lease;
+  parts.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+  for (auto& part : parts) part.clear();
+  exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
     auto& out = parts[static_cast<std::size_t>(chunk.index)];
     out.reserve(static_cast<std::size_t>(chunk.end - chunk.begin));
     for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
@@ -325,7 +347,9 @@ Rel Rel::Project(Schema out_schema, const std::vector<ColExpr>& exprs) const {
         if (!(vm && exprs[fn_slots[s]].prog != nullptr)) row_slots.push_back(s);
       }
       exec::ParallelFor(
-          static_cast<std::int64_t>(n), kRowGrain,
+          static_cast<std::int64_t>(n),
+          exec::GrainFor(static_cast<std::int64_t>(n),
+                         exec::CostHint::kNormal),
           [&](const exec::Chunk& chunk) {
             ExprProgram::Scratch scratch;
             for (std::size_t s = 0; s < fn_slots.size(); ++s) {
@@ -361,9 +385,12 @@ Rel Rel::Project(Schema out_schema, const std::vector<ColExpr>& exprs) const {
   const Table& tin = *EnsureTable();
   const auto& rows = tin.rows();
   const std::int64_t n = static_cast<std::int64_t>(rows.size());
-  std::vector<std::vector<Tuple>> parts(
-      static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
-  exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+  const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+  exec::ScratchVec<std::vector<Tuple>> parts_lease;
+  std::vector<std::vector<Tuple>>& parts = *parts_lease;
+  parts.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+  for (auto& part : parts) part.clear();
+  exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
     auto& out = parts[static_cast<std::size_t>(chunk.index)];
     out.reserve(static_cast<std::size_t>(chunk.end - chunk.begin));
     for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
@@ -450,9 +477,12 @@ Rel Rel::HashJoin(const Rel& right, const std::vector<std::string>& left_keys,
       std::uint32_t l, r;
     };
     const std::int64_t n = static_cast<std::int64_t>(rb.num_rows());
-    std::vector<std::vector<Pair>> parts(
-        static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
-    exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+    const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+    exec::ScratchVec<std::vector<Pair>> parts_lease;
+    std::vector<std::vector<Pair>>& parts = *parts_lease;
+    parts.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+    for (auto& part : parts) part.clear();
+    exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
       auto& local = parts[static_cast<std::size_t>(chunk.index)];
       for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
         auto it = build.find(PackRowKey(rb, ridx, static_cast<std::size_t>(i)));
@@ -523,9 +553,12 @@ Rel Rel::HashJoin(const Rel& right, const std::vector<std::string>& left_keys,
     // serial probe's row order exactly.
     const auto& rrows = right.table().rows();
     const std::int64_t n = static_cast<std::int64_t>(rrows.size());
-    std::vector<std::vector<Tuple>> parts(
-        static_cast<std::size_t>(exec::NumChunks(n, kRowGrain)));
-    exec::ParallelFor(n, kRowGrain, [&](const exec::Chunk& chunk) {
+    const std::int64_t grain = exec::GrainFor(n, exec::CostHint::kNormal);
+    exec::ScratchVec<std::vector<Tuple>> parts_lease;
+    std::vector<std::vector<Tuple>>& parts = *parts_lease;
+    parts.resize(static_cast<std::size_t>(exec::NumChunks(n, grain)));
+    for (auto& part : parts) part.clear();
+    exec::ParallelFor(n, grain, [&](const exec::Chunk& chunk) {
       auto& local = parts[static_cast<std::size_t>(chunk.index)];
       for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
         const auto& rrow = rrows[static_cast<std::size_t>(i)];

@@ -1,6 +1,5 @@
 #include "sim/charge_ledger.h"
 
-#include <iterator>
 #include <utility>
 
 namespace mlbench::sim {
@@ -13,23 +12,25 @@ ChargeLedger* ChargeLedger::Bound() { return g_bound; }
 
 void ChargeLedger::LogTransientAlloc(int machine, double bytes,
                                      std::string_view what) {
-  Op op;
-  op.kind = OpKind::kAlloc;
-  op.transient = true;
-  op.machine = machine;
-  op.a = bytes;
-  op.what = std::string(what);
-  ops_.push_back(std::move(op));
+  Log(OpKind::kAlloc, /*transient=*/true, machine, bytes, what);
 }
 
 void ChargeLedger::Splice(ChargeLedger&& other) {
   if (ops_.empty()) {
+    // The label indices in other.ops_ stay valid only if the pools swap
+    // wholesale; ours is empty of live entries, so adopt other's.
     ops_ = std::move(other.ops_);
+    whats_.swap(other.whats_);
+    whats_used_ = other.whats_used_;
   } else {
-    ops_.insert(ops_.end(), std::make_move_iterator(other.ops_.begin()),
-                std::make_move_iterator(other.ops_.end()));
-    other.ops_.clear();
+    ops_.reserve(ops_.size() + other.ops_.size());
+    for (const Op& op : other.ops_) {
+      Op copy = op;
+      if (copy.what_idx >= 0) copy.what_idx = Intern(other.What(op));
+      ops_.push_back(copy);
+    }
   }
+  other.Clear();
 }
 
 ScopedLedger::ScopedLedger(ChargeLedger* ledger) : prev_(g_bound) {

@@ -20,6 +20,12 @@
 /// order, same peak-memory trajectory, same OOM point — at any thread
 /// count.
 ///
+/// Recording is allocation-free in the steady state: an Op is a small
+/// POD, and allocation labels are interned into a string pool whose
+/// entries (and their capacity) survive Clear(), so a ledger reused
+/// across supersteps stops allocating once it has seen its widest
+/// superstep.
+///
 /// Allocation failures are deferred: a logged Allocate optimistically
 /// returns OK, and the OutOfMemory surfaces from CommitLedger at the same
 /// op where the serial run would have died (replay stops there; later ops
@@ -39,7 +45,14 @@ class ChargeLedger {
   static ChargeLedger* Bound();
 
   bool empty() const { return ops_.empty(); }
-  void Clear() { ops_.clear(); }
+
+  /// Drops all recorded ops. Keeps the op buffer's capacity and the
+  /// interned label strings' buffers, so a ledger reused across loops
+  /// reaches a zero-allocation steady state.
+  void Clear() {
+    ops_.clear();
+    whats_used_ = 0;
+  }
 
   /// Records an allocation that, when successfully committed, should be
   /// reported to CommitLedger's on_transient callback (dataflow uses this
@@ -66,17 +79,54 @@ class ChargeLedger {
     kFreeAll,   // FreeEverywhere(a)
   };
 
+  /// One recorded ClusterSim mutation. POD on purpose: pushing an Op must
+  /// not allocate, so the allocation label lives in the ledger's string
+  /// pool and the op holds its index (-1 = no label).
   struct Op {
     OpKind kind;
     bool transient = false;  // successful kAlloc reported to on_transient
     bool soft = false;       // failed kAlloc skipped + reported, not fatal
     int machine = 0;
-    std::int64_t tag = 0;    // caller-defined id for soft-failure reporting
+    std::int32_t what_idx = -1;  // into whats_, only kAlloc / kAllocAll
+    std::int64_t tag = 0;  // caller-defined id for soft-failure reporting
     double a = 0;
-    std::string what;  // only for kAlloc / kAllocAll
   };
 
+  /// Records one op; `what` is interned iff non-empty.
+  void Log(OpKind kind, bool transient, int machine, double a,
+           std::string_view what) {
+    Op op;
+    op.kind = kind;
+    op.transient = transient;
+    op.machine = machine;
+    op.a = a;
+    if (!what.empty()) op.what_idx = Intern(what);
+    ops_.push_back(op);
+  }
+
+  /// Copies `what` into the label pool, reusing a retired slot's buffer
+  /// when one is available, and returns its index.
+  std::int32_t Intern(std::string_view what) {
+    if (whats_used_ < whats_.size()) {
+      whats_[whats_used_].assign(what);
+    } else {
+      whats_.emplace_back(what);
+    }
+    return static_cast<std::int32_t>(whats_used_++);
+  }
+
+  std::string_view What(const Op& op) const {
+    return op.what_idx >= 0 ? std::string_view(whats_[static_cast<std::size_t>(
+                                  op.what_idx)])
+                            : std::string_view();
+  }
+
   std::vector<Op> ops_;
+  /// Label pool for kAlloc/kAllocAll ops. Only the first whats_used_
+  /// entries are live; Clear() retires entries without freeing their
+  /// buffers so Intern can reuse the capacity.
+  std::vector<std::string> whats_;
+  std::size_t whats_used_ = 0;
 };
 
 /// RAII binding of a ledger to the current thread. Saves and restores the

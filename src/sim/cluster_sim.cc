@@ -21,19 +21,16 @@ ClusterSim::ClusterSim(ClusterSpec spec)
 }
 
 // Logs the call on the thread's bound ledger (if any) instead of applying
-// it; see charge_ledger.h. Ops replay through these same methods from
-// CommitLedger, at which point no ledger is bound.
-#define MLBENCH_LEDGER_OP(kind_, transient_, machine_, a_, what_) \
-  do {                                                            \
-    if (ChargeLedger* led_ = ChargeLedger::Bound()) {             \
-      ChargeLedger::Op op_;                                       \
-      op_.kind = ChargeLedger::OpKind::kind_;                     \
-      op_.transient = (transient_);                               \
-      op_.machine = (machine_);                                   \
-      op_.a = (a_);                                               \
-      op_.what = std::string(what_);                              \
-      led_->ops_.push_back(std::move(op_));                       \
-    }                                                             \
+// it; see charge_ledger.h. Ops replay through these same methods (or the
+// inlined fast path in ReplayLedger) from CommitLedger, at which point no
+// ledger is bound. Recording is allocation-free in the steady state: Op is
+// a POD and labels intern into the ledger's reusable string pool.
+#define MLBENCH_LEDGER_OP(kind_, transient_, machine_, a_, what_)            \
+  do {                                                                       \
+    if (ChargeLedger* led_ = ChargeLedger::Bound()) {                        \
+      led_->Log(ChargeLedger::OpKind::kind_, (transient_), (machine_), (a_), \
+                (what_));                                                    \
+    }                                                                        \
   } while (0)
 
 Status ClusterSim::Allocate(int machine, double bytes, std::string_view what) {
@@ -61,14 +58,11 @@ Status ClusterSim::AllocateSoft(int machine, double bytes,
   MLBENCH_CHECK(machine >= 0 && machine < spec_.machines);
   MLBENCH_CHECK(bytes >= 0);
   if (ChargeLedger* led = ChargeLedger::Bound()) {
-    ChargeLedger::Op op;
-    op.kind = ChargeLedger::OpKind::kAlloc;
+    led->Log(ChargeLedger::OpKind::kAlloc, /*transient=*/false, machine, bytes,
+             what);
+    ChargeLedger::Op& op = led->ops_.back();
     op.soft = true;
-    op.machine = machine;
     op.tag = tag;
-    op.a = bytes;
-    op.what = std::string(what);
-    led->ops_.push_back(std::move(op));
     return Status::OK();  // failure, if any, reports via on_soft_fail
   }
   return Allocate(machine, bytes, what);
@@ -267,36 +261,40 @@ void ClusterSim::MirrorPhaseCpu(int src, int dst, double fraction) {
   phase_mirrors_.push_back(PhaseMirror{src, dst, fraction});
 }
 
-Status ClusterSim::CommitLedger(ChargeLedger& ledger,
+Status ClusterSim::ReplayLedger(ChargeLedger& ledger,
                                 const TransientFn& on_transient,
                                 const SoftFailFn& on_soft_fail) {
-  if (ledger.ops_.empty()) return Status::OK();
-  if (ChargeLedger* outer = ChargeLedger::Bound()) {
-    // Nested parallel section: re-queue on the outer chunk's ledger. The
-    // outer commit replays these ops (and fires on_transient) later.
-    outer->Splice(std::move(ledger));
-    return Status::OK();
-  }
+  // Hot path: ledgers are dominated by time charges (kCpu/kNet per chunk
+  // element). Those replay as direct accumulator updates — the exact
+  // arithmetic ChargeCpu et al. perform, with the per-call in_phase_ /
+  // Bound() checks hoisted out of the loop (Bound() is null by
+  // construction here, and in_phase_ cannot change mid-replay). Memory
+  // ops go through the real methods, which carry the OOM semantics.
   using OpKind = ChargeLedger::OpKind;
   for (auto& op : ledger.ops_) {
     switch (op.kind) {
       case OpKind::kCpu:
-        ChargeCpu(op.machine, op.a);
+        MLBENCH_CHECK(in_phase_);
+        phase_cpu_[op.machine] += op.a;
         break;
       case OpKind::kCpuAll:
-        ChargeCpuAllMachines(op.a);
+        MLBENCH_CHECK(in_phase_);
+        for (auto& c : phase_cpu_) c += op.a;
         break;
       case OpKind::kNet:
-        ChargeNetwork(op.machine, op.a);
+        MLBENCH_CHECK(in_phase_);
+        phase_net_[op.machine] += op.a;
         break;
       case OpKind::kNetAll:
-        ChargeNetworkAll(op.a);
+        MLBENCH_CHECK(in_phase_);
+        for (auto& n : phase_net_) n += op.a;
         break;
       case OpKind::kFixed:
-        ChargeFixed(op.a);
+        MLBENCH_CHECK(in_phase_);
+        phase_fixed_ += op.a;
         break;
       case OpKind::kAlloc: {
-        Status st = Allocate(op.machine, op.a, op.what);
+        Status st = Allocate(op.machine, op.a, ledger.What(op));
         if (!st.ok()) {
           if (op.soft) {
             // Best-effort admission: the caller degrades (evicts or
@@ -313,7 +311,7 @@ Status ClusterSim::CommitLedger(ChargeLedger& ledger,
         break;
       }
       case OpKind::kAllocAll: {
-        Status st = AllocateEverywhere(op.a, op.what);
+        Status st = AllocateEverywhere(op.a, ledger.What(op));
         if (!st.ok()) {
           ledger.Clear();
           return st;
@@ -329,6 +327,40 @@ Status ClusterSim::CommitLedger(ChargeLedger& ledger,
     }
   }
   ledger.Clear();
+  return Status::OK();
+}
+
+Status ClusterSim::CommitLedger(ChargeLedger& ledger,
+                                const TransientFn& on_transient,
+                                const SoftFailFn& on_soft_fail) {
+  if (ledger.ops_.empty()) return Status::OK();
+  if (ChargeLedger* outer = ChargeLedger::Bound()) {
+    // Nested parallel section: re-queue on the outer chunk's ledger. The
+    // outer commit replays these ops (and fires on_transient) later.
+    outer->Splice(std::move(ledger));
+    return Status::OK();
+  }
+  return ReplayLedger(ledger, on_transient, on_soft_fail);
+}
+
+Status ClusterSim::CommitLedgers(ChargeLedger* const* ledgers,
+                                 std::size_t count,
+                                 const TransientFn& on_transient,
+                                 const SoftFailFn& on_soft_fail) {
+  if (ChargeLedger* outer = ChargeLedger::Bound()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!ledgers[i]->ops_.empty()) outer->Splice(std::move(*ledgers[i]));
+    }
+    return Status::OK();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ledgers[i]->ops_.empty()) continue;
+    Status st = ReplayLedger(*ledgers[i], on_transient, on_soft_fail);
+    // Stop at the chunk where the serial run died; later chunks' ops
+    // would never have executed. Their ledgers stay recorded but the
+    // engine is abandoning the sweep anyway.
+    if (!st.ok()) return st;
+  }
   return Status::OK();
 }
 

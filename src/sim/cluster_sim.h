@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -171,7 +172,20 @@ class ClusterSim {
                       const TransientFn& on_transient = nullptr,
                       const SoftFailFn& on_soft_fail = nullptr);
 
+  /// Batched CommitLedger over `count` ledgers in array (= chunk-index)
+  /// order: identical semantics and op sequence to committing each in a
+  /// loop, with the per-call Bound()/phase checks hoisted to once per
+  /// batch. Stops at the first fatal allocation failure.
+  Status CommitLedgers(ChargeLedger* const* ledgers, std::size_t count,
+                       const TransientFn& on_transient = nullptr,
+                       const SoftFailFn& on_soft_fail = nullptr);
+
  private:
+  /// CommitLedger's replay loop, after the Bound()-splice check: inlined
+  /// accumulator updates for time ops, real methods for memory ops.
+  Status ReplayLedger(ChargeLedger& ledger, const TransientFn& on_transient,
+                      const SoftFailFn& on_soft_fail);
+
   ClusterSpec spec_;
   std::vector<double> used_bytes_;
   double peak_bytes_ = 0;

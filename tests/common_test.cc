@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_index.h"
 #include "common/status.h"
 #include "common/str_format.h"
 
@@ -79,6 +83,88 @@ TEST(FormatTest, TableHasHeaderAndAlignedRows) {
   EXPECT_NE(t.find("name"), std::string::npos);
   EXPECT_NE(t.find("-----"), std::string::npos);
   EXPECT_NE(t.find("GraphLab"), std::string::npos);
+}
+
+TEST(FlatIndexTest, InsertFindAndUpdate) {
+  common::FlatIndex idx;
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.Find(42), nullptr);
+  bool inserted = false;
+  std::size_t* slot = idx.FindOrInsert(42, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*slot, 0u);  // value-initialized
+  *slot = 7;
+  slot = idx.FindOrInsert(42, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*slot, 7u);
+  ASSERT_NE(idx.Find(42), nullptr);
+  EXPECT_EQ(*idx.Find(42), 7u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(FlatIndexTest, GenerationClearDropsEverything) {
+  common::FlatIndex idx;
+  bool inserted = false;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    *idx.FindOrInsert(k, &inserted) = k + 1;
+  }
+  EXPECT_EQ(idx.size(), 100u);
+  idx.Clear();
+  EXPECT_EQ(idx.size(), 0u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(idx.Find(k), nullptr) << "stale key " << k;
+  }
+  // Reinsert after clear: fresh value slots, no leftovers from the
+  // previous generation.
+  *idx.FindOrInsert(5, &inserted) = 99;
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*idx.Find(5), 99u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(FlatIndexTest, GrowthPreservesEntries) {
+  common::FlatIndex idx;
+  bool inserted = false;
+  constexpr std::uint64_t kKeys = 10000;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    // Structured keys like the BSP combiner's (machine << 48 | slot).
+    *idx.FindOrInsert((k % 16) << 48 | (k / 16), &inserted) = k;
+  }
+  EXPECT_EQ(idx.size(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::size_t* found = idx.Find((k % 16) << 48 | (k / 16));
+    ASSERT_NE(found, nullptr) << "key " << k;
+    EXPECT_EQ(*found, k);
+  }
+}
+
+TEST(FlatIndexTest, ReserveAvoidsRehashAndKeepsSemantics) {
+  common::FlatIndex idx;
+  idx.Reserve(1000);
+  bool inserted = false;
+  std::size_t* slot = idx.FindOrInsert(1, &inserted);
+  *slot = 11;
+  for (std::uint64_t k = 2; k < 500; ++k) idx.FindOrInsert(k, &inserted);
+  // Under the reserved capacity no rehash happens, so the first slot
+  // pointer stays valid across the later inserts.
+  EXPECT_EQ(*slot, 11u);
+  EXPECT_EQ(*idx.Find(1), 11u);
+}
+
+TEST(FlatIndexTest, ClearIsReusableManyTimes) {
+  common::FlatIndex idx;
+  bool inserted = false;
+  for (int round = 0; round < 1000; ++round) {
+    idx.Clear();
+    for (std::uint64_t k = 0; k < 8; ++k) {
+      std::size_t* slot =
+          idx.FindOrInsert(k * 1315423911u, &inserted);
+      EXPECT_TRUE(inserted);
+      *slot = static_cast<std::size_t>(round);
+    }
+    EXPECT_EQ(idx.size(), 8u);
+    EXPECT_EQ(*idx.Find(0), static_cast<std::size_t>(round));
+  }
 }
 
 }  // namespace

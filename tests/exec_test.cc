@@ -4,6 +4,8 @@
 // needs atomics to observe the pool from outside
 #include <atomic>
 #include <cstdint>
+// mlint: allow(raw-thread) — thread ids identify the inline fast path
+#include <thread>
 #include <vector>
 
 #include "core/gmm_bsp.h"
@@ -52,6 +54,101 @@ TEST(ThreadPoolTest, NestedRunCompletes) {
   EXPECT_EQ(total.load(), 64);
 }
 
+TEST(ThreadPoolTest, ZeroChunksIsANoOp) {
+  exec::ThreadPool pool(4);
+  // mlint: allow(raw-thread) — observes the pool from outside
+  std::atomic<int> calls{0};
+  pool.Run(0, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  // An empty Run never reaches the dispatch path and is not counted.
+  exec::DispatchStats stats = pool.Stats();
+  EXPECT_EQ(stats.parallel_runs, 0u);
+  EXPECT_EQ(stats.serial_runs, 0u);
+}
+
+TEST(ThreadPoolTest, SingleChunkRunsInlineOnCaller) {
+  exec::ThreadPool pool(4);
+  // mlint: allow(raw-thread) — compares thread ids to pin the inline path
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executed;  // mlint: allow(raw-thread) — see above
+  pool.Run(1, [&](std::int64_t c) {
+    EXPECT_EQ(c, 0);
+    // mlint: allow(raw-thread) — observes which thread ran the chunk
+    executed = std::this_thread::get_id();
+  });
+  EXPECT_EQ(executed, caller);
+  EXPECT_EQ(pool.Stats().parallel_runs, 0u);
+  EXPECT_EQ(pool.Stats().serial_runs, 1u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletes) {
+  // An inner ParallelFor issued from inside a chunk of the *same global
+  // pool* must complete (degenerating to caller-only execution when all
+  // workers are busy) without deadlock or double-execution.
+  exec::ThreadPool::SetGlobalThreads(4);
+  // mlint: allow(raw-thread) — counts nested chunk executions
+  std::atomic<int> total{0};
+  exec::ParallelFor(8, 1, [&](const exec::Chunk&) {
+    exec::ParallelFor(16, 1,
+                      [&](const exec::Chunk&) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+  exec::ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ThreadPoolTest, GlobalResizeBetweenJobs) {
+  // mlint: allow(raw-thread) — counts chunk executions across resizes
+  std::atomic<int> total{0};
+  for (int threads : {1, 3, 4, 2, 1, 4}) {
+    exec::ThreadPool::SetGlobalThreads(threads);
+    total.store(0);
+    exec::ParallelFor(100, 1,
+                      [&](const exec::Chunk&) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 100) << "threads=" << threads;
+    EXPECT_EQ(exec::ThreadPool::Global().threads(), threads);
+  }
+  exec::ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ThreadPoolTest, ManyTinyBackToBackRuns) {
+  // Stress the lock-free dispatch path: thousands of small jobs in quick
+  // succession exercise the spin/park transitions and the hazard-slot
+  // retire protocol (TSan runs this suite in CI).
+  exec::ThreadPool pool(4);
+  // mlint: allow(raw-thread) — exactly-once accounting under stress
+  std::atomic<std::int64_t> total{0};
+  constexpr int kRuns = 5000;
+  for (int r = 0; r < kRuns; ++r) {
+    pool.Run(3, [&](std::int64_t c) { total.fetch_add(c + 1); });
+  }
+  EXPECT_EQ(total.load(), static_cast<std::int64_t>(kRuns) * (1 + 2 + 3));
+}
+
+TEST(ThreadPoolTest, DispatchStatsAccountForEveryChunk) {
+  exec::ThreadPool pool(4);
+  pool.SetDispatchTiming(true);
+  constexpr std::int64_t kChunks = 256;
+  constexpr int kRuns = 50;
+  // mlint: allow(raw-thread) — chunk bodies must be thread-safe
+  std::atomic<std::int64_t> executed{0};
+  for (int r = 0; r < kRuns; ++r) {
+    pool.Run(kChunks, [&](std::int64_t) { executed.fetch_add(1); });
+  }
+  exec::DispatchStats stats = pool.Stats();
+  EXPECT_EQ(stats.parallel_runs, static_cast<std::uint64_t>(kRuns));
+  EXPECT_EQ(stats.serial_runs, 0u);
+  // Every chunk is accounted to exactly one executor.
+  EXPECT_EQ(stats.caller_chunks + stats.worker_chunks_total(),
+            static_cast<std::uint64_t>(kChunks) * kRuns);
+  EXPECT_EQ(executed.load(), kChunks * kRuns);
+  EXPECT_EQ(stats.worker_chunks.size(), 3u);  // threads - 1 workers
+  pool.ResetStats();
+  stats = pool.Stats();
+  EXPECT_EQ(stats.parallel_runs, 0u);
+  EXPECT_EQ(stats.caller_chunks + stats.worker_chunks_total(), 0u);
+  EXPECT_EQ(stats.dispatch_ns, 0u);
+}
+
 TEST(ChunkingTest, BoundariesDependOnlyOnRangeAndGrain) {
   EXPECT_EQ(exec::NumChunks(0, 10), 0);
   EXPECT_EQ(exec::NumChunks(1, 10), 1);
@@ -93,6 +190,68 @@ TEST(ParallelReduceTest, BitIdenticalAcrossThreadCounts) {
   double parallel = OrderSensitiveSum(100000, 64);
   exec::ThreadPool::SetGlobalThreads(1);
   EXPECT_EQ(serial, parallel);  // bit-exact, not NEAR
+}
+
+TEST(GrainForTest, PureInRangeAndHintNeverThreadCount) {
+  for (auto hint : {exec::CostHint::kCheap, exec::CostHint::kNormal,
+                    exec::CostHint::kHeavy}) {
+    for (std::int64_t n : {0, 1, 100, 2048, 16384, 100000, 12345678}) {
+      exec::ThreadPool::SetGlobalThreads(1);
+      std::int64_t g1 = exec::GrainFor(n, hint);
+      exec::ThreadPool::SetGlobalThreads(4);
+      std::int64_t g4 = exec::GrainFor(n, hint);
+      exec::ThreadPool::SetGlobalThreads(1);
+      ASSERT_EQ(g1, g4) << "n=" << n;
+      ASSERT_GE(g1, 1) << "n=" << n;
+      // The chunk-count ceiling holds for every range.
+      ASSERT_LE(exec::NumChunks(n, g1), exec::kMaxChunksPerRun) << "n=" << n;
+    }
+  }
+}
+
+TEST(GrainForTest, SmallRangesStaySerial) {
+  // Below the serial cutoff the whole range is one chunk, so ParallelFor
+  // takes the inline fast path and never pays a dispatch.
+  EXPECT_EQ(exec::NumChunks(1000, exec::GrainFor(1000, exec::CostHint::kCheap)),
+            1);
+  EXPECT_EQ(
+      exec::NumChunks(1000, exec::GrainFor(1000, exec::CostHint::kNormal)), 1);
+  // Heavy items parallelize almost immediately.
+  EXPECT_GT(exec::NumChunks(8, exec::GrainFor(8, exec::CostHint::kHeavy)), 1);
+}
+
+TEST(ScratchVecTest, ReusesCapacityAcrossLeases) {
+  const double* first_data = nullptr;
+  std::size_t first_cap = 0;
+  {
+    exec::ScratchVec<double> lease;
+    lease->clear();
+    lease->shrink_to_fit();
+    lease->resize(1000);
+    first_data = lease->data();
+    first_cap = lease->capacity();
+  }
+  {
+    // The next lease on this thread checks the same vector back out:
+    // same backing storage, no allocation.
+    exec::ScratchVec<double> lease;
+    EXPECT_EQ(lease->data(), first_data);
+    EXPECT_GE(lease->capacity(), first_cap);
+  }
+}
+
+TEST(ScratchVecTest, NestedLeasesAreDistinct) {
+  exec::ScratchVec<int> outer;
+  outer->assign(10, 1);
+  {
+    exec::ScratchVec<int> inner;
+    inner->assign(10, 2);
+    // Checkout semantics: the inner lease must not alias the outer one.
+    EXPECT_NE(outer->data(), inner->data());
+    EXPECT_EQ((*outer)[0], 1);
+    EXPECT_EQ((*inner)[0], 2);
+  }
+  EXPECT_EQ((*outer)[0], 1);
 }
 
 // ---- ChargeLedger replay ---------------------------------------------------

@@ -261,6 +261,37 @@ TEST(MlintRawThread, ExecLayerIsExempt) {
   EXPECT_EQ(CountRule(r, "raw-thread"), 0);
 }
 
+TEST(MlintRawThread, FlagsSpinParkVocabularyOutsideExec) {
+  // The lock-free pool's dispatch vocabulary — futex waits via
+  // std::this_thread, explicit fences, cpu-relax intrinsics — is exec-only.
+  auto r = LintContent("src/bsp/engine.h", R"cc(
+    void Spin() {
+      while (busy) __builtin_ia32_pause();
+      std::atomic_thread_fence(std::memory_order_acquire);
+      std::this_thread::yield();
+    }
+  )cc");
+  EXPECT_EQ(CountRule(r, "raw-thread"), 3) << mlint::TextReport(r);
+}
+
+TEST(MlintRawThread, SpinParkVocabularyAllowedInExec) {
+  auto r = LintContent("src/exec/thread_pool.cc", R"cc(
+    void CpuRelax() { __builtin_ia32_pause(); }
+    void Park() {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      std::this_thread::yield();
+    }
+  )cc");
+  EXPECT_EQ(CountRule(r, "raw-thread"), 0) << mlint::TextReport(r);
+}
+
+TEST(MlintRawThread, MmPauseFlaggedOutsideExec) {
+  auto r = LintContent("src/reldb/rel.cc", R"cc(
+    void Wait() { _mm_pause(); }
+  )cc");
+  EXPECT_EQ(CountRule(r, "raw-thread"), 1) << mlint::TextReport(r);
+}
+
 // ---- Rule 5: naive-reduction -----------------------------------------------
 
 TEST(MlintNaiveReduction, FlagsCapturedAccumulator) {

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate on the thread-scaling entries in BENCH_engines.json.
+
+bench_json.h emits, for every benchmark with a "threads" axis, one
+scaling entry per threads:N (N > 1) variant paired with its threads:1
+twin:
+
+    {"name": "BM_BspSuperstep/vertices:10000", "threads": 4,
+     "serial_ns_per_op": ..., "parallel_ns_per_op": ..., "speedup": ...}
+
+Kernel-speedup entries (naive_ns_per_op / kernel_ns_per_op) share the
+same "speedups" array; scaling entries are the ones that carry a
+"threads" field.
+
+Two gates:
+
+  1. No-regression floor: every scaling entry with threads <= host_cores
+     must hit speedup >= FLOOR (default 0.95).  Parallel dispatch is
+     allowed to be a wash, never a slowdown — if threads:4 is slower
+     than threads:1 on a 4-core host the dispatch layer is burning
+     cycles.  Oversubscribed rows (threads > host_cores, e.g. threads:4
+     on a 1-core dev box) are report-only: there the row measures
+     scheduler contention, not dispatch quality.
+
+  2. Scaling floor (only when the producing host can scale): on hosts
+     with host_cores >= MIN_CORES (default 4), the large BSP/GAS rows
+     must show real multicore wins: speedup >= STRONG (default 2.5) on
+     every name matching one of the STRONG_PATTERNS.  On smaller hosts
+     this gate is skipped with a notice, since "no speedup" there means
+     "no cores", not "no scaling".
+
+Usage: tools/check_scaling.py [BENCH_engines.json]
+Exit code 0 = all gates pass, 1 = regression, 2 = bad input.
+"""
+
+import json
+import sys
+
+FLOOR = 0.95
+STRONG = 2.5
+MIN_CORES = 4
+STRONG_PATTERNS = (
+    "BM_BspSuperstep/vertices:10000",
+    "BM_GasSweep/vertices:10000",
+)
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_engines.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"check_scaling: cannot read {path}: {err}", file=sys.stderr)
+        return 2
+
+    host_cores = int(doc.get("host_cores", 1))
+    scaling = [s for s in doc.get("speedups", []) if "threads" in s]
+    if not scaling:
+        print(f"check_scaling: {path} has no thread-scaling entries",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    oversubscribed = 0
+    for entry in scaling:
+        name = entry["name"]
+        threads = entry["threads"]
+        speedup = entry["speedup"]
+        label = f"{name} @ threads:{threads}"
+        if threads > host_cores:
+            verdict = "info"
+            oversubscribed += 1
+        elif speedup < FLOOR:
+            failures.append(
+                f"{label}: speedup {speedup:.3f} < no-regression floor "
+                f"{FLOOR}")
+            verdict = "FAIL"
+        else:
+            verdict = "ok"
+        print(f"  {verdict:4s} {label}: {speedup:.3f}x "
+              f"({entry['serial_ns_per_op']:.0f} -> "
+              f"{entry['parallel_ns_per_op']:.0f} ns/op)")
+    if oversubscribed:
+        print(f"  note: {oversubscribed} row(s) oversubscribed "
+              f"(threads > host_cores={host_cores}); reported but not gated")
+
+    strong_rows = [s for s in scaling
+                   if s["name"] in STRONG_PATTERNS and s["threads"] >= MIN_CORES]
+    if host_cores >= MIN_CORES:
+        if not strong_rows:
+            failures.append(
+                f"no threads:{MIN_CORES}+ rows found for the strong-scaling "
+                f"names {STRONG_PATTERNS} — did the bench run with "
+                f"MLBENCH_BENCH_THREADS={MIN_CORES}?")
+        for entry in strong_rows:
+            if entry["speedup"] < STRONG:
+                failures.append(
+                    f"{entry['name']} @ threads:{entry['threads']}: speedup "
+                    f"{entry['speedup']:.3f} < strong-scaling floor {STRONG}")
+    else:
+        print(f"  note: host_cores={host_cores} < {MIN_CORES}; "
+              f"strong-scaling floor ({STRONG}x) skipped — a starved host "
+              f"cannot show multicore wins")
+
+    if failures:
+        print(f"check_scaling: {len(failures)} gate failure(s):",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print(f"check_scaling: {len(scaling)} scaling entries pass "
+          f"(host_cores={host_cores})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -714,10 +714,17 @@ void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
       "recursive_mutex", "shared_mutex", "timed_mutex",
       "condition_variable", "condition_variable_any",
       "atomic",       "atomic_flag",   "atomic_ref",
+      "atomic_thread_fence", "atomic_signal_fence",
+      "this_thread",  "stop_token",    "stop_source",
       "lock_guard",   "unique_lock",   "scoped_lock",
       "shared_lock",  "future",        "promise",
       "async",        "barrier",       "latch",
       "counting_semaphore", "binary_semaphore"};
+  // The lock-free pool's spin/park vocabulary: cpu-relax intrinsics only
+  // belong in src/exec/'s dispatch loops — anywhere else they signal a
+  // hand-rolled spin lock.
+  static const std::set<std::string> kSpinIntrinsics = {
+      "__builtin_ia32_pause", "_mm_pause"};
   static const std::set<std::string> kHeaders = {
       "<thread>",  "<mutex>",  "<atomic>", "<condition_variable>",
       "<future>",  "<shared_mutex>", "<barrier>", "<latch>",
@@ -734,6 +741,15 @@ void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
                   "deterministic");
         }
       }
+      continue;
+    }
+    if (t[i].kind == Token::Kind::kIdent &&
+        kSpinIntrinsics.count(t[i].text) != 0) {
+      Add(out, f, "raw-thread", t[i].line,
+          "cpu-relax intrinsic " + t[i].text +
+              " outside src/exec/ — spin/park loops live in the exec "
+              "dispatch layer; engines express parallelism through "
+              "ParallelFor/ParallelReduce");
       continue;
     }
     if (IsIdent(t, i, "std") && IsPunct(t, i + 1, "::") &&
