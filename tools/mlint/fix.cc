@@ -1,0 +1,159 @@
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "internal.h"
+#include "mlint.h"
+
+/// \file fix.cc
+/// `mlint --fix`: mechanical repairs only. Rules whose fix is semantic
+/// (everything parallel-region related) are never touched — inserting a
+/// ledger or re-deriving an RNG stream changes program behavior and needs
+/// a human who re-bakes goldens.
+
+namespace mlint {
+
+namespace {
+
+constexpr const char* kFixTag = "TODO(mlint --fix)";
+
+std::vector<std::string> SplitLines(const std::string& s, bool* trailing_nl) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  *trailing_nl = s.empty() || s.back() == '\n';
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::string LeadingWs(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(0, i);
+}
+
+}  // namespace
+
+std::string FixContent(const std::string& path, const std::string& content,
+                       const std::vector<Finding>& findings, int* edits) {
+  bool trailing_nl = false;
+  std::vector<std::string> lines = SplitLines(content, &trailing_nl);
+  int count = 0;
+
+  // Apply bottom-up so scaffold insertions never shift pending line
+  // numbers.
+  std::vector<const Finding*> mine;
+  for (const auto& f : findings) {
+    if (f.path == path && !f.baselined) mine.push_back(&f);
+  }
+  std::sort(mine.begin(), mine.end(), [](const Finding* a, const Finding* b) {
+    return a->line > b->line;
+  });
+
+  for (const Finding* f : mine) {
+    if (f->line < 1 || static_cast<std::size_t>(f->line) > lines.size()) {
+      continue;
+    }
+    std::string& line = lines[static_cast<std::size_t>(f->line) - 1];
+
+    if (f->rule == "ignored-status") {
+      // Insert `(void)` at the statement root's column; the site is then a
+      // sanctioned explicit discard (pair it with a comment arguing why).
+      if (f->col < 1 || static_cast<std::size_t>(f->col) > line.size() + 1) {
+        continue;
+      }
+      if (line.find("(void)") != std::string::npos) continue;  // idempotent
+      line.insert(static_cast<std::size_t>(f->col) - 1, "(void)");
+      ++count;
+      continue;
+    }
+
+    if (f->rule == "bad-suppression" &&
+        f->message.find("has no reason") != std::string::npos) {
+      if (line.find(kFixTag) != std::string::npos) continue;
+      line += std::string(" — ") + kFixTag +
+              ": justify why this site is safe, or delete the allowance";
+      ++count;
+      continue;
+    }
+
+    if (f->rule == "unordered-iter") {
+      // Drop a scaffold above the emission site; the sort itself is the
+      // author's call (key type, comparator, first-seen slot indices).
+      const std::string indent = LeadingWs(line);
+      // Idempotence: walk the contiguous comment block above looking for a
+      // previously planted scaffold.
+      bool already = false;
+      for (int up = f->line - 1; up >= 1; --up) {
+        const std::string& prev = lines[static_cast<std::size_t>(up) - 1];
+        if (internal::TrimWs(prev).rfind("//", 0) != 0) break;
+        if (prev.find(kFixTag) != std::string::npos) {
+          already = true;
+          break;
+        }
+      }
+      if (already) continue;
+      std::vector<std::string> scaffold = {
+          indent + "// " + kFixTag + ": iteration order leaks here — collect",
+          indent + "// the keys, sort them (or use first-seen slot indices),",
+          indent + "// then emit in that order. See DESIGN.md §11.",
+      };
+      lines.insert(lines.begin() + (f->line - 1), scaffold.begin(),
+                   scaffold.end());
+      ++count;
+      continue;
+    }
+  }
+
+  if (edits != nullptr) *edits = count;
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size() || trailing_nl) out += "\n";
+  }
+  return out;
+}
+
+std::string FixDiff(const std::string& path, const std::string& before,
+                    const std::string& after) {
+  bool nl = false;
+  std::vector<std::string> a = SplitLines(before, &nl);
+  std::vector<std::string> b = SplitLines(after, &nl);
+  std::stringstream out;
+  out << "--- " << path << "\n+++ " << path << " (fixed)\n";
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (i < a.size() && j < b.size() && a[i] == b[j]) {
+      ++i;
+      ++j;
+      continue;
+    }
+    // Insertions first (the fixer only inserts or rewrites single lines):
+    // if a nearby `after` line re-syncs with the current `before` line,
+    // everything up to it was inserted.
+    bool resynced = false;
+    for (std::size_t d = 1; d <= 4 && j + d <= b.size(); ++d) {
+      if (i < a.size() && j + d < b.size() && a[i] == b[j + d]) {
+        out << "@@ " << path << ":" << (j + 1) << " @@\n";
+        for (std::size_t k = 0; k < d; ++k) out << "+" << b[j + k] << "\n";
+        j += d;
+        resynced = true;
+        break;
+      }
+    }
+    if (resynced) continue;
+    out << "@@ " << path << ":" << (j + 1) << " @@\n";
+    if (i < a.size()) out << "-" << a[i++] << "\n";
+    if (j < b.size()) out << "+" << b[j++] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mlint

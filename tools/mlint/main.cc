@@ -1,6 +1,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +15,18 @@
 ///                      current directory is picked up automatically)
 ///   --no-baseline      ignore any baseline file
 ///   --json=FILE        also write the JSON report ('-' for stdout)
+///   --callgraph=FILE   write the call-graph dump ('-' for stdout)
+///   --why=SPEC         print reachability chains for findings matching
+///                      SPEC (a rule name, "path:line", or any substring
+///                      of "rule|path:line"); also `--why SPEC`
+///   --index-root=PATH  extra paths indexed for the call graph but not
+///                      linted (repeatable; positional paths are both)
+///   --index-cache=FILE load/save pass-1 facts keyed on content hashes
+///   --fix              apply mechanical fixes in place (ignored-status,
+///                      reasonless suppressions, unordered-iter scaffolds)
+///   --dry-run          with --fix: print the diff, write nothing
+///   --annotate         emit GitHub Actions ::error annotations instead of
+///                      the text report
 ///   --list-rules       print the rule registry and exit
 ///
 /// Exit code: 0 when every finding is baselined or suppressed, 1 on new
@@ -22,20 +35,41 @@
 namespace {
 
 int Usage() {
-  std::cerr
-      << "usage: mlint [--baseline=FILE|--no-baseline] [--json=FILE] "
-         "[--list-rules] <path>...\n";
+  std::cerr << "usage: mlint [--baseline=FILE|--no-baseline] [--json=FILE]\n"
+               "             [--callgraph=FILE] [--why=SPEC] "
+               "[--index-root=PATH]...\n"
+               "             [--index-cache=FILE] [--fix [--dry-run]] "
+               "[--annotate]\n"
+               "             [--list-rules] <path>...\n";
   return 2;
+}
+
+bool WriteOut(const std::string& dest, const std::string& payload) {
+  if (dest == "-") {
+    std::cout << payload;
+    return true;
+  }
+  std::ofstream out(dest, std::ios::trunc);
+  if (!out) return false;
+  out << payload;
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::vector<std::string> index_roots;
   std::string baseline_path;
   std::string json_path;
+  std::string callgraph_path;
+  std::string why_spec;
+  std::string index_cache;
   bool no_baseline = false;
   bool list_rules = false;
+  bool fix = false;
+  bool dry_run = false;
+  bool annotate = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -45,6 +79,22 @@ int main(int argc, char** argv) {
       no_baseline = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--callgraph=", 0) == 0) {
+      callgraph_path = arg.substr(12);
+    } else if (arg.rfind("--why=", 0) == 0) {
+      why_spec = arg.substr(6);
+    } else if (arg == "--why" && i + 1 < argc) {
+      why_spec = argv[++i];
+    } else if (arg.rfind("--index-root=", 0) == 0) {
+      index_roots.push_back(arg.substr(13));
+    } else if (arg.rfind("--index-cache=", 0) == 0) {
+      index_cache = arg.substr(14);
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg == "--annotate") {
+      annotate = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -66,7 +116,21 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) return Usage();
 
-  mlint::LintResult result = mlint::LintPaths(paths);
+  mlint::LintOptions options;
+  options.lint_paths = paths;
+  options.index_paths = paths;
+  options.index_paths.insert(options.index_paths.end(), index_roots.begin(),
+                             index_roots.end());
+  options.index_cache = index_cache;
+
+  std::string callgraph;
+  mlint::LintResult result = mlint::LintProgram(
+      options, callgraph_path.empty() ? nullptr : &callgraph);
+
+  if (!callgraph_path.empty() && !WriteOut(callgraph_path, callgraph)) {
+    std::cerr << "mlint: cannot write callgraph " << callgraph_path << "\n";
+    return 2;
+  }
 
   if (!no_baseline) {
     if (baseline_path.empty() &&
@@ -90,16 +154,59 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!json_path.empty()) {
-    std::string json = mlint::JsonReport(result);
-    if (json_path == "-") {
-      std::cout << json;
-    } else {
-      std::ofstream out(json_path);
-      out << json;
+  if (fix) {
+    std::set<std::string> files;
+    for (const auto& f : result.findings) {
+      if (!f.baselined) files.insert(f.path);
     }
+    int total_edits = 0;
+    for (const auto& path : files) {
+      std::ifstream in(path);
+      if (!in) continue;
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string before = ss.str();
+      int edits = 0;
+      const std::string after =
+          mlint::FixContent(path, before, result.findings, &edits);
+      if (edits == 0) continue;
+      total_edits += edits;
+      if (dry_run) {
+        std::cout << mlint::FixDiff(path, before, after);
+      } else {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+          std::cerr << "mlint: cannot write " << path << "\n";
+          return 2;
+        }
+        out << after;
+      }
+    }
+    std::cerr << "mlint --fix: " << total_edits << " mechanical edit"
+              << (total_edits == 1 ? "" : "s")
+              << (dry_run ? " (dry run, nothing written)" : " applied")
+              << "; semantic rules are never auto-fixed\n";
+    // Findings were computed pre-fix; rerun for the authoritative state.
+    if (!dry_run) return 0;
   }
 
-  std::cout << mlint::TextReport(result);
+  if (!json_path.empty() && !WriteOut(json_path, mlint::JsonReport(result))) {
+    std::cerr << "mlint: cannot write json " << json_path << "\n";
+    return 2;
+  }
+
+  if (!why_spec.empty()) {
+    std::cout << mlint::WhyReport(result, why_spec);
+    return result.NewCount() > 0 ? 1 : 0;
+  }
+
+  if (annotate) {
+    std::cout << mlint::GithubAnnotations(result);
+    std::cerr << "mlint: " << result.NewCount() << " new finding"
+              << (result.NewCount() == 1 ? "" : "s") << " across "
+              << result.files_scanned << " files\n";
+  } else {
+    std::cout << mlint::TextReport(result);
+  }
   return result.NewCount() > 0 ? 1 : 0;
 }

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <functional>
+#include <cstdio>
 #include <sstream>
+
+#include "internal.h"
 
 namespace mlint {
 
 namespace {
+
+using namespace internal;
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -18,24 +20,37 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-std::string Trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
-}
+std::string Trim(const std::string& s) { return TrimWs(s); }
 
-/// Extracts an allowance ("mlint: allow" + parenthesized rule list + reason).
-void ParseAllowComment(const std::string& comment, int comment_line,
+/// Extracts mlint comments: allowances ("mlint: allow" + parenthesized rule
+/// list + reason) and bare markers ("mlint: frozen-grain ...").
+void ParseMlintComment(const std::string& comment, int comment_line,
                        bool comment_only_line,
-                       std::vector<Allowance>* allowances) {
+                       std::vector<Allowance>* allowances,
+                       std::vector<Marker>* markers) {
   const std::string marker = "mlint:";
   std::size_t at = comment.find(marker);
   if (at == std::string::npos) return;
   std::size_t p = at + marker.size();
   while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
   const std::string allow = "allow(";
-  if (comment.compare(p, allow.size(), allow) != 0) return;
+  if (comment.compare(p, allow.size(), allow) != 0) {
+    // A non-allow marker: the first dash/underscore word after "mlint:".
+    std::size_t q = p;
+    while (q < comment.size() &&
+           (IsIdentChar(comment[q]) || comment[q] == '-')) {
+      ++q;
+    }
+    std::string name = comment.substr(p, q - p);
+    if (!name.empty()) {
+      Marker m;
+      m.name = std::move(name);
+      m.comment_line = comment_line;
+      m.line = comment_only_line ? -1 : comment_line;
+      markers->push_back(std::move(m));
+    }
+    return;
+  }
   p += allow.size();
   std::size_t close = comment.find(')', p);
   if (close == std::string::npos) return;
@@ -96,13 +111,17 @@ SourceFile Parse(std::string path, const std::string& content) {
   const std::size_t n = content.size();
   std::size_t i = 0;
   int line = 1;
+  int col = 1;
   bool line_has_token = false;  // any token seen on the current line
 
   auto advance = [&](std::size_t count) {
     for (std::size_t k = 0; k < count && i < n; ++k) {
       if (content[i] == '\n') {
         ++line;
+        col = 1;
         line_has_token = false;
+      } else {
+        ++col;
       }
       ++i;
     }
@@ -120,8 +139,8 @@ SourceFile Parse(std::string path, const std::string& content) {
       std::size_t end = content.find('\n', i);
       if (end == std::string::npos) end = n;
       std::string body = content.substr(i + 2, end - i - 2);
-      ParseAllowComment(body, line, /*comment_only_line=*/!line_has_token,
-                        &f.allowances);
+      ParseMlintComment(body, line, /*comment_only_line=*/!line_has_token,
+                        &f.allowances, &f.markers);
       advance(end - i);
       continue;
     }
@@ -130,13 +149,15 @@ SourceFile Parse(std::string path, const std::string& content) {
       std::size_t end = content.find("*/", i + 2);
       if (end == std::string::npos) end = n;
       std::string body = content.substr(i + 2, end - i - 2);
-      ParseAllowComment(body, line, !line_has_token, &f.allowances);
+      ParseMlintComment(body, line, !line_has_token, &f.allowances,
+                        &f.markers);
       advance((end == n ? n : end + 2) - i);
       continue;
     }
     // Preprocessor directive (only when '#' starts the logical line).
     if (c == '#' && !line_has_token) {
       int start_line = line;
+      int start_col = col;
       std::string text;
       while (i < n) {
         std::size_t end = content.find('\n', i);
@@ -148,7 +169,8 @@ SourceFile Parse(std::string path, const std::string& content) {
         advance(end - i + (end < n ? 1 : 0));
         if (!continued) break;
       }
-      f.tokens.push_back(Token{Token::Kind::kPreproc, Trim(text), start_line});
+      f.tokens.push_back(
+          Token{Token::Kind::kPreproc, Trim(text), start_line, start_col});
       // The directive consumed its newline; the next line starts fresh.
       continue;
     }
@@ -183,7 +205,7 @@ SourceFile Parse(std::string path, const std::string& content) {
       std::size_t j = i;
       while (j < n && IsIdentChar(content[j])) ++j;
       f.tokens.push_back(
-          Token{Token::Kind::kIdent, content.substr(i, j - i), line});
+          Token{Token::Kind::kIdent, content.substr(i, j - i), line, col});
       line_has_token = true;
       advance(j - i);
       continue;
@@ -197,7 +219,7 @@ SourceFile Parse(std::string path, const std::string& content) {
         ++j;
       }
       f.tokens.push_back(
-          Token{Token::Kind::kNumber, content.substr(i, j - i), line});
+          Token{Token::Kind::kNumber, content.substr(i, j - i), line, col});
       line_has_token = true;
       advance(j - i);
       continue;
@@ -213,165 +235,97 @@ SourceFile Parse(std::string path, const std::string& content) {
         tok += d;
       }
     }
-    f.tokens.push_back(Token{Token::Kind::kPunct, tok, line});
+    f.tokens.push_back(Token{Token::Kind::kPunct, tok, line, col});
     line_has_token = true;
     advance(tok.size());
   }
 
-  // Resolve comment-only allowances to the next line carrying a token.
-  for (auto& a : f.allowances) {
-    if (a.line != -1) continue;
-    a.line = a.comment_line;  // fallback: covers nothing real
+  // Resolve comment-only allowances/markers to the next code line.
+  auto resolve = [&](int comment_line) {
     for (const auto& t : f.tokens) {
-      if (t.line > a.comment_line) {
-        a.line = t.line;
-        break;
-      }
+      if (t.line > comment_line) return t.line;
     }
+    return comment_line;  // fallback: covers nothing real
+  };
+  for (auto& a : f.allowances) {
+    if (a.line == -1) a.line = resolve(a.comment_line);
+  }
+  for (auto& m : f.markers) {
+    if (m.line == -1) m.line = resolve(m.comment_line);
   }
   return f;
 }
 
 // ---------------------------------------------------------------------------
-// Token helpers shared by rules
+// Finding construction (shared with pass 2)
 // ---------------------------------------------------------------------------
 
-namespace {
+namespace internal {
 
-using Tokens = std::vector<Token>;
-
-bool Is(const Tokens& t, std::size_t i, Token::Kind k, const char* text) {
-  return i < t.size() && t[i].kind == k && t[i].text == text;
-}
-bool IsPunct(const Tokens& t, std::size_t i, const char* text) {
-  return Is(t, i, Token::Kind::kPunct, text);
-}
-bool IsIdent(const Tokens& t, std::size_t i, const char* text) {
-  return Is(t, i, Token::Kind::kIdent, text);
-}
-bool IsAnyIdent(const Tokens& t, std::size_t i) {
-  return i < t.size() && t[i].kind == Token::Kind::kIdent;
-}
-
-/// `i` points at '<'. Returns the index one past the matching '>', or
-/// `fail` if the angle run is not template-like (hits ';', '{' or EOF).
-std::size_t SkipAngles(const Tokens& t, std::size_t i, std::size_t fail) {
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    const std::string& x = t[j].text;
-    if (t[j].kind == Token::Kind::kPunct) {
-      if (x == "<") ++depth;
-      else if (x == ">") {
-        if (--depth == 0) return j + 1;
-      } else if (x == ";" || x == "{" || x == "}") {
-        return fail;
-      }
-    }
-  }
-  return fail;
-}
-
-/// `i` points at '('. Returns the index of the matching ')' or t.size().
-std::size_t MatchParen(const Tokens& t, std::size_t i) {
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (t[j].kind != Token::Kind::kPunct) continue;
-    if (t[j].text == "(") ++depth;
-    else if (t[j].text == ")" && --depth == 0) return j;
-  }
-  return t.size();
-}
-
-/// `i` points at '{'. Returns the index of the matching '}' or t.size().
-std::size_t MatchBrace(const Tokens& t, std::size_t i) {
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (t[j].kind != Token::Kind::kPunct) continue;
-    if (t[j].text == "{") ++depth;
-    else if (t[j].text == "}" && --depth == 0) return j;
-  }
-  return t.size();
-}
-
-/// `i` points at ']' scanning backwards; returns index of matching '['.
-std::size_t MatchBracketBack(const Tokens& t, std::size_t i) {
-  int depth = 0;
-  for (std::size_t j = i + 1; j-- > 0;) {
-    if (t[j].kind != Token::Kind::kPunct) continue;
-    if (t[j].text == "]") ++depth;
-    else if (t[j].text == "[" && --depth == 0) return j;
-  }
-  return 0;
-}
-
-struct LambdaBody {
-  std::size_t begin;        // first token inside '{'
-  std::size_t end;          // index of matching '}'
-  std::size_t params_begin; // first token inside '(' (== params_end if none)
-  std::size_t params_end;   // index of the params ')'
-};
-
-/// Finds lambda bodies lexically inside token range [from, to): a '[' whose
-/// previous token cannot end an expression (so it is a lambda-introducer,
-/// not a subscript), its ']' , optional (params), tokens up to '{'.
-std::vector<LambdaBody> FindLambdas(const Tokens& t, std::size_t from,
-                                    std::size_t to) {
-  std::vector<LambdaBody> out;
-  for (std::size_t i = from; i < to && i < t.size(); ++i) {
-    if (!IsPunct(t, i, "[")) continue;
-    if (i > 0) {
-      const Token& p = t[i - 1];
-      bool prev_ends_expr =
-          p.kind == Token::Kind::kIdent || p.kind == Token::Kind::kNumber ||
-          (p.kind == Token::Kind::kPunct &&
-           (p.text == "]" || p.text == ")" || p.text == ">"));
-      if (prev_ends_expr) continue;  // subscript, not a lambda introducer
-    }
-    // Capture list.
-    int depth = 0;
-    std::size_t j = i;
-    for (; j < t.size(); ++j) {
-      if (IsPunct(t, j, "[")) ++depth;
-      else if (IsPunct(t, j, "]") && --depth == 0) break;
-    }
-    if (j >= t.size()) break;
-    ++j;
-    std::size_t params_begin = j, params_end = j;
-    if (IsPunct(t, j, "(")) {
-      params_begin = j + 1;
-      params_end = MatchParen(t, j);
-      j = params_end + 1;
-    }
-    // Skip mutable / noexcept / trailing return type up to '{'.
-    while (j < t.size() && !IsPunct(t, j, "{") && !IsPunct(t, j, ";") &&
-           !IsPunct(t, j, ")")) {
-      ++j;
-    }
-    if (j >= t.size() || !IsPunct(t, j, "{")) continue;
-    std::size_t close = MatchBrace(t, j);
-    out.push_back(LambdaBody{j + 1, close, params_begin, params_end});
-  }
-  return out;
-}
-
-bool PathContains(const std::string& path, const char* needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-void Add(std::vector<Finding>* out, const SourceFile& f, const char* rule,
-         int line, std::string message) {
+void AddFinding(std::vector<Finding>* out, const SourceFile& f,
+                const std::string& rule, int line, std::string message,
+                int col, std::vector<std::string> chain) {
   // One finding per (rule, line): several triggers on one source line are
-  // one hazard to a human.
-  for (const auto& existing : *out) {
-    if (existing.line == line && existing.rule == rule) return;
+  // one hazard to a human. A chain-bearing duplicate upgrades the existing
+  // finding so `--why` has something to print.
+  for (auto& existing : *out) {
+    if (existing.line == line && existing.rule == rule &&
+        existing.path == f.path) {
+      if (existing.chain.empty() && !chain.empty()) {
+        existing.chain = std::move(chain);
+      }
+      if (existing.col == 0 && col != 0) existing.col = col;
+      return;
+    }
   }
   Finding fd;
   fd.rule = rule;
   fd.path = f.path;
   fd.line = line;
+  fd.col = col;
   fd.message = std::move(message);
   fd.snippet = f.Snippet(line);
+  fd.chain = std::move(chain);
   out->push_back(std::move(fd));
+}
+
+std::set<std::pair<std::string, int>> ActiveAllowances(
+    const SourceFile& file, const std::set<std::string>& known_rules,
+    std::vector<Finding>* bad_out) {
+  std::set<std::pair<std::string, int>> active;
+  for (const auto& a : file.allowances) {
+    if (known_rules.count(a.rule) == 0) {
+      if (bad_out != nullptr) {
+        AddFinding(bad_out, file, "bad-suppression", a.comment_line,
+                   "mlint: allow(" + a.rule + ") names an unknown rule");
+      }
+      continue;
+    }
+    if (a.reason.size() < 3) {
+      if (bad_out != nullptr) {
+        AddFinding(bad_out, file, "bad-suppression", a.comment_line,
+                   "mlint: allow(" + a.rule +
+                       ") has no reason — every suppression must argue why "
+                       "the site is safe");
+      }
+      continue;
+    }
+    active.insert({a.rule, a.line});
+  }
+  return active;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Lexical rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void Add(std::vector<Finding>* out, const SourceFile& f, const char* rule,
+         int line, std::string message, int col = 0) {
+  AddFinding(out, f, rule, line, std::move(message), col);
 }
 
 // ---------------------------------------------------------------------------
@@ -380,26 +334,16 @@ void Add(std::vector<Finding>* out, const SourceFile& f, const char* rule,
 
 void CheckNondetRandom(const SourceFile& f, std::vector<Finding>* out) {
   if (PathContains(f.path, "src/stats/")) return;
-  const Tokens& t = f.tokens;
-  static const char* kBanned[] = {"rand", "srand", "time", "clock"};
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::kIdent) continue;
-    if (t[i].text == "random_device") {
-      Add(out, f, "nondet-random", t[i].line,
+  for (const auto& [line, tok] : ScanEntropy(f.tokens, 0, f.tokens.size())) {
+    if (tok == "random_device") {
+      Add(out, f, "nondet-random", line,
           "std::random_device is nondeterministic; seed a stats::Rng "
           "instead (only src/stats/ may touch entropy sources)");
-      continue;
-    }
-    for (const char* b : kBanned) {
-      if (t[i].text != b) continue;
-      if (!IsPunct(t, i + 1, "(")) continue;
-      // Member calls (x.time(), x->clock()) are unrelated APIs.
-      if (i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"))) break;
-      Add(out, f, "nondet-random", t[i].line,
-          std::string("call to ") + b +
+    } else {
+      Add(out, f, "nondet-random", line,
+          "call to " + tok +
               "() draws nondeterministic state; results must be a pure "
               "function of the experiment seed — use stats::Rng");
-      break;
     }
   }
 }
@@ -408,204 +352,38 @@ void CheckNondetRandom(const SourceFile& f, std::vector<Finding>* out) {
 // Rule 2: unordered-iter
 // ---------------------------------------------------------------------------
 
-bool IsUnorderedName(const std::string& s) {
-  return s == "unordered_map" || s == "unordered_set" ||
-         s == "unordered_multimap" || s == "unordered_multiset";
-}
-
 void CheckUnorderedIter(const SourceFile& f, std::vector<Finding>* out) {
-  const Tokens& t = f.tokens;
-
-  // Pass A: names of variables/members declared with an unordered container
-  // type, plus `using X = ...unordered_map<...>` aliases (and variables
-  // declared with those aliases).
-  std::set<std::string> aliases;
-  std::set<std::string> vars;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::kIdent) continue;
-    // Alias definitions.
-    if ((t[i].text == "using" || t[i].text == "typedef") && IsAnyIdent(t, i + 1)) {
-      if (t[i].text == "using" && IsPunct(t, i + 2, "=")) {
-        std::string name = t[i + 1].text;
-        for (std::size_t j = i + 3; j < t.size() && !IsPunct(t, j, ";"); ++j) {
-          if (t[j].kind == Token::Kind::kIdent &&
-              IsUnorderedName(t[j].text)) {
-            aliases.insert(name);
-            break;
-          }
-        }
-      }
-      continue;
-    }
-    bool is_container_type =
-        IsUnorderedName(t[i].text) || aliases.count(t[i].text) != 0;
-    if (!is_container_type) continue;
-    // Skip qualified-name *prefixes* (std:: already sits before us; fine).
-    std::size_t j = i + 1;
-    if (IsPunct(t, j, "<")) {
-      j = SkipAngles(t, j, /*fail=*/t.size());
-      if (j == t.size()) continue;
-    } else if (aliases.count(t[i].text) == 0) {
-      continue;  // bare `unordered_map` without template args: not a decl
-    }
-    // Declarator list: [*&]* name [, name ...] terminated by ; = { (
-    while (j < t.size()) {
-      while (IsPunct(t, j, "*") || IsPunct(t, j, "&")) ++j;
-      if (!IsAnyIdent(t, j)) break;
-      // `Type name(` is a function declarator returning the container —
-      // the name is not a container variable.
-      if (IsPunct(t, j + 1, "(")) break;
-      vars.insert(t[j].text);
-      if (IsPunct(t, j + 1, ",")) {
-        j += 2;
-        continue;
-      }
-      break;
-    }
-  }
-  if (vars.empty()) return;
-
-  // Pass B: iterations.
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    // x.begin() / x.end() / x.cbegin() / x.cend()
-    if (IsAnyIdent(t, i) && vars.count(t[i].text) != 0 &&
-        (IsPunct(t, i + 1, ".") || IsPunct(t, i + 1, "->")) &&
-        IsAnyIdent(t, i + 2) && IsPunct(t, i + 3, "(")) {
-      // `.end()` alone is a find-sentinel comparison, not an iteration;
-      // every real traversal needs a begin.
-      const std::string& m = t[i + 2].text;
-      if (m == "begin" || m == "cbegin" || m == "rbegin") {
-        Add(out, f, "unordered-iter", t[i].line,
-            "iterating unordered container '" + t[i].text +
-                "' — bucket order is implementation-defined and can leak "
-                "into results/charges; emit in first-seen or sorted order");
-      }
-      continue;
-    }
-    // Range-for whose sequence expression mentions a tracked container.
-    if (IsIdent(t, i, "for") && IsPunct(t, i + 1, "(")) {
-      std::size_t close = MatchParen(t, i + 1);
-      std::size_t colon = t.size();
-      int depth = 0;
-      for (std::size_t j = i + 1; j < close; ++j) {
-        if (IsPunct(t, j, "(")) ++depth;
-        else if (IsPunct(t, j, ")")) --depth;
-        else if (depth == 1 && IsPunct(t, j, ":")) {
-          colon = j;
-          break;
-        }
-      }
-      if (colon == t.size()) continue;  // classic for loop
-      for (std::size_t j = colon + 1; j < close; ++j) {
-        if (IsAnyIdent(t, j) && vars.count(t[j].text) != 0) {
-          Add(out, f, "unordered-iter", t[i].line,
-              "range-for over unordered container '" + t[j].text +
-                  "' — bucket order is implementation-defined and can leak "
-                  "into results/charges; emit in first-seen or sorted order");
-          break;
-        }
-      }
-    }
+  for (const auto& [line, var] : UnorderedIterSites(f.tokens)) {
+    Add(out, f, "unordered-iter", line,
+        "iterating unordered container '" + var +
+            "' — bucket order is implementation-defined and can leak "
+            "into results/charges; emit in first-seen or sorted order");
   }
 }
 
 // ---------------------------------------------------------------------------
-// Rules 3 & 5 share the lexical parallel-region scan.
+// Rule 3: charge-in-parallel
 // ---------------------------------------------------------------------------
-
-bool IsChargeCall(const Tokens& t, std::size_t i) {
-  if (t[i].kind != Token::Kind::kIdent) return false;
-  const std::string& x = t[i].text;
-  bool chargey = x.rfind("Charge", 0) == 0 || x == "Allocate" ||
-                 x == "AllocateEverywhere" || x == "AllocateTransient" ||
-                 x == "Free" || x == "FreeEverywhere";
-  return chargey && IsPunct(t, i + 1, "(");
-}
-
-/// True when the call at `i` hands its callback arguments to a parallel
-/// region: the exec entry points themselves, the Rel operators whose
-/// row callbacks run inside the engine's chunked loop (member-call forms
-/// only, so a local helper named Filter is not matched), and the ColExpr
-/// factories whose payloads the columnar Project executes per chunk
-/// (Fn lambdas; Expr takes a compiled program, matched for uniformity).
-bool IsParallelCallee(const Tokens& t, std::size_t i) {
-  if (t[i].kind != Token::Kind::kIdent) return false;
-  const std::string& x = t[i].text;
-  if (x == "ParallelFor" || x == "ParallelReduce") return true;
-  if (x == "Filter" || x == "Project" || x == "RowFilter") {
-    return i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"));
-  }
-  if (x == "Fn" || x == "Expr") {
-    return i >= 2 && IsPunct(t, i - 1, "::") && IsIdent(t, i - 2, "ColExpr");
-  }
-  return false;
-}
-
-/// Collects the parallel-region lambda bodies: arguments of lexical
-/// exec::ParallelFor / exec::ParallelReduce call expressions and of the
-/// engine operators that run their callbacks under those loops, plus the
-/// batched vertex/VG hook overrides (see below).
-std::vector<LambdaBody> ParallelLambdas(const Tokens& t) {
-  std::vector<LambdaBody> bodies;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!IsParallelCallee(t, i)) continue;
-    std::size_t j = i + 1;
-    if (IsPunct(t, j, "<")) {
-      j = SkipAngles(t, j, t.size());
-      if (j == t.size()) continue;
-    }
-    if (!IsPunct(t, j, "(")) continue;
-    std::size_t close = MatchParen(t, j);
-    auto inner = FindLambdas(t, j + 1, close);
-    bodies.insert(bodies.end(), inner.begin(), inner.end());
-  }
-  // Batched vertex/VG hooks: the GAS engine calls GatherBatch once per
-  // ParallelFor chunk, and the columnar VgApply calls SampleBatch once
-  // for every invocation group at once — simulator charges inside either
-  // body would interleave by scheduling or diverge from the per-edge /
-  // per-tuple accounting of the scalar paths. An override definition is
-  // the identifier, its parameter list, then qualifier identifiers
-  // including `override` before '{'; call sites and free functions that
-  // share the name don't match.
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!(IsIdent(t, i, "GatherBatch") || IsIdent(t, i, "SampleBatch"))) {
-      continue;
-    }
-    if (!IsPunct(t, i + 1, "(")) continue;
-    std::size_t close = MatchParen(t, i + 1);
-    if (close >= t.size()) continue;
-    std::size_t j = close + 1;
-    bool has_override = false;
-    while (j < t.size() && t[j].kind == Token::Kind::kIdent) {
-      if (t[j].text == "override" || t[j].text == "final") has_override = true;
-      ++j;
-    }
-    if (!has_override || !IsPunct(t, j, "{")) continue;
-    bodies.push_back(LambdaBody{j + 1, MatchBrace(t, j), i + 2, close});
-  }
-  return bodies;
-}
 
 void CheckChargeInParallel(const SourceFile& f, std::vector<Finding>* out) {
   const Tokens& t = f.tokens;
-  for (const LambdaBody& body : ParallelLambdas(t)) {
+  for (const ParallelRegion& region : ParallelRegions(t)) {
     bool has_ledger = false;
-    for (std::size_t i = body.begin; i < body.end; ++i) {
+    for (std::size_t i = region.body.begin; i < region.body.end; ++i) {
       if (IsIdent(t, i, "ScopedLedger")) {
         has_ledger = true;
         break;
       }
     }
     if (has_ledger) continue;
-    for (std::size_t i = body.begin; i < body.end; ++i) {
-      if (IsChargeCall(t, i)) {
-        Add(out, f, "charge-in-parallel", t[i].line,
-            "simulator charge '" + t[i].text +
-                "' inside a ParallelFor/ParallelReduce body with no "
-                "sim::ScopedLedger bound — charges would interleave by "
-                "scheduling; record to a per-chunk ChargeLedger and commit "
-                "in chunk-index order");
-      }
+    for (const auto& [line, name] :
+         ScanCharges(t, region.body.begin, region.body.end)) {
+      Add(out, f, "charge-in-parallel", line,
+          "simulator charge '" + name +
+              "' inside a ParallelFor/ParallelReduce body with no "
+              "sim::ScopedLedger bound — charges would interleave by "
+              "scheduling; record to a per-chunk ChargeLedger and commit "
+              "in chunk-index order");
     }
   }
 }
@@ -614,86 +392,16 @@ void CheckChargeInParallel(const SourceFile& f, std::vector<Finding>* out) {
 // Rule 5: naive-reduction
 // ---------------------------------------------------------------------------
 
-/// Keywords that can precede an identifier without declaring it.
-bool IsNonTypeKeyword(const std::string& s) {
-  static const std::set<std::string> kKeywords = {
-      "return",   "if",     "while",  "else",   "case",  "goto",
-      "new",      "delete", "throw",  "sizeof", "do",    "switch",
-      "co_return", "co_await", "co_yield", "not", "and", "or"};
-  return kKeywords.count(s) != 0;
-}
-
-/// True when identifier `name` is declared inside token range [from, to):
-/// some occurrence is preceded by a type-ish token (identifier, '>', '&',
-/// '*', 'auto') and not part of a member access.
-bool DeclaredWithin(const Tokens& t, std::size_t from, std::size_t to,
-                    const std::string& name) {
-  for (std::size_t i = from; i < to; ++i) {
-    if (!(t[i].kind == Token::Kind::kIdent && t[i].text == name)) continue;
-    if (i == 0) continue;
-    const Token& p = t[i - 1];
-    bool typeish =
-        (p.kind == Token::Kind::kIdent && !IsNonTypeKeyword(p.text)) ||
-        (p.kind == Token::Kind::kPunct &&
-         (p.text == ">" || p.text == "&" || p.text == "*"));
-    if (!typeish) continue;
-    if (p.kind == Token::Kind::kPunct && (p.text == "." || p.text == "->")) {
-      continue;
-    }
-    // Structured bindings: `auto [a, b]` / `auto& [a, b]`.
-    return true;
-  }
-  // Structured-binding names: appear between '[' and ']' right after auto.
-  for (std::size_t i = from; i + 1 < to; ++i) {
-    if (!IsIdent(t, i, "auto")) continue;
-    std::size_t j = i + 1;
-    while (IsPunct(t, j, "&") || IsPunct(t, j, "*")) ++j;
-    if (!IsPunct(t, j, "[")) continue;
-    for (std::size_t k = j + 1; k < to && !IsPunct(t, k, "]"); ++k) {
-      if (t[k].kind == Token::Kind::kIdent && t[k].text == name) return true;
-    }
-  }
-  return false;
-}
-
 void CheckNaiveReduction(const SourceFile& f, std::vector<Finding>* out) {
   const Tokens& t = f.tokens;
-  for (const LambdaBody& body : ParallelLambdas(t)) {
-    for (std::size_t i = body.begin; i < body.end; ++i) {
-      if (!IsPunct(t, i, "+=")) continue;
-      // Walk the LHS chain backwards to its root identifier.
-      std::size_t j = i;
-      while (j > body.begin) {
-        const Token& p = t[j - 1];
-        if (p.kind == Token::Kind::kPunct && p.text == "]") {
-          j = MatchBracketBack(t, j - 1);
-          continue;
-        }
-        if (p.kind == Token::Kind::kIdent || p.kind == Token::Kind::kNumber) {
-          --j;
-          continue;
-        }
-        if (p.kind == Token::Kind::kPunct &&
-            (p.text == "." || p.text == "->")) {
-          --j;
-          continue;
-        }
-        break;
-      }
-      if (!IsAnyIdent(t, j)) continue;
-      const std::string& root = t[j].text;
-      if (DeclaredWithin(t, body.begin, body.end, root)) continue;
-      // Lambda parameters are per-invocation state, not shared captures —
-      // this is how ParallelReduce's ordered fold receives its accumulator.
-      bool is_param = false;
-      for (std::size_t k = body.params_begin; k < body.params_end; ++k) {
-        if (t[k].kind == Token::Kind::kIdent && t[k].text == root) {
-          is_param = true;
-          break;
-        }
-      }
-      if (is_param) continue;
-      Add(out, f, "naive-reduction", t[i].line,
+  for (const ParallelRegion& region : ParallelRegions(t)) {
+    // Lambda parameters are per-invocation state, not shared captures —
+    // this is how ParallelReduce's ordered fold receives its accumulator.
+    for (const auto& [line, root] :
+         ScanNonlocalPlusEq(t, region.body.begin, region.body.end,
+                            region.body.params_begin,
+                            region.body.params_end)) {
+      Add(out, f, "naive-reduction", line,
           "'" + root +
               " +=' inside a parallel region accumulates in scheduling "
               "order — use exec::ParallelReduce (chunk partials folded in "
@@ -709,22 +417,6 @@ void CheckNaiveReduction(const SourceFile& f, std::vector<Finding>* out) {
 void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
   if (PathContains(f.path, "src/exec/")) return;
   const Tokens& t = f.tokens;
-  static const std::set<std::string> kPrimitives = {
-      "thread",       "jthread",       "mutex",
-      "recursive_mutex", "shared_mutex", "timed_mutex",
-      "condition_variable", "condition_variable_any",
-      "atomic",       "atomic_flag",   "atomic_ref",
-      "atomic_thread_fence", "atomic_signal_fence",
-      "this_thread",  "stop_token",    "stop_source",
-      "lock_guard",   "unique_lock",   "scoped_lock",
-      "shared_lock",  "future",        "promise",
-      "async",        "barrier",       "latch",
-      "counting_semaphore", "binary_semaphore"};
-  // The lock-free pool's spin/park vocabulary: cpu-relax intrinsics only
-  // belong in src/exec/'s dispatch loops — anywhere else they signal a
-  // hand-rolled spin lock.
-  static const std::set<std::string> kSpinIntrinsics = {
-      "__builtin_ia32_pause", "_mm_pause"};
   static const std::set<std::string> kHeaders = {
       "<thread>",  "<mutex>",  "<atomic>", "<condition_variable>",
       "<future>",  "<shared_mutex>", "<barrier>", "<latch>",
@@ -744,7 +436,7 @@ void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
       continue;
     }
     if (t[i].kind == Token::Kind::kIdent &&
-        kSpinIntrinsics.count(t[i].text) != 0) {
+        SpinIntrinsics().count(t[i].text) != 0) {
       Add(out, f, "raw-thread", t[i].line,
           "cpu-relax intrinsic " + t[i].text +
               " outside src/exec/ — spin/park loops live in the exec "
@@ -753,7 +445,7 @@ void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
       continue;
     }
     if (IsIdent(t, i, "std") && IsPunct(t, i + 1, "::") &&
-        IsAnyIdent(t, i + 2) && kPrimitives.count(t[i + 2].text) != 0) {
+        IsAnyIdent(t, i + 2) && ThreadPrimitives().count(t[i + 2].text) != 0) {
       Add(out, f, "raw-thread", t[i].line,
           "raw std::" + t[i + 2].text +
               " outside src/exec/ — engines must use the mlbench::exec "
@@ -814,11 +506,13 @@ void CheckIgnoredStatus(const SourceFile& f, std::vector<Finding>* out) {
     bool void_cast = j >= 3 && IsPunct(t, j - 3, "(") &&
                      IsIdent(t, j - 2, "void") && IsPunct(t, j - 1, ")");
     if (void_cast) continue;
+    // The column of the chain root is where `--fix` inserts `(void)`.
     Add(out, f, "ignored-status", t[i].line,
         "result of Status-returning call '" + t[i].text +
             "(...)' is discarded — check it (MLBENCH_RETURN_NOT_OK / "
             "MLBENCH_CHECK) or cast to (void) with a comment arguing why "
-            "failure is impossible here");
+            "failure is impossible here",
+        t[j].col);
   }
 }
 
@@ -828,33 +522,287 @@ void CheckIgnoredStatus(const SourceFile& f, std::vector<Finding>* out) {
 
 void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
   const Tokens& t = f.tokens;
-  if (f.is_header) {
-    bool guarded = false;
-    // `#pragma once` anywhere, or the classic #ifndef/#define pair as the
-    // first two directives.
-    const Token* first_directive = nullptr;
-    for (const auto& tok : t) {
-      if (tok.kind != Token::Kind::kPreproc) continue;
-      if (tok.text.rfind("#pragma", 0) == 0 &&
-          tok.text.find("once") != std::string::npos) {
-        guarded = true;
-        break;
-      }
-      if (first_directive == nullptr) {
-        first_directive = &tok;
-        if (tok.text.rfind("#ifndef", 0) == 0) guarded = true;
-      }
+  if (!f.is_header) return;
+  bool guarded = false;
+  // `#pragma once` anywhere, or the classic #ifndef/#define pair as the
+  // first two directives.
+  const Token* first_directive = nullptr;
+  for (const auto& tok : t) {
+    if (tok.kind != Token::Kind::kPreproc) continue;
+    if (tok.text.rfind("#pragma", 0) == 0 &&
+        tok.text.find("once") != std::string::npos) {
+      guarded = true;
+      break;
     }
-    if (!guarded) {
-      Add(out, f, "header-hygiene", 1,
-          "header has no include guard — add `#pragma once`");
+    if (first_directive == nullptr) {
+      first_directive = &tok;
+      if (tok.text.rfind("#ifndef", 0) == 0) guarded = true;
     }
   }
-  if (!f.is_header) return;
+  if (!guarded) {
+    Add(out, f, "header-hygiene", 1,
+        "header has no include guard — add `#pragma once`");
+  }
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
     if (IsIdent(t, i, "using") && IsIdent(t, i + 1, "namespace")) {
       Add(out, f, "header-hygiene", t[i].line,
           "`using namespace` at header scope leaks into every includer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: rng-in-parallel
+// ---------------------------------------------------------------------------
+
+void CheckRngInParallel(const SourceFile& f, std::vector<Finding>* out) {
+  if (PathContains(f.path, "src/stats/")) return;  // the RNG implementation
+  const Tokens& t = f.tokens;
+  const std::set<std::string> rng_vars = CollectRngVars(t);
+  for (const ParallelRegion& region : ParallelRegions(t)) {
+    for (const auto& [line, name] :
+         ScanRngUses(t, region.body.begin, region.body.end,
+                     region.body.params_begin, region.body.params_end,
+                     rng_vars)) {
+      Add(out, f, "rng-in-parallel", line,
+          "shared RNG '" + name + "' used inside a " + region.desc +
+              " — draw order becomes scheduling-dependent; derive a "
+              "per-chunk substream with " + name +
+              ".Split(chunk.index) and draw from that instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 9: ledger-order
+// ---------------------------------------------------------------------------
+
+void CheckLedgerOrder(const SourceFile& f, std::vector<Finding>* out) {
+  if (PathContains(f.path, "src/sim/")) return;  // the ledger implementation
+  const Tokens& t = f.tokens;
+  for (const ParallelRegion& region : ParallelRegions(t)) {
+    for (const auto& [line, name] :
+         ScanLedgerOrder(t, region.body.begin, region.body.end)) {
+      Add(out, f, "ledger-order", line,
+          "'" + name + "' inside a " + region.desc +
+              " — phase/ledger finalization must run on the serial caller "
+              "side after the loop, committing per-chunk ledgers in "
+              "chunk-index order");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 10: borrow-escape
+// ---------------------------------------------------------------------------
+
+/// True when `root` is declared inside the body with `static` storage (a
+/// sink that outlives the call even though it is body-local).
+bool StaticDeclaredWithin(const Tokens& t, std::size_t from, std::size_t to,
+                          const std::string& root) {
+  for (std::size_t i = from; i < to; ++i) {
+    if (!(t[i].kind == Token::Kind::kIdent && t[i].text == root)) continue;
+    // Scan back to the statement start looking for `static`.
+    for (std::size_t j = i; j > from; --j) {
+      const Token& p = t[j - 1];
+      if (p.kind == Token::Kind::kPunct &&
+          (p.text == ";" || p.text == "{" || p.text == "}")) {
+        break;
+      }
+      if (p.kind == Token::Kind::kIdent && p.text == "static") return true;
+    }
+  }
+  return false;
+}
+
+/// Walks the LHS/receiver chain ending just before `i` back to its root
+/// identifier index, or t.size() when there is none.
+std::size_t ChainRoot(const Tokens& t, std::size_t i, std::size_t lo) {
+  std::size_t j = i;
+  while (j > lo) {
+    const Token& p = t[j - 1];
+    if (p.kind == Token::Kind::kPunct && p.text == "]") {
+      j = MatchBracketBack(t, j - 1);
+      continue;
+    }
+    if (p.kind == Token::Kind::kIdent || p.kind == Token::Kind::kNumber) {
+      --j;
+      continue;
+    }
+    if (p.kind == Token::Kind::kPunct && (p.text == "." || p.text == "->")) {
+      --j;
+      continue;
+    }
+    break;
+  }
+  return IsAnyIdent(t, j) ? j : t.size();
+}
+
+void CheckBorrowEscape(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  for (const ParallelRegion& region : ParallelRegions(t)) {
+    if (!region.is_override) continue;
+    // Pointer parameters of the hook: the engine-owned neighbor spans and
+    // borrow slots, valid only for the duration of this call.
+    std::set<std::string> ptr_params;
+    for (std::size_t i = region.body.params_begin;
+         i + 1 < region.body.params_end; ++i) {
+      if (IsPunct(t, i, "*") && IsAnyIdent(t, i + 1)) {
+        ptr_params.insert(t[i + 1].text);
+      }
+    }
+    if (ptr_params.empty()) continue;
+
+    auto outlives = [&](const std::string& root) {
+      if (root == "this") return true;
+      bool local = DeclaredWithin(t, region.body.begin, region.body.end, root);
+      if (local) {
+        return StaticDeclaredWithin(t, region.body.begin, region.body.end,
+                                    root);
+      }
+      if (IdentInRange(t, region.body.params_begin, region.body.params_end,
+                       root)) {
+        return false;  // writing through another argument: engine-owned slot
+      }
+      return true;  // member (x_ or implicit this->x), global, file-static
+    };
+
+    // An RHS/argument token range mentions a span pointer in escaping
+    // position: the bare pointer or the address of one of its elements —
+    // not a dereferenced element value.
+    auto escaping_param = [&](std::size_t from,
+                              std::size_t to) -> std::string {
+      for (std::size_t k = from; k < to && k < t.size(); ++k) {
+        if (t[k].kind != Token::Kind::kIdent ||
+            ptr_params.count(t[k].text) == 0) {
+          continue;
+        }
+        if (k > 0 && IsPunct(t, k - 1, "&")) return t[k].text;  // &p, &p[j]
+        if (k > 0 && IsPunct(t, k - 1, "*")) continue;          // *p: a value
+        if (IsPunct(t, k + 1, "[")) continue;                   // p[j]: a value
+        if (IsPunct(t, k + 1, ".") || IsPunct(t, k + 1, "->")) continue;
+        return t[k].text;  // the pointer itself
+      }
+      return "";
+    };
+
+    auto flag = [&](int line, const std::string& pname,
+                    const std::string& sink) {
+      Add(out, f, "borrow-escape", line,
+          "span/borrow pointer '" + pname + "' (argument of this " +
+              region.desc + ") stored into '" + sink +
+              "', which outlives the call — neighbor spans and borrow "
+              "slots are only valid for the current batch; copy the "
+              "values instead");
+    };
+
+    for (std::size_t i = region.body.begin; i < region.body.end; ++i) {
+      // Plain assignments `sink = ... p ...;` (skip comparisons and
+      // compound operators: `==`, `!=`, `<=`, `>=` tokenize as two puncts).
+      if (IsPunct(t, i, "=")) {
+        if (IsPunct(t, i + 1, "=")) continue;
+        if (i > 0 && t[i - 1].kind == Token::Kind::kPunct) {
+          const std::string& p = t[i - 1].text;
+          if (p == "=" || p == "!" || p == "<" || p == ">" || p == "-" ||
+              p == "*" || p == "/" || p == "|" || p == "&" || p == "^" ||
+              p == "%") {
+            continue;
+          }
+        }
+        std::size_t root = ChainRoot(t, i, region.body.begin);
+        if (root == t.size() || !outlives(t[root].text)) continue;
+        std::size_t stmt_end = i + 1;
+        int depth = 0;
+        while (stmt_end < region.body.end) {
+          if (t[stmt_end].kind == Token::Kind::kPunct) {
+            const std::string& x = t[stmt_end].text;
+            if (x == "(" || x == "[" || x == "{") ++depth;
+            else if (x == ")" || x == "]" || x == "}") --depth;
+            else if (x == ";" && depth == 0) break;
+          }
+          ++stmt_end;
+        }
+        std::string pname = escaping_param(i + 1, stmt_end);
+        if (!pname.empty()) flag(t[i].line, pname, t[root].text);
+        continue;
+      }
+      // Container stores: sink.push_back(p) and friends.
+      if (t[i].kind == Token::Kind::kIdent &&
+          (t[i].text == "push_back" || t[i].text == "emplace_back" ||
+           t[i].text == "insert" || t[i].text == "emplace" ||
+           t[i].text == "push") &&
+          IsPunct(t, i + 1, "(") && i > 0 &&
+          (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"))) {
+        std::size_t root = ChainRoot(t, i - 1, region.body.begin);
+        if (root == t.size() || !outlives(t[root].text)) continue;
+        std::size_t close = MatchParen(t, i + 1);
+        std::string pname = escaping_param(i + 2, close);
+        if (!pname.empty()) flag(t[i].line, pname, t[root].text);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 11: frozen-grain
+// ---------------------------------------------------------------------------
+
+/// The documented golden-bearing grain sites. Chunk grain feeds ledger
+/// commit order and per-chunk RNG substreams, so changing either value
+/// shifts every golden the site backs; the paired marker records that the
+/// author re-baked them on purpose.
+struct GrainSite {
+  const char* path_suffix;
+  const char* ident;
+  const char* value;
+  const char* what;
+};
+
+const GrainSite kGrainSites[] = {
+    {"src/reldb/rel.cc", "kRowGrain", "1024",
+     "the reldb operator row grain (DESIGN.md §10)"},
+    {"src/gas/engine.h", "kVertexGrain", "256",
+     "the GAS sweep vertex grain (DESIGN.md §13)"},
+};
+
+void CheckFrozenGrain(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  for (const GrainSite& site : kGrainSites) {
+    if (!PathContains(f.path, site.path_suffix)) continue;
+    bool saw_decl = false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!(t[i].kind == Token::Kind::kIdent && t[i].text == site.ident)) {
+        continue;
+      }
+      if (!IsPunct(t, i + 1, "=") || IsPunct(t, i + 2, "=")) continue;
+      saw_decl = true;
+      bool matches = i + 2 < t.size() &&
+                     t[i + 2].kind == Token::Kind::kNumber &&
+                     t[i + 2].text == site.value &&
+                     (i + 3 >= t.size() || IsPunct(t, i + 3, ";"));
+      if (matches) continue;
+      bool acknowledged = false;
+      for (const Marker& m : f.markers) {
+        if (m.name == "frozen-grain" && m.line == t[i].line) {
+          acknowledged = true;
+          break;
+        }
+      }
+      if (acknowledged) continue;
+      Add(out, f, "frozen-grain", t[i].line,
+          std::string("frozen grain ") + site.ident + " no longer reads `" +
+              site.ident + " = " + site.value + ";` — this value is " +
+              site.what + " and is golden-bearing: chunk boundaries feed "
+              "ledger commit order and RNG substreams. Re-bake the goldens "
+              "and pair the edit with a `// mlint: frozen-grain` marker");
+    }
+    if (!saw_decl) {
+      Add(out, f, "frozen-grain", 1,
+          std::string("golden-bearing grain site ") + site.ident +
+              " not found in " + site.path_suffix +
+              " — the frozen declaration (`" + site.ident + " = " +
+              site.value + ";`) must stay greppable for this lint and for "
+              "the goldens it protects");
     }
   }
 }
@@ -881,6 +829,14 @@ std::vector<RuleInfo> Rules() {
        "missing include guard / `using namespace` at header scope"},
       {"ignored-status",
        "discarded result of a known Status-returning call"},
+      {"rng-in-parallel",
+       "shared Rng drawn inside a parallel region without a Split substream"},
+      {"ledger-order",
+       "EndPhase/CommitLedger(s) called inside a parallel region"},
+      {"borrow-escape",
+       "GatherBatch/SampleBatch span pointer stored into outliving state"},
+      {"frozen-grain",
+       "golden-bearing chunk grain edited without a frozen-grain marker"},
       {"bad-suppression",
        "mlint: allow(...) comment with no reason, or for an unknown rule"},
   };
@@ -895,38 +851,20 @@ void CheckFile(const SourceFile& file, std::vector<Finding>* out) {
   CheckNaiveReduction(file, &raw);
   CheckHeaderHygiene(file, &raw);
   CheckIgnoredStatus(file, &raw);
+  CheckRngInParallel(file, &raw);
+  CheckLedgerOrder(file, &raw);
+  CheckBorrowEscape(file, &raw);
+  CheckFrozenGrain(file, &raw);
 
   std::set<std::string> known;
   for (const auto& r : Rules()) known.insert(r.name);
 
   // Validate suppressions; reasonless or unknown-rule allowances are
   // findings themselves and suppress nothing.
-  std::set<std::pair<std::string, int>> active;  // (rule, line)
-  for (const auto& a : file.allowances) {
-    if (known.count(a.rule) == 0) {
-      Finding fd;
-      fd.rule = "bad-suppression";
-      fd.path = file.path;
-      fd.line = a.comment_line;
-      fd.message = "mlint: allow(" + a.rule + ") names an unknown rule";
-      fd.snippet = file.Snippet(a.comment_line);
-      raw.push_back(std::move(fd));
-      continue;
-    }
-    if (a.reason.size() < 3) {
-      Finding fd;
-      fd.rule = "bad-suppression";
-      fd.path = file.path;
-      fd.line = a.comment_line;
-      fd.message = "mlint: allow(" + a.rule +
-                   ") has no reason — every suppression must argue why the "
-                   "site is safe";
-      fd.snippet = file.Snippet(a.comment_line);
-      raw.push_back(std::move(fd));
-      continue;
-    }
-    active.insert({a.rule, a.line});
-  }
+  std::vector<Finding> bad;
+  std::set<std::pair<std::string, int>> active =
+      internal::ActiveAllowances(file, known, &bad);
+  for (auto& fd : bad) raw.push_back(std::move(fd));
 
   for (auto& fd : raw) {
     if (active.count({fd.rule, fd.line}) != 0) continue;
@@ -941,67 +879,6 @@ int LintResult::NewCount() const {
 }
 int LintResult::BaselinedCount() const {
   return static_cast<int>(findings.size()) - NewCount();
-}
-
-LintResult LintContent(const std::string& path, const std::string& content) {
-  LintResult r;
-  r.files_scanned = 1;
-  SourceFile f = Parse(path, content);
-  CheckFile(f, &r.findings);
-  return r;
-}
-
-namespace {
-
-bool LintableFile(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".cc";
-}
-
-bool SkippableDir(const std::filesystem::path& p) {
-  const std::string name = p.filename().string();
-  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
-}
-
-}  // namespace
-
-LintResult LintPaths(const std::vector<std::string>& paths) {
-  namespace fs = std::filesystem;
-  LintResult r;
-  std::vector<std::string> files;
-  for (const auto& p : paths) {
-    std::error_code ec;
-    if (fs::is_directory(p, ec)) {
-      fs::recursive_directory_iterator it(p, ec), end;
-      for (; it != end; it.increment(ec)) {
-        if (it->is_directory() && SkippableDir(it->path())) {
-          it.disable_recursion_pending();
-          continue;
-        }
-        if (it->is_regular_file() && LintableFile(it->path())) {
-          files.push_back(it->path().generic_string());
-        }
-      }
-    } else if (fs::exists(p, ec)) {
-      files.push_back(p);
-    }
-  }
-  std::sort(files.begin(), files.end());
-  for (const auto& path : files) {
-    std::ifstream in(path);
-    if (!in) continue;
-    std::stringstream ss;
-    ss << in.rdbuf();
-    SourceFile f = Parse(path, ss.str());
-    CheckFile(f, &r.findings);
-    ++r.files_scanned;
-  }
-  std::stable_sort(r.findings.begin(), r.findings.end(),
-                   [](const Finding& a, const Finding& b) {
-                     if (a.path != b.path) return a.path < b.path;
-                     return a.line < b.line;
-                   });
-  return r;
 }
 
 // ---------------------------------------------------------------------------
@@ -1049,6 +926,10 @@ std::string TextReport(const LintResult& result) {
     out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
         << "\n";
     if (!f.snippet.empty()) out << "    " << f.snippet << "\n";
+    if (!f.chain.empty()) {
+      out << "    reached from " << f.chain.front() << " (mlint --why="
+          << f.path << ":" << f.line << " prints the chain)\n";
+    }
   }
   out << "mlint: " << result.files_scanned << " files, "
       << result.findings.size() << " findings (" << result.NewCount()
@@ -1056,7 +937,7 @@ std::string TextReport(const LintResult& result) {
   return out.str();
 }
 
-namespace {
+namespace internal {
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -1081,11 +962,12 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-}  // namespace
+}  // namespace internal
 
 std::string JsonReport(const LintResult& result) {
+  using internal::JsonEscape;
   std::stringstream out;
-  out << "{\n  \"mlint_version\": 1,\n  \"files_scanned\": "
+  out << "{\n  \"mlint_version\": 2,\n  \"files_scanned\": "
       << result.files_scanned << ",\n  \"summary\": {\"total\": "
       << result.findings.size() << ", \"new\": " << result.NewCount()
       << ", \"baselined\": " << result.BaselinedCount()
@@ -1098,9 +980,71 @@ std::string JsonReport(const LintResult& result) {
         << JsonEscape(f.path) << "\", \"line\": " << f.line
         << ", \"message\": \"" << JsonEscape(f.message)
         << "\", \"snippet\": \"" << JsonEscape(f.snippet)
-        << "\", \"baselined\": " << (f.baselined ? "true" : "false") << "}";
+        << "\", \"baselined\": " << (f.baselined ? "true" : "false")
+        << ", \"chain\": [";
+    for (std::size_t i = 0; i < f.chain.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << JsonEscape(f.chain[i]) << "\"";
+    }
+    out << "]}";
   }
   out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+namespace {
+
+/// GitHub Actions workflow-command escaping for the message payload.
+std::string GhaEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GithubAnnotations(const LintResult& result) {
+  std::stringstream out;
+  for (const auto& f : result.findings) {
+    if (f.baselined) continue;
+    out << "::error file=" << f.path << ",line=" << f.line
+        << ",title=mlint " << f.rule << "::" << GhaEscape(f.message) << "\n";
+  }
+  return out.str();
+}
+
+std::string WhyReport(const LintResult& result, const std::string& spec) {
+  std::stringstream out;
+  int matched = 0;
+  for (const auto& f : result.findings) {
+    const std::string key =
+        f.rule + "|" + f.path + ":" + std::to_string(f.line);
+    if (!(spec == f.rule || spec == f.path ||
+          spec == f.path + ":" + std::to_string(f.line) ||
+          key.find(spec) != std::string::npos)) {
+      continue;
+    }
+    ++matched;
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << (f.baselined ? " (baselined)" : "") << "\n";
+    if (f.chain.empty()) {
+      out << "  why: lexical finding on this line (no call-graph hops)\n";
+    } else {
+      for (std::size_t i = 0; i < f.chain.size(); ++i) {
+        out << (i == 0 ? "  why: " : "       ") << f.chain[i] << "\n";
+      }
+    }
+  }
+  if (matched == 0) {
+    out << "mlint --why: no finding matches '" << spec << "'\n";
+  }
   return out.str();
 }
 

@@ -1,0 +1,1005 @@
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "internal.h"
+#include "mlint.h"
+
+/// \file program.cc
+/// Pass 1 (per-file fact extraction + the content-keyed index cache) and
+/// pass 2 (call-graph linking, parallel-region reachability, transitive
+/// findings) of the whole-program analyzer, plus the driving entry points
+/// LintProgram / LintSources / LintContent / LintPaths.
+
+namespace mlint {
+
+namespace {
+
+using namespace internal;
+
+// ---------------------------------------------------------------------------
+// Pass 1: fact extraction
+// ---------------------------------------------------------------------------
+
+/// Member-call resolution is receiver-blind, so a method mutating its own
+/// members would be flagged even when every call site passes a chunk-local
+/// receiver. Rules whose hazard is "mutating reachable shared state"
+/// (naive-reduction, rng-in-parallel) are therefore only recorded for free
+/// functions and lambda-locals, where a non-local root really is shared.
+bool RuleNeedsSharedRoot(const std::string& rule) {
+  return rule == "naive-reduction" || rule == "rng-in-parallel";
+}
+
+/// Per-directory hazard exemptions, mirroring the lexical rules' path
+/// carve-outs. src/exec/ implements parallelism itself: nothing inside it
+/// is a finding when reached from a parallel region (and its calls are not
+/// followed — the pool's dispatch plumbing is not a user call chain).
+/// src/sim/ implements the ledger protocol (ScopedLedger redirects its
+/// mutations); src/stats/ implements the RNG.
+bool HazardExempt(const std::string& path, const std::string& rule) {
+  if (PathContains(path, "src/exec/")) return true;
+  if (PathContains(path, "src/sim/")) {
+    return rule == "charge-in-parallel" || rule == "naive-reduction" ||
+           rule == "ledger-order";
+  }
+  if (PathContains(path, "src/stats/")) {
+    return rule == "rng-in-parallel" || rule == "naive-reduction" ||
+           rule == "nondet-random";
+  }
+  return false;
+}
+
+/// Collects the call sites in token range [from, to): `name(` not preceded
+/// by member/scope punctuation into std, not a statement keyword.
+std::vector<CallSite> CollectCalls(const Tokens& t, std::size_t from,
+                                   std::size_t to) {
+  std::vector<CallSite> calls;
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent || !IsPunct(t, i + 1, "(")) continue;
+    if (IsCallKeyword(t[i].text)) continue;
+    bool member =
+        i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"));
+    if (i > 0 && IsPunct(t, i - 1, "::")) {
+      // Qualified call: walk the qualifier chain back to its root and skip
+      // the std:: namespace (std::sort must not match a repo fn `sort`).
+      std::size_t j = i;
+      while (j >= 2 && IsPunct(t, j - 1, "::") && IsAnyIdent(t, j - 2)) {
+        j -= 2;
+      }
+      if (IsAnyIdent(t, j) && t[j].text == "std") continue;
+    }
+    CallSite cs;
+    cs.name = t[i].text;
+    cs.member = member;
+    cs.line = t[i].line;
+    calls.push_back(std::move(cs));
+  }
+  return calls;
+}
+
+bool RangeHasIdent(const Tokens& t, std::size_t from, std::size_t to,
+                   const char* name) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (t[i].kind == Token::Kind::kIdent && t[i].text == name) return true;
+  }
+  return false;
+}
+
+/// Records the hazards of one body range onto `fn`-style facts, applying
+/// inline allowances (already resolved to (rule, line) pairs) and the
+/// path/kind gating above. `shared_root_ok` is false for methods.
+void CollectHazards(const SourceFile& f, std::size_t begin, std::size_t end,
+                    std::size_t params_begin, std::size_t params_end,
+                    bool shared_root_ok,
+                    const std::set<std::string>& rng_vars,
+                    const std::set<std::pair<std::string, int>>& allowed,
+                    std::vector<HazardSite>* out) {
+  const Tokens& t = f.tokens;
+  auto add = [&](const std::string& rule, int line, std::string token) {
+    if (HazardExempt(f.path, rule)) return;
+    if (!shared_root_ok && RuleNeedsSharedRoot(rule)) return;
+    if (allowed.count({rule, line}) != 0) return;
+    for (const auto& h : *out) {
+      if (h.rule == rule && h.line == line) return;
+    }
+    HazardSite h;
+    h.rule = rule;
+    h.line = line;
+    h.token = std::move(token);
+    h.snippet = f.Snippet(line);
+    out->push_back(std::move(h));
+  };
+
+  for (const auto& [line, tok] : ScanEntropy(t, begin, end)) {
+    if (PathContains(f.path, "src/stats/")) break;
+    add("nondet-random", line, tok);
+  }
+  for (const auto& [line, tok] : ScanCharges(t, begin, end)) {
+    add("charge-in-parallel", line, tok);
+  }
+  for (const auto& [line, tok] : ScanLedgerOrder(t, begin, end)) {
+    add("ledger-order", line, tok);
+  }
+  for (const auto& [line, tok] : ScanRawThread(t, begin, end)) {
+    if (PathContains(f.path, "src/exec/")) break;
+    add("raw-thread", line, tok);
+  }
+  for (const auto& [line, root] :
+       ScanNonlocalPlusEq(t, begin, end, params_begin, params_end)) {
+    add("naive-reduction", line, root);
+  }
+  for (const auto& [line, name] :
+       ScanRngUses(t, begin, end, params_begin, params_end, rng_vars)) {
+    add("rng-in-parallel", line, name);
+  }
+  for (const auto& [line, var] : UnorderedIterSites(t)) {
+    // File-level scan; keep only sites inside this body.
+    bool inside = false;
+    for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+      if (t[i].line == line) {
+        inside = true;
+        break;
+      }
+    }
+    if (inside) add("unordered-iter", line, var);
+  }
+}
+
+std::vector<std::string> ParamIdents(const Tokens& t, std::size_t from,
+                                     std::size_t to) {
+  std::vector<std::string> out;
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (t[i].kind == Token::Kind::kIdent) out.push_back(t[i].text);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t ContentHash(const std::string& content) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (unsigned char c : content) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+FileFacts ExtractFacts(const SourceFile& f) {
+  FileFacts facts;
+  facts.path = f.path;
+  const Tokens& t = f.tokens;
+
+  std::set<std::string> known_rules;
+  for (const auto& r : Rules()) known_rules.insert(r.name);
+  const std::set<std::pair<std::string, int>> allowed =
+      ActiveAllowances(f, known_rules, nullptr);
+  const std::set<std::string> rng_vars = CollectRngVars(t);
+
+  // src/exec/ implements the parallel layer: its internals are neither
+  // hazards nor user call chains (following pool.Run edges would drag every
+  // same-named method in the repo into "parallel-reachable").
+  const bool exec_internal = PathContains(f.path, "src/exec/");
+
+  // Includes (quoted operands only; system headers never carry rules).
+  for (const auto& tok : t) {
+    if (tok.kind != Token::Kind::kPreproc) continue;
+    if (tok.text.rfind("#include", 0) != 0) continue;
+    std::size_t q1 = tok.text.find('"');
+    if (q1 == std::string::npos) continue;
+    std::size_t q2 = tok.text.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    facts.includes.push_back(tok.text.substr(q1 + 1, q2 - q1 - 1));
+  }
+
+  // Function and class definitions: one linear scan with a scope stack;
+  // function bodies are skipped wholesale so their statements can never be
+  // mistaken for nested definitions.
+  struct Frame {
+    std::size_t close;
+    bool is_class;
+  };
+  std::vector<Frame> stack;
+  auto in_class = [&]() {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->is_class) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    while (!stack.empty() && i >= stack.back().close) stack.pop_back();
+    if (t[i].kind == Token::Kind::kPreproc) continue;
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    const std::string& word = t[i].text;
+
+    if (word == "namespace") {
+      std::size_t j = i + 1;
+      while (IsAnyIdent(t, j) || IsPunct(t, j, "::")) ++j;
+      if (IsPunct(t, j, "{")) {
+        stack.push_back(Frame{MatchBrace(t, j), false});
+        i = j;  // scan inside
+      }
+      continue;
+    }
+    if (word == "enum") {
+      // `enum [class|struct] Name [: type] { ... };` — skip the body so
+      // enumerator initializers are not scanned as definitions.
+      std::size_t j = i + 1;
+      while (j < t.size() && !IsPunct(t, j, "{") && !IsPunct(t, j, ";")) ++j;
+      if (IsPunct(t, j, "{")) i = MatchBrace(t, j);
+      continue;
+    }
+    if (word == "class" || word == "struct") {
+      std::size_t j = i + 1;
+      std::string name;
+      if (IsAnyIdent(t, j)) {
+        name = t[j].text;
+        ++j;
+      }
+      if (IsPunct(t, j, "<")) {  // explicit specialization name
+        j = SkipAngles(t, j, t.size());
+        if (j == t.size()) continue;
+      }
+      if (IsIdent(t, j, "final")) ++j;
+      bool is_def = false;
+      if (IsPunct(t, j, "{")) {
+        is_def = true;
+      } else if (IsPunct(t, j, ":")) {
+        // Base clause: idents/commas/angles up to '{'. A '(' or ';' means
+        // this was not a class-head after all (e.g. `template <class T>`).
+        for (++j; j < t.size(); ++j) {
+          if (IsPunct(t, j, "{")) {
+            is_def = true;
+            break;
+          }
+          if (IsPunct(t, j, "(") || IsPunct(t, j, ";")) break;
+          if (IsPunct(t, j, "<")) {
+            j = SkipAngles(t, j, t.size());
+            if (j == t.size()) break;
+            --j;
+          }
+        }
+      }
+      if (is_def) {
+        if (!name.empty()) facts.classes.push_back(name);
+        stack.push_back(Frame{MatchBrace(t, j), true});
+        i = j;  // scan inside for methods
+      }
+      continue;
+    }
+
+    // Function definition candidate: `name (` with a plausible declarator
+    // tail `) [quals] [-> type] [: ctor-inits] {`.
+    if (!IsPunct(t, i + 1, "(")) continue;
+    if (IsCallKeyword(word) || IsNonTypeKeyword(word)) continue;
+    if (i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->") ||
+                  IsPunct(t, i - 1, "~"))) {
+      continue;  // member call or destructor
+    }
+    std::size_t close = MatchParen(t, i + 1);
+    if (close >= t.size()) continue;
+    // Scan from ')' to '{' (definition), ';'/'=' (declaration / deleted),
+    // anything structural (another unbalanced ')') aborts.
+    std::size_t j = close + 1;
+    bool is_def = false;
+    for (int guard = 0; j < t.size() && guard < 4096; ++guard) {
+      if (IsPunct(t, j, "{")) {
+        is_def = true;
+        break;
+      }
+      if (IsPunct(t, j, ";") || IsPunct(t, j, "=") || IsPunct(t, j, ")") ||
+          IsPunct(t, j, ",") || IsPunct(t, j, "}")) {
+        break;
+      }
+      if (IsPunct(t, j, "(")) {
+        j = MatchParen(t, j) + 1;  // noexcept(...), ctor-init args
+        continue;
+      }
+      if (IsPunct(t, j, "<")) {
+        std::size_t skipped = SkipAngles(t, j, t.size());
+        if (skipped == t.size()) break;
+        j = skipped;
+        continue;
+      }
+      ++j;
+    }
+    if (!is_def) continue;
+    std::size_t body_open = j;
+    std::size_t body_close = MatchBrace(t, body_open);
+
+    FunctionFacts fn;
+    fn.name = word;
+    fn.line = t[i].line;
+    fn.kind = in_class() ? FunctionFacts::Kind::kMethod
+                         : FunctionFacts::Kind::kFree;
+    // Out-of-line qualifier: `A::B::name(`.
+    {
+      std::size_t q = i;
+      std::vector<std::string> quals;
+      while (q >= 2 && IsPunct(t, q - 1, "::") && IsAnyIdent(t, q - 2)) {
+        quals.push_back(t[q - 2].text);
+        q -= 2;
+      }
+      for (auto it = quals.rbegin(); it != quals.rend(); ++it) {
+        fn.qualifier += (fn.qualifier.empty() ? "" : "::") + *it;
+      }
+    }
+    if (!exec_internal) {
+      fn.params = ParamIdents(t, i + 2, close);
+      fn.binds_scoped_ledger =
+          RangeHasIdent(t, body_open + 1, body_close, "ScopedLedger");
+      fn.calls = CollectCalls(t, body_open + 1, body_close);
+      // Out-of-line `A::B::name` definitions are methods too: their
+      // receiver is unknowable at a call site, so the shared-root rules
+      // must not fire on their member mutations.
+      bool method_like = fn.kind == FunctionFacts::Kind::kMethod ||
+                         !fn.qualifier.empty();
+      CollectHazards(f, body_open + 1, body_close, i + 2, close,
+                     /*shared_root_ok=*/!method_like, rng_vars, allowed,
+                     &fn.hazards);
+    }
+    facts.functions.push_back(std::move(fn));
+    i = body_close;  // never scan a body for nested definitions
+  }
+
+  // Lambda-to-local bindings: `auto name = [...](...) {...};` anywhere.
+  // File-scoped and resolved in preference to (exclusively shadowing) a
+  // same-named free function.
+  for (const LambdaBody& b : FindLambdas(t, 0, t.size())) {
+    if (b.intro < 2 || !IsPunct(t, b.intro - 1, "=")) continue;
+    if (!IsAnyIdent(t, b.intro - 2)) continue;
+    std::size_t name_idx = b.intro - 2;
+    bool auto_decl =
+        (name_idx >= 1 && IsIdent(t, name_idx - 1, "auto")) ||
+        (name_idx >= 2 && IsIdent(t, name_idx - 2, "auto"));  // const auto
+    if (!auto_decl) continue;
+    FunctionFacts fn;
+    fn.kind = FunctionFacts::Kind::kLambdaLocal;
+    fn.name = t[name_idx].text;
+    fn.line = t[name_idx].line;
+    if (!exec_internal) {
+      fn.params = ParamIdents(t, b.params_begin, b.params_end);
+      fn.binds_scoped_ledger = RangeHasIdent(t, b.begin, b.end, "ScopedLedger");
+      fn.calls = CollectCalls(t, b.begin, b.end);
+      CollectHazards(f, b.begin, b.end, b.params_begin, b.params_end,
+                     /*shared_root_ok=*/true, rng_vars, allowed, &fn.hazards);
+    }
+    facts.functions.push_back(std::move(fn));
+  }
+
+  // Parallel-region roots.
+  for (const ParallelRegion& region : ParallelRegions(t)) {
+    RootFacts root;
+    root.desc = region.desc;
+    root.line = region.line;
+    root.binds_scoped_ledger =
+        RangeHasIdent(t, region.body.begin, region.body.end, "ScopedLedger");
+    root.calls = CollectCalls(t, region.body.begin, region.body.end);
+    facts.roots.push_back(std::move(root));
+  }
+  return facts;
+}
+
+// ---------------------------------------------------------------------------
+// Index cache (text; content-hash keyed, so staleness costs time not truth)
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr const char* kCacheHeader = "mlint-index 1";
+}
+
+std::string SerializeFacts(const std::vector<FileFacts>& facts) {
+  std::stringstream out;
+  out << kCacheHeader << "\n";
+  for (const FileFacts& f : facts) {
+    out << "F " << f.content_hash << " " << f.path << "\n";
+    for (const auto& c : f.classes) out << "C " << c << "\n";
+    for (const auto& inc : f.includes) out << "I " << inc << "\n";
+    auto emit_calls = [&](const std::vector<CallSite>& calls) {
+      for (const auto& cs : calls) {
+        out << "S " << (cs.member ? 1 : 0) << " " << cs.line << " "
+            << cs.name << "\n";
+      }
+    };
+    auto emit_hazards = [&](const std::vector<HazardSite>& hazards) {
+      for (const auto& h : hazards) {
+        out << "H " << h.rule << " " << h.line << " " << h.token << " "
+            << h.snippet << "\n";
+      }
+    };
+    for (const auto& fn : f.functions) {
+      out << "D " << static_cast<int>(fn.kind) << " " << fn.line << " "
+          << (fn.binds_scoped_ledger ? 1 : 0) << " " << fn.name << " "
+          << (fn.qualifier.empty() ? "-" : fn.qualifier) << "\n";
+      for (const auto& p : fn.params) out << "P " << p << "\n";
+      emit_calls(fn.calls);
+      emit_hazards(fn.hazards);
+    }
+    for (const auto& r : f.roots) {
+      out << "R " << r.line << " " << (r.binds_scoped_ledger ? 1 : 0) << " "
+          << r.desc << "\n";
+      emit_calls(r.calls);
+      emit_hazards({});
+    }
+  }
+  return out.str();
+}
+
+std::map<std::string, FileFacts> ParseFactsCache(const std::string& text) {
+  std::map<std::string, FileFacts> out;
+  std::stringstream ss(text);
+  std::string line;
+  if (!std::getline(ss, line) || TrimWs(line) != kCacheHeader) return out;
+  FileFacts* cur = nullptr;
+  FunctionFacts* cur_fn = nullptr;
+  RootFacts* cur_root = nullptr;
+  while (std::getline(ss, line)) {
+    if (line.size() < 2) continue;
+    char tag = line[0];
+    std::stringstream ls(line.substr(2));
+    switch (tag) {
+      case 'F': {
+        FileFacts f;
+        ls >> f.content_hash;
+        std::getline(ls, f.path);
+        f.path = TrimWs(f.path);
+        if (f.path.empty()) return {};
+        cur = &(out[f.path] = std::move(f));
+        cur_fn = nullptr;
+        cur_root = nullptr;
+        break;
+      }
+      case 'C':
+        if (cur) cur->classes.push_back(TrimWs(line.substr(2)));
+        break;
+      case 'I':
+        if (cur) cur->includes.push_back(TrimWs(line.substr(2)));
+        break;
+      case 'D': {
+        if (!cur) break;
+        FunctionFacts fn;
+        int kind = 0, ledger = 0;
+        ls >> kind >> fn.line >> ledger >> fn.name >> fn.qualifier;
+        fn.kind = static_cast<FunctionFacts::Kind>(kind);
+        fn.binds_scoped_ledger = ledger != 0;
+        if (fn.qualifier == "-") fn.qualifier.clear();
+        cur->functions.push_back(std::move(fn));
+        cur_fn = &cur->functions.back();
+        cur_root = nullptr;
+        break;
+      }
+      case 'R': {
+        if (!cur) break;
+        RootFacts r;
+        int ledger = 0;
+        ls >> r.line >> ledger;
+        r.binds_scoped_ledger = ledger != 0;
+        std::getline(ls, r.desc);
+        r.desc = TrimWs(r.desc);
+        cur->roots.push_back(std::move(r));
+        cur_root = &cur->roots.back();
+        cur_fn = nullptr;
+        break;
+      }
+      case 'P':
+        if (cur_fn) cur_fn->params.push_back(TrimWs(line.substr(2)));
+        break;
+      case 'S': {
+        CallSite cs;
+        int member = 0;
+        ls >> member >> cs.line >> cs.name;
+        cs.member = member != 0;
+        if (cur_fn) cur_fn->calls.push_back(std::move(cs));
+        else if (cur_root) cur_root->calls.push_back(std::move(cs));
+        break;
+      }
+      case 'H': {
+        if (!cur_fn) break;
+        HazardSite h;
+        ls >> h.rule >> h.line >> h.token;
+        std::getline(ls, h.snippet);
+        h.snippet = TrimWs(h.snippet);
+        cur_fn->hazards.push_back(std::move(h));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: linking + reachability
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Member calls resolve by bare name across every class, so hub names
+/// (Run, Add, ...) could drag unrelated methods into "parallel-reachable".
+/// A member call with more candidate methods than this is treated as
+/// unresolvable — the receiver-type information a token stream cannot
+/// carry. Plain calls are not capped: free-function names are unique in
+/// practice, and the miss would be silent.
+constexpr std::size_t kMemberFanoutCap = 4;
+
+struct FnRef {
+  const FileFacts* file;
+  const FunctionFacts* fn;
+};
+
+std::string TransitiveMessage(const HazardSite& h, const std::string& fn) {
+  const std::string where = "'" + fn + "'";
+  if (h.rule == "nondet-random") {
+    return "'" + h.token + "' in " + where +
+           " runs inside a parallel region — entropy must be a pure "
+           "function of the experiment seed; thread a per-chunk stats::Rng "
+           "substream through instead";
+  }
+  if (h.rule == "charge-in-parallel") {
+    return "simulator charge '" + h.token + "' in " + where +
+           " is reachable from a parallel region with no ScopedLedger on "
+           "the path — record to the chunk's ChargeLedger and commit in "
+           "chunk-index order";
+  }
+  if (h.rule == "naive-reduction") {
+    return "'" + h.token + " +=' in " + where +
+           " accumulates into shared state from inside a parallel region — "
+           "fold per-chunk partials in index order instead";
+  }
+  if (h.rule == "raw-thread") {
+    return "raw threading '" + h.token + "' in " + where +
+           " is reachable from a parallel region — only src/exec/ may "
+           "touch std threading primitives";
+  }
+  if (h.rule == "rng-in-parallel") {
+    return "shared RNG '" + h.token + "' drawn in " + where +
+           " from inside a parallel region — derive a per-chunk substream "
+           "with Split() at the chunk boundary";
+  }
+  if (h.rule == "ledger-order") {
+    return "'" + h.token + "' in " + where +
+           " is reachable from a parallel region — phase/ledger "
+           "finalization must run caller-side, after the loop";
+  }
+  if (h.rule == "unordered-iter") {
+    return "iterating unordered container '" + h.token + "' in " + where +
+           " from inside a parallel region — bucket order leaks scheduling "
+           "into results";
+  }
+  return "'" + h.token + "' in " + where + " reachable from a parallel region";
+}
+
+void EmitTransitive(std::vector<Finding>* findings, const FileFacts& file,
+                    const HazardSite& h, const std::string& fn_name,
+                    std::vector<std::string> chain) {
+  chain.push_back(file.path + ":" + std::to_string(h.line) + ": hazard `" +
+                  h.snippet + "`");
+  for (auto& existing : *findings) {
+    if (existing.rule == h.rule && existing.path == file.path &&
+        existing.line == h.line) {
+      if (existing.chain.empty()) existing.chain = std::move(chain);
+      return;
+    }
+  }
+  Finding fd;
+  fd.rule = h.rule;
+  fd.path = file.path;
+  fd.line = h.line;
+  fd.message = TransitiveMessage(h, fn_name);
+  fd.snippet = h.snippet;
+  fd.chain = std::move(chain);
+  findings->push_back(std::move(fd));
+}
+
+struct Linker {
+  std::set<std::string> classes;
+  std::map<std::string, std::vector<FnRef>> by_name;  // non-lambda defs
+  std::map<std::pair<std::string, std::string>, FnRef> lambda_locals;
+  std::map<const FunctionFacts*, bool> effective_method;
+
+  explicit Linker(const std::map<std::string, FileFacts>& facts) {
+    for (const auto& [path, f] : facts) {
+      for (const auto& c : f.classes) classes.insert(c);
+    }
+    for (const auto& [path, f] : facts) {
+      for (const auto& fn : f.functions) {
+        FnRef ref{&f, &fn};
+        if (fn.kind == FunctionFacts::Kind::kLambdaLocal) {
+          lambda_locals[{path, fn.name}] = ref;
+          continue;
+        }
+        bool method = fn.kind == FunctionFacts::Kind::kMethod;
+        if (!method && !fn.qualifier.empty()) {
+          // Out-of-line A::B::name — a method when the last qualifier
+          // segment names a known class.
+          std::size_t sep = fn.qualifier.rfind("::");
+          std::string last = sep == std::string::npos
+                                 ? fn.qualifier
+                                 : fn.qualifier.substr(sep + 2);
+          method = classes.count(last) != 0;
+        }
+        effective_method[&fn] = method;
+        by_name[fn.name].push_back(ref);
+      }
+    }
+  }
+
+  std::vector<FnRef> Resolve(const std::string& caller_path,
+                             const CallSite& cs) const {
+    if (!cs.member) {
+      auto it = lambda_locals.find({caller_path, cs.name});
+      if (it != lambda_locals.end()) return {it->second};
+    }
+    auto it = by_name.find(cs.name);
+    if (it == by_name.end()) return {};
+    if (!cs.member) return it->second;
+    std::vector<FnRef> methods;
+    for (const FnRef& ref : it->second) {
+      if (effective_method.at(ref.fn)) methods.push_back(ref);
+    }
+    if (methods.size() > kMemberFanoutCap) return {};
+    return methods;
+  }
+};
+
+/// BFS from every parallel-region root; emits transitive findings for
+/// hazards inside reachable functions whose file is in the lint set.
+/// `ledgered` tracks whether a ScopedLedger is bound somewhere on the
+/// path (root or intermediate) — charge-in-parallel is gated on it.
+void TransitivePass(const std::map<std::string, FileFacts>& facts,
+                    const std::set<std::string>& lint_set,
+                    std::vector<Finding>* findings,
+                    std::map<const FunctionFacts*, bool>* reachable_out) {
+  Linker linker(facts);
+
+  struct Item {
+    FnRef ref;
+    bool ledgered;
+    std::vector<std::string> chain;
+  };
+  std::deque<Item> queue;
+  // visited bit 1: visited with ledgered=true; bit 2: ledgered=false.
+  std::map<const FunctionFacts*, int> visited;
+
+  for (const auto& [path, f] : facts) {
+    for (const auto& root : f.roots) {
+      std::vector<std::string> base = {path + ":" + std::to_string(root.line) +
+                                       ": parallel region (" + root.desc +
+                                       ")"};
+      for (const auto& cs : root.calls) {
+        for (const FnRef& ref : linker.Resolve(path, cs)) {
+          auto chain = base;
+          chain.push_back(path + ":" + std::to_string(cs.line) + ": calls " +
+                          cs.name + "(...)");
+          queue.push_back(Item{ref, root.binds_scoped_ledger,
+                               std::move(chain)});
+        }
+      }
+    }
+  }
+
+  while (!queue.empty()) {
+    Item item = std::move(queue.front());
+    queue.pop_front();
+    const FunctionFacts* fn = item.ref.fn;
+    const bool ledgered = item.ledgered || fn->binds_scoped_ledger;
+    const int bit = ledgered ? 1 : 2;
+    int& mask = visited[fn];
+    if ((mask & bit) != 0) continue;
+    mask |= bit;
+    if (reachable_out != nullptr) (*reachable_out)[fn] = true;
+
+    if (lint_set.count(item.ref.file->path) != 0) {
+      for (const auto& h : fn->hazards) {
+        if (h.rule == "charge-in-parallel" && ledgered) continue;
+        EmitTransitive(findings, *item.ref.file, h, fn->name, item.chain);
+      }
+    }
+    for (const auto& cs : fn->calls) {
+      for (const FnRef& ref : linker.Resolve(item.ref.file->path, cs)) {
+        auto chain = item.chain;
+        chain.push_back(item.ref.file->path + ":" +
+                        std::to_string(cs.line) + ": calls " + cs.name +
+                        "(...)");
+        queue.push_back(Item{ref, ledgered, std::move(chain)});
+      }
+    }
+  }
+}
+
+std::string CallgraphJson(const std::map<std::string, FileFacts>& facts,
+                          const std::map<const FunctionFacts*, bool>& reach) {
+  using internal::JsonEscape;
+  std::stringstream out;
+  out << "{\n  \"mlint_callgraph\": 1,\n  \"roots\": [";
+  bool first = true;
+  for (const auto& [path, f] : facts) {
+    for (const auto& r : f.roots) {
+      out << (first ? "\n" : ",\n") << "    {\"file\": \"" << JsonEscape(path)
+          << "\", \"line\": " << r.line << ", \"desc\": \""
+          << JsonEscape(r.desc) << "\", \"scoped_ledger\": "
+          << (r.binds_scoped_ledger ? "true" : "false") << "}";
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n  ") << "],\n  \"functions\": [";
+  first = true;
+  static const char* kKinds[] = {"free", "method", "lambda-local"};
+  for (const auto& [path, f] : facts) {
+    for (const auto& fn : f.functions) {
+      out << (first ? "\n" : ",\n") << "    {\"name\": \""
+          << JsonEscape(fn.name) << "\", \"qualifier\": \""
+          << JsonEscape(fn.qualifier) << "\", \"kind\": \""
+          << kKinds[static_cast<int>(fn.kind)] << "\", \"file\": \""
+          << JsonEscape(path) << "\", \"line\": " << fn.line
+          << ", \"parallel_reachable\": "
+          << (reach.count(&fn) != 0 ? "true" : "false") << ", \"calls\": [";
+      for (std::size_t i = 0; i < fn.calls.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << "{\"name\": \""
+            << JsonEscape(fn.calls[i].name) << "\", \"member\": "
+            << (fn.calls[i].member ? "true" : "false") << ", \"line\": "
+            << fn.calls[i].line << "}";
+      }
+      out << "]}";
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Driving
+// ---------------------------------------------------------------------------
+
+bool LintableFile(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool SkippableDir(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+std::vector<std::string> EnumerateFiles(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, ec), end;
+      for (; it != end; it.increment(ec)) {
+        if (it->is_directory() && SkippableDir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && LintableFile(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::exists(p, ec)) {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+/// The shared core: `contents` maps every indexed path to its source,
+/// `lint` is the subset to report on. `resolver` turns (includer, operand)
+/// into a loadable path or "".
+LintResult RunAnalysis(
+    std::map<std::string, std::string> contents, std::set<std::string> lint,
+    bool expand_includes,
+    const std::function<std::string(const std::string&, const std::string&)>&
+        resolver,
+    const std::function<bool(const std::string&, std::string*)>& loader,
+    const std::map<std::string, FileFacts>& cache,
+    std::string* cache_out, std::string* callgraph_json) {
+  LintResult r;
+  std::map<std::string, FileFacts> facts;
+  std::map<std::string, SourceFile> parsed;
+
+  auto ensure_facts = [&](const std::string& path) -> const FileFacts& {
+    auto it = facts.find(path);
+    if (it != facts.end()) return it->second;
+    const std::string& content = contents.at(path);
+    const std::uint64_t hash = ContentHash(content);
+    auto cached = cache.find(path);
+    if (cached != cache.end() && cached->second.content_hash == hash &&
+        lint.count(path) == 0) {
+      return facts.emplace(path, cached->second).first->second;
+    }
+    SourceFile f = Parse(path, content);
+    FileFacts ff = ExtractFacts(f);
+    ff.content_hash = hash;
+    parsed.emplace(path, std::move(f));
+    return facts.emplace(path, std::move(ff)).first->second;
+  };
+
+  for (const auto& [path, content] : contents) ensure_facts(path);
+
+  // Include-graph expansion of the lint set: a header reachable from a
+  // linted file is linted too, even when nothing compiles it directly.
+  if (expand_includes) {
+    std::deque<std::string> work(lint.begin(), lint.end());
+    while (!work.empty()) {
+      std::string path = std::move(work.front());
+      work.pop_front();
+      // ensure_facts requires contents; guaranteed for worklist entries.
+      std::vector<std::string> includes = ensure_facts(path).includes;
+      for (const auto& inc : includes) {
+        std::string resolved = resolver(path, inc);
+        if (resolved.empty() || lint.count(resolved) != 0) continue;
+        if (contents.count(resolved) == 0) {
+          std::string content;
+          if (!loader(resolved, &content)) continue;
+          contents.emplace(resolved, std::move(content));
+        }
+        lint.insert(resolved);
+        work.push_back(resolved);
+      }
+    }
+  }
+
+  // Lexical pass over the lint set.
+  for (const auto& path : lint) {
+    auto it = parsed.find(path);
+    if (it == parsed.end()) {
+      it = parsed.emplace(path, Parse(path, contents.at(path))).first;
+    }
+    CheckFile(it->second, &r.findings);
+  }
+  r.files_scanned = static_cast<int>(lint.size());
+
+  // Transitive pass over the whole index.
+  std::map<const FunctionFacts*, bool> reachable;
+  TransitivePass(facts, lint, &r.findings,
+                 callgraph_json != nullptr ? &reachable : nullptr);
+  if (callgraph_json != nullptr) {
+    *callgraph_json = CallgraphJson(facts, reachable);
+  }
+
+  std::stable_sort(r.findings.begin(), r.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
+
+  if (cache_out != nullptr) {
+    std::vector<FileFacts> all;
+    all.reserve(facts.size());
+    for (auto& [path, f] : facts) all.push_back(std::move(f));
+    *cache_out = SerializeFacts(all);
+  }
+  return r;
+}
+
+std::string DirName(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string NormalizePath(const std::string& p) {
+  return std::filesystem::path(p).lexically_normal().generic_string();
+}
+
+}  // namespace
+
+LintResult LintProgram(const LintOptions& options,
+                       std::string* callgraph_json) {
+  namespace fs = std::filesystem;
+  auto loader = [](const std::string& path, std::string* out) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+  };
+
+  std::map<std::string, std::string> contents;
+  auto load_all = [&](const std::vector<std::string>& paths,
+                      std::set<std::string>* collect) {
+    for (const auto& path : EnumerateFiles(paths)) {
+      std::string norm = NormalizePath(path);
+      if (contents.count(norm) == 0) {
+        std::string content;
+        if (!loader(norm, &content)) continue;
+        contents.emplace(norm, std::move(content));
+      }
+      if (collect != nullptr) collect->insert(norm);
+    }
+  };
+
+  std::set<std::string> lint;
+  load_all(options.index_paths, nullptr);
+  load_all(options.lint_paths.empty() ? options.index_paths
+                                      : options.lint_paths,
+           &lint);
+
+  auto resolver = [&](const std::string& includer,
+                      const std::string& operand) -> std::string {
+    std::string dir = DirName(includer);
+    const std::string candidates[] = {
+        dir.empty() ? operand : dir + "/" + operand,
+        "src/" + operand,
+        operand,
+    };
+    for (const auto& c : candidates) {
+      std::string norm = NormalizePath(c);
+      if (PathContains(norm, "build")) continue;
+      std::error_code ec;
+      if (contents.count(norm) != 0 || fs::is_regular_file(norm, ec)) {
+        return norm;
+      }
+    }
+    return "";
+  };
+
+  std::map<std::string, FileFacts> cache;
+  if (!options.index_cache.empty()) {
+    std::string text;
+    if (loader(options.index_cache, &text)) cache = ParseFactsCache(text);
+  }
+  std::string cache_out;
+  LintResult r = RunAnalysis(
+      std::move(contents), std::move(lint), options.expand_includes, resolver,
+      loader, cache, options.index_cache.empty() ? nullptr : &cache_out,
+      callgraph_json);
+  if (!options.index_cache.empty()) {
+    std::ofstream out(options.index_cache, std::ios::trunc);
+    if (out) out << cache_out;
+  }
+  return r;
+}
+
+LintResult LintSources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    std::string* callgraph_json) {
+  std::map<std::string, std::string> contents;
+  std::set<std::string> lint;
+  for (const auto& [path, content] : sources) {
+    contents[path] = content;
+    lint.insert(path);
+  }
+  auto resolver = [&contents](const std::string& includer,
+                              const std::string& operand) -> std::string {
+    std::string dir = DirName(includer);
+    const std::string candidates[] = {
+        dir.empty() ? operand : dir + "/" + operand,
+        "src/" + operand,
+        operand,
+    };
+    for (const auto& c : candidates) {
+      if (contents.count(c) != 0) return c;
+    }
+    return "";
+  };
+  auto loader = [](const std::string&, std::string*) { return false; };
+  return RunAnalysis(std::move(contents), std::move(lint),
+                     /*expand_includes=*/true, resolver, loader, {}, nullptr,
+                     callgraph_json);
+}
+
+LintResult LintContent(const std::string& path, const std::string& content) {
+  return LintSources({{path, content}});
+}
+
+LintResult LintPaths(const std::vector<std::string>& paths) {
+  LintOptions options;
+  options.index_paths = paths;
+  return LintProgram(options);
+}
+
+}  // namespace mlint

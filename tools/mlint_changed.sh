@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Diff-aware mlint wrapper: lints only the C++ files changed relative to a
+# base ref and emits GitHub Actions ::error annotations so findings land
+# inline on the PR diff. The *whole-tree* lint job remains the merge gate —
+# this wrapper only improves how findings are surfaced, so it must never
+# pass anything the full lint would fail.
+#
+# Usage: tools/mlint_changed.sh [base-ref]     (default: origin/main)
+#   MLINT=path/to/mlint to override the binary location.
+#
+# The full tree is still indexed (--index-root) even though only changed
+# files are linted: transitive parallel-region reachability needs the whole
+# call graph, and a changed helper can pick up findings from an unchanged
+# caller's parallel region.
+set -euo pipefail
+
+MLINT="${MLINT:-build/tools/mlint}"
+BASE_REF="${1:-origin/main}"
+
+if [ ! -x "$MLINT" ]; then
+  echo "mlint_changed: $MLINT not found — build it first:" >&2
+  echo "  cmake --build build --target mlint" >&2
+  exit 2
+fi
+
+base="$(git merge-base "$BASE_REF" HEAD 2>/dev/null || true)"
+if [ -z "$base" ]; then
+  echo "mlint_changed: no merge base with $BASE_REF; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$base" HEAD -- \
+  'src/*.h' 'src/*.cc' 'tests/*.h' 'tests/*.cc' 'tools/*.h' 'tools/*.cc')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "mlint_changed: no C++ files changed relative to $BASE_REF"
+  exit 0
+fi
+
+echo "mlint_changed: linting ${#files[@]} changed file(s) vs $BASE_REF" >&2
+exec "$MLINT" --annotate --index-root=src --index-root=tests "${files[@]}"
