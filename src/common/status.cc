@@ -20,8 +20,26 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromName(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kOutOfMemory,  StatusCode::kFailedPrecondition,
+      StatusCode::kNotFound,     StatusCode::kUnimplemented,
+      StatusCode::kInternal,     StatusCode::kUnavailable,
+      StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode c : kAll) {
+    if (name == StatusCodeName(c)) return c;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

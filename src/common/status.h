@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -24,10 +25,17 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,        ///< simulated machine failed permanently (retries spent)
+  kResourceExhausted,  ///< admitting the request would overcommit host RAM,
+                       ///< or the admission queue is full (load shed)
+  kDeadlineExceeded,   ///< request deadline passed before (or during) its run
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OutOfMemory", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName, for wire formats that ship codes by name
+/// (the experiment server protocol). Unknown names map to kInternal.
+StatusCode StatusCodeFromName(std::string_view name);
 
 /// A success-or-error outcome carrying a code and a message.
 ///
@@ -65,6 +73,12 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -78,6 +92,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] bool IsUnavailable() const {
     return code_ == StatusCode::kUnavailable;
+  }
+  [[nodiscard]] bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  [[nodiscard]] bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   friend bool operator==(const Status& a, const Status& b) {

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "exec/cancel.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_profile.h"
 #include "sim/faults.h"
@@ -58,6 +60,32 @@ struct ExperimentConfig {
   /// ApplyNoise, before any engine work.
   void ApplyFaults(sim::ClusterSim* sim) const {
     if (faults.Enabled()) sim->SetFaultInjector(faults.MakeInjector());
+  }
+
+  // ---- Session hooks (experiment server) -----------------------------------
+  //
+  // A long-running server gives every session its own ExperimentConfig, so
+  // these fields are the session-scoped channel between a run and its
+  // owner. Both default to "absent": a config with neither set executes
+  // bit-identically to one predating the server layer.
+
+  /// Cooperative cancellation, observed at iteration boundaries only (a
+  /// cancelled run stops at a synchronisation point, never mid-iteration,
+  /// so there is no torn model state). Not owned; may be null.
+  const exec::CancelToken* cancel = nullptr;
+
+  /// Progress notification, invoked with (completed_iterations, total)
+  /// from the run's own thread at each iteration boundary. May be empty.
+  std::function<void(int, int)> progress;
+
+  /// Drivers call this at the top of every iteration: reports progress
+  /// and returns the cancellation status (OK to continue). Non-OK means
+  /// the driver must abandon the run and return RunResult::Fail with this
+  /// status — the iteration boundary is the only cancellation point.
+  Status IterationBoundary(int completed_iterations) const {
+    if (cancel != nullptr && cancel->cancelled()) return cancel->status();
+    if (progress) progress(completed_iterations, iterations);
+    return Status::OK();
   }
 };
 

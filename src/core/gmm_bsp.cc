@@ -210,6 +210,9 @@ RunResult RunGmmBsp(const GmmExperiment& exp, models::GmmParams* final_model) {
       8.0;  // Mallet temporaries
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     std::uint64_t iter_seed = exp.config.seed ^ (0xBEEF + iter);
 

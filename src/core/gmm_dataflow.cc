@@ -198,6 +198,9 @@ RunResult RunGmmDataflow(const GmmExperiment& exp,
       (exp.language == sim::Language::kPython ? 160.0 : 48.0);
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     auto sampler_r = models::GmmMembershipSampler::Build(params);
     if (!sampler_r.ok()) return RunResult::Fail(sampler_r.status());

@@ -402,6 +402,9 @@ RunResult RunGmmGas(const GmmExperiment& exp,
                        CppCallEquivalentFlops(PaperImputeCalls());
   }
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     GmmProgram program(hyper, exp.config.seed, iter,
                        flops_per_point * points_per_vertex_logical);

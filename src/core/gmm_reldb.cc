@@ -160,22 +160,31 @@ class ClusterPosteriorVg : public reldb::VgFunction {
       }  // kind 3: structural seed row ensuring every cluster has a group
     }
     auto post = models::SampleClusterPosterior(rng, hyper_, stats);
-    MLBENCH_CHECK_MSG(post.ok(), post.status().ToString().c_str());
+    std::pair<Vector, Matrix> draw = post.ok()
+                                         ? std::move(*post)
+                                         : FallbackDraw(post.status());
     const Tuple& any = params[0];
     for (std::size_t d = 0; d < hyper_.dim; ++d) {
       out->push_back(Tuple{any[clus_c_], std::int64_t{0},
                            static_cast<std::int64_t>(d), std::int64_t{0},
-                           post->first[d]});
+                           draw.first[d]});
     }
     for (std::size_t r = 0; r < hyper_.dim; ++r) {
       for (std::size_t c = 0; c < hyper_.dim; ++c) {
         out->push_back(Tuple{any[clus_c_], std::int64_t{1},
                              static_cast<std::int64_t>(r),
                              static_cast<std::int64_t>(c),
-                             post->second(r, c)});
+                             draw.second(r, c)});
       }
     }
   }
+
+  /// First posterior-sampling failure across the query, if any. The VG
+  /// interface has no status channel, so the driver polls this after the
+  /// model-update query and converts a failure into a "Fail" cell instead
+  /// of aborting the process (a degenerate subsample must not take down
+  /// the whole experiment server).
+  const Status& status() const { return status_; }
   std::size_t OutRowsHint(std::size_t) const override {
     return hyper_.dim + hyper_.dim * hyper_.dim;
   }
@@ -215,7 +224,9 @@ class ClusterPosteriorVg : public reldb::VgFunction {
         }  // kind 3: structural seed row ensuring every cluster has a group
       }
       auto post = models::SampleClusterPosterior(rng, hyper_, stats);
-      MLBENCH_CHECK_MSG(post.ok(), post.status().ToString().c_str());
+      std::pair<Vector, Matrix> draw = post.ok()
+                                           ? std::move(*post)
+                                           : FallbackDraw(post.status());
       // Every output row of this group carries the group's clus_id value
       // (the tuple path re-emits params[0][clus_c_] verbatim).
       auto emit = [&](std::int64_t kind, std::size_t d1, std::size_t d2,
@@ -232,19 +243,29 @@ class ClusterPosteriorVg : public reldb::VgFunction {
         ++w;
       };
       for (std::size_t d = 0; d < hyper_.dim; ++d) {
-        emit(0, d, 0, post->first[d]);
+        emit(0, d, 0, draw.first[d]);
       }
       for (std::size_t r = 0; r < hyper_.dim; ++r) {
         for (std::size_t c = 0; c < hyper_.dim; ++c) {
-          emit(1, r, c, post->second(r, c));
+          emit(1, r, c, draw.second(r, c));
         }
       }
     }
   }
 
  private:
+  /// Deterministic positive-definite stand-in for a cluster whose
+  /// sufficient statistics yielded a non-PD posterior scale (tiny or
+  /// degenerate subsamples). The first failure is latched in status_ so
+  /// the driver can fail the run cleanly after the query completes.
+  std::pair<Vector, Matrix> FallbackDraw(const Status& st) {
+    if (status_.ok()) status_ = st;
+    return {hyper_.mu0, Matrix::Identity(hyper_.dim)};
+  }
+
   GmmHyper hyper_;
   double count_scale_;
+  Status status_ = Status::OK();
   std::size_t kind_c_ = 0, d1_c_ = 0, d2_c_ = 0, val_c_ = 0, clus_c_ = 0;
 };
 
@@ -519,6 +540,9 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
   double super_flops = CachedMembershipCppFlops(exp.k, exp.dim);
 
   for (int i = 1; i <= exp.config.iterations; ++i) {
+    if (Status hs = exp.config.IterationBoundary(i - 1); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     auto sampler_r = models::GmmMembershipSampler::Build(params);
     if (!sampler_r.ok()) {
@@ -700,6 +724,9 @@ RunResult RunGmmRelDb(const GmmExperiment& exp,
 
     params = ReadModel(db, i, exp.k, exp.dim);
     result.iteration_seconds.push_back(sim.elapsed_seconds() - t0);
+    if (!post_vg.status().ok()) {
+      return RunResult::Fail(post_vg.status(), result.init_seconds);
+    }
     if (!db.fault_status().ok()) {
       return RunResult::Fail(db.fault_status(), result.init_seconds);
     }

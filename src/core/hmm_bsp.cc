@@ -144,6 +144,9 @@ RunResult RunHmmBsp(const HmmExperiment& exp,
       HmmWordCost(sim::Language::kJava, exp.granularity, exp.states);
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     std::uint64_t iter_seed = exp.config.seed ^ (0x4A60u + iter);
 

@@ -154,6 +154,9 @@ RunResult RunHmmDataflow(const HmmExperiment& exp,
   const double count_bytes = model_entry_bytes;
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     auto params_ptr = std::make_shared<HmmParams>(params);
     std::uint64_t iter_seed = exp.config.seed ^ (0x4A40u + iter);

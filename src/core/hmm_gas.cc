@@ -270,6 +270,9 @@ RunResult RunHmmGas(const HmmExperiment& exp,
   double word_flops = wc.flops + CppCallEquivalentFlops(3.0);
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     HmmProgram program(hyper, exp.config.seed, iter, word_flops,
                        words_per_super);

@@ -163,6 +163,9 @@ RunResult RunLassoBsp(const LassoExperiment& exp,
   double sse_scale = 1.0;
   (void)n_logical;
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     std::uint64_t iter_seed = exp.config.seed ^ (0x1A54u + iter);
 

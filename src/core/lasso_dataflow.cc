@@ -113,6 +113,9 @@ RunResult RunLassoDataflow(const LassoExperiment& exp,
 
   // ---- Iterations -----------------------------------------------------------
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
 
     // Driver: tau and beta updates (local linalg at driver language cost).

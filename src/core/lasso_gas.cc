@@ -261,6 +261,9 @@ RunResult RunLassoGas(const LassoExperiment& exp,
   sim.ResetClock();
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     LassoProgram program(hyper, &stats, exp.config.seed, iter, y_avg);
     // The chain runs at actual-sample scale, matching the Gram statistics.

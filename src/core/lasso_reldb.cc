@@ -173,6 +173,9 @@ RunResult RunLassoRelDb(const LassoExperiment& exp,
 
   // ---- Iterations -----------------------------------------------------------
   for (int i = 1; i <= exp.config.iterations; ++i) {
+    if (Status hs = exp.config.IterationBoundary(i - 1); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
 
     // tau[i]: one InvGaussian draw per regressor (paper's CREATE TABLE

@@ -135,6 +135,9 @@ RunResult RunLdaBsp(const LdaExperiment& exp,
   wc.calls = exp.granularity == TextGranularity::kSuperVertex ? 0.85 : 1.0;
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     std::uint64_t iter_seed = exp.config.seed ^ (0x7DD0u + iter);
 

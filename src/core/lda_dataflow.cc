@@ -103,6 +103,9 @@ RunResult RunLdaDataflow(const LdaExperiment& exp,
   const double count_bytes = python ? 60.0 : 40.0;
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     auto params_ptr = std::make_shared<LdaParams>(params);
     std::uint64_t iter_seed = exp.config.seed ^ (0x7DB0u + iter);

@@ -257,6 +257,9 @@ RunResult RunLdaGas(const LdaExperiment& exp,
   double word_flops = wc.flops + CppCallEquivalentFlops(6.0);
 
   for (int iter = 0; iter < exp.config.iterations; ++iter) {
+    if (Status hs = exp.config.IterationBoundary(iter); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     LdaProgram program(hyper, exp.config.seed, iter, word_flops,
                        words_per_super);

@@ -199,6 +199,9 @@ RunResult RunLdaRelDb(const LdaExperiment& exp,
   double word_flops = wc.flops + CppCallEquivalentFlops(wc.calls);
 
   for (int i = 1; i <= exp.config.iterations; ++i) {
+    if (Status hs = exp.config.IterationBoundary(i - 1); !hs.ok()) {
+      return RunResult::Fail(std::move(hs), result.init_seconds);
+    }
     double t0 = sim.elapsed_seconds();
     auto params_ptr = std::make_shared<LdaParams>(params);
 

@@ -1,0 +1,163 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "common/str_format.h"
+
+namespace mlbench::server {
+
+Ticket& Ticket::operator=(Ticket&& o) noexcept {
+  if (this != &o) {
+    Release();
+    controller_ = o.controller_;
+    reservation_id_ = o.reservation_id_;
+    queue_ms_ = o.queue_ms_;
+    o.controller_ = nullptr;
+    o.reservation_id_ = 0;
+  }
+  return *this;
+}
+
+void Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseReservation(reservation_id_);
+    controller_ = nullptr;
+    reservation_id_ = 0;
+  }
+}
+
+AdmissionController::AdmissionController(double budget_bytes,
+                                         std::size_t max_queue)
+    : ledger_(budget_bytes), max_queue_(max_queue) {}
+
+Result<Ticket> AdmissionController::Admit(double bytes,
+                                          std::int64_t deadline_ms,
+                                          std::string_view what) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point arrival = Clock::now();
+  const bool has_deadline = deadline_ms > 0;
+  const Clock::time_point deadline =
+      arrival + std::chrono::milliseconds(has_deadline ? deadline_ms : 0);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::ResourceExhausted("server is shutting down");
+  }
+  if (ledger_.NeverFits(bytes)) {
+    ++stats_.rejected_never_fits;
+    return Status::ResourceExhausted(
+        std::string(what) + ": " + FormatBytes(bytes) +
+        " exceeds the whole host budget of " +
+        FormatBytes(ledger_.budget_bytes()));
+  }
+
+  auto queue_ms = [&arrival] {
+    return std::chrono::duration<double, std::milli>(Clock::now() - arrival)
+        .count();
+  };
+
+  // Fast path: capacity available and nobody queued ahead of us.
+  if (waiters_.empty() && ledger_.Fits(bytes)) {
+    auto id = ledger_.Reserve(bytes, what);
+    if (id.ok()) {
+      ++stats_.admitted;
+      stats_.peak_reserved_bytes = std::max(stats_.peak_reserved_bytes,
+                                            ledger_.reserved_bytes());
+      return Ticket(this, *id, queue_ms());
+    }
+  }
+
+  // Queue (bounded). A full queue is the overload signal: shed now, with
+  // a retryable code, instead of accumulating unbounded latency.
+  if (waiters_.size() >= max_queue_) {
+    ++stats_.shed_queue_full;
+    return Status::ResourceExhausted(
+        std::string(what) + ": admission queue full (" +
+        std::to_string(max_queue_) + " waiters); load shed");
+  }
+  const std::uint64_t my_turn = next_waiter_++;
+  waiters_.push_back(my_turn);
+  stats_.peak_queue_depth = std::max(
+      stats_.peak_queue_depth, static_cast<std::int64_t>(waiters_.size()));
+
+  auto remove_me = [&] {
+    waiters_.erase(std::find(waiters_.begin(), waiters_.end(), my_turn));
+    // Our departure may unblock the new front (FIFO head-of-line).
+    cv_.notify_all();
+  };
+
+  for (;;) {
+    if (shutdown_) {
+      remove_me();
+      return Status::ResourceExhausted("server is shutting down");
+    }
+    // Strict FIFO: only the front waiter may take capacity.
+    if (waiters_.front() == my_turn && ledger_.Fits(bytes)) {
+      auto id = ledger_.Reserve(bytes, what);
+      if (id.ok()) {
+        remove_me();
+        ++stats_.admitted;
+        ++stats_.admitted_after_wait;
+        stats_.peak_reserved_bytes = std::max(stats_.peak_reserved_bytes,
+                                              ledger_.reserved_bytes());
+        return Ticket(this, *id, queue_ms());
+      }
+    }
+    if (has_deadline) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          Clock::now() >= deadline) {
+        // Re-check one last time under the lock: capacity may have freed
+        // concurrently with the timeout.
+        if (waiters_.front() == my_turn && ledger_.Fits(bytes)) continue;
+        remove_me();
+        ++stats_.shed_deadline;
+        return Status::DeadlineExceeded(
+            std::string(what) + ": deadline of " +
+            std::to_string(deadline_ms) + " ms passed while queued");
+      }
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::ReleaseReservation(std::int64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // NotFound here would mean a Ticket double-release, which the Ticket
+    // API makes impossible; crash loudly in debug, ignore in release.
+    Status st = ledger_.Release(id);
+    (void)st;
+  }
+  cv_.notify_all();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double AdmissionController::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.budget_bytes();
+}
+
+double AdmissionController::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.reserved_bytes();
+}
+
+std::size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
+}
+
+}  // namespace mlbench::server

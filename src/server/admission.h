@@ -1,0 +1,124 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "sim/reservation.h"
+
+/// \file admission.h
+/// Thread-safe admission control over a sim::ReservationLedger.
+///
+/// Sessions call Admit() with a run's estimated peak host bytes before
+/// executing it. The controller either
+///   * reserves immediately (capacity available and no earlier waiter —
+///     admission is strictly FIFO, so a small request can never starve a
+///     large one by sneaking past it),
+///   * queues the session until capacity frees (bounded queue; a full
+///     queue is overload and the request is shed with ResourceExhausted),
+///   * sheds the request with DeadlineExceeded when its deadline passes
+///     while still queued,
+///   * or rejects outright with ResourceExhausted when the request could
+///     never fit even on an idle server.
+///
+/// The returned Ticket releases its reservation on destruction — RAII, so
+/// every exit path of a session (clean result, engine failure, protocol
+/// error, session teardown during drain) returns the bytes exactly once.
+///
+/// This class lives in src/server/ (not src/sim/) deliberately: it is
+/// host-side concurrency plumbing, and mlint's raw-thread rule keeps
+/// synchronisation primitives out of simulator/engine code. The arithmetic
+/// it guards — exact-fit reserve/release — stays in the pure, serially
+/// testable sim::ReservationLedger.
+
+namespace mlbench::server {
+
+class AdmissionController;
+
+/// RAII handle for one admitted reservation. Move-only.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&& o) noexcept { *this = std::move(o); }
+  Ticket& operator=(Ticket&& o) noexcept;
+  ~Ticket() { Release(); }
+
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  bool admitted() const { return controller_ != nullptr; }
+  /// Wall milliseconds the request waited in the admission queue.
+  double queue_ms() const { return queue_ms_; }
+
+  /// Returns the reservation early (idempotent; destructor calls it too).
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  Ticket(AdmissionController* c, std::int64_t id, double ms)
+      : controller_(c), reservation_id_(id), queue_ms_(ms) {}
+
+  AdmissionController* controller_ = nullptr;
+  std::int64_t reservation_id_ = 0;
+  double queue_ms_ = 0;
+};
+
+/// Counters for observability and the loadgen report. Snapshot via
+/// AdmissionController::stats().
+struct AdmissionStats {
+  std::int64_t admitted = 0;
+  std::int64_t admitted_after_wait = 0;  ///< of admitted: had to queue
+  std::int64_t rejected_never_fits = 0;  ///< larger than the whole budget
+  std::int64_t shed_queue_full = 0;      ///< bounded queue overflowed
+  std::int64_t shed_deadline = 0;        ///< deadline passed while queued
+  double peak_reserved_bytes = 0;
+  std::int64_t peak_queue_depth = 0;
+};
+
+class AdmissionController {
+ public:
+  /// `budget_bytes`: reservable host RAM. `max_queue`: waiters beyond
+  /// this are shed immediately (overload signal instead of unbounded
+  /// latency).
+  AdmissionController(double budget_bytes, std::size_t max_queue);
+
+  /// Blocks until `bytes` are reserved, the deadline expires, the queue
+  /// overflows, or the controller shuts down. `deadline_ms` <= 0 waits
+  /// forever. Returns a live Ticket, or:
+  ///   ResourceExhausted — never fits, queue full, or shutting down;
+  ///   DeadlineExceeded  — deadline passed while waiting.
+  Result<Ticket> Admit(double bytes, std::int64_t deadline_ms,
+                       std::string_view what);
+
+  /// Wakes all waiters with ResourceExhausted("shutting down") and makes
+  /// future Admit calls fail the same way. Live tickets stay valid.
+  void Shutdown();
+
+  AdmissionStats stats() const;
+  double budget_bytes() const;
+  double reserved_bytes() const;
+  std::size_t queue_depth() const;
+
+ private:
+  friend class Ticket;
+  void ReleaseReservation(std::int64_t id);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  sim::ReservationLedger ledger_;
+  std::size_t max_queue_;
+  bool shutdown_ = false;
+  /// FIFO order of waiting Admit calls: a waiter may only reserve when it
+  /// is the front of this queue, which makes queue-then-admit ordering a
+  /// deterministic function of arrival order.
+  std::deque<std::uint64_t> waiters_;
+  std::uint64_t next_waiter_ = 1;
+  AdmissionStats stats_;
+};
+
+}  // namespace mlbench::server

@@ -1,0 +1,181 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace mlbench::server {
+
+namespace {
+
+// Chaos schedule tags: independent hash streams from one seed.
+constexpr std::uint64_t kConnDropTag = 0xd309;
+constexpr std::uint64_t kSlowReadTag = 0x510e;
+
+void SleepMs(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+Client::Client(ClientOptions opts) : opts_(opts) {}
+
+Client::~Client() { Close(); }
+
+Status Client::Connect() {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Unavailable(std::string("connect: ") +
+                                    std::strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Ping() {
+  if (!connected()) {
+    MLBENCH_RETURN_NOT_OK(Connect());
+  }
+  MLBENCH_RETURN_NOT_OK(WriteFrame(fd_, MsgType::kPing, "ping"));
+  Frame frame;
+  MLBENCH_RETURN_NOT_OK(ReadFrame(fd_, &frame));
+  if (frame.type != MsgType::kPong) {
+    return Status::Internal("expected kPong");
+  }
+  return Status::OK();
+}
+
+bool Client::Retryable(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kUnavailable:        // dead connection / server drop
+    case StatusCode::kResourceExhausted:  // load shed: back off and retry
+    case StatusCode::kNotFound:           // eof where a frame was due
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<ResultMsg> Client::RunExperiment(const ExperimentRequest& req,
+                                        std::vector<ProgressMsg>* progress) {
+  return Roundtrip(MsgType::kExperiment, EncodeExperimentRequest(req),
+                   req.id, progress);
+}
+
+Result<ResultMsg> Client::RunSql(const SqlRequest& req) {
+  return Roundtrip(MsgType::kSql, EncodeSqlRequest(req), req.id, nullptr);
+}
+
+Result<ResultMsg> Client::Roundtrip(MsgType type, const std::string& payload,
+                                    std::uint64_t id,
+                                    std::vector<ProgressMsg>* progress) {
+  ++stats_.requests;
+  const std::int64_t chaos_unit = request_index_++;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= opts_.retry.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      // Incremental backoff for this attempt (BackoffSeconds is the
+      // cumulative total for n failures).
+      double sleep_s = opts_.retry.BackoffSeconds(attempt) -
+                       opts_.retry.BackoffSeconds(attempt - 1);
+      SleepMs(sleep_s * 1000.0);
+    }
+    auto res = OneAttempt(type, payload, id, progress, chaos_unit);
+    if (res.ok()) return res;
+    last = res.status();
+    if (last.IsResourceExhausted()) ++stats_.sheds_seen;
+    if (last.IsDeadlineExceeded()) ++stats_.deadlines_seen;
+    if (!Retryable(last)) return last;
+    Close();  // stale stream state after any failure: always reconnect
+  }
+  return last;
+}
+
+Result<ResultMsg> Client::OneAttempt(MsgType type, const std::string& payload,
+                                     std::uint64_t id,
+                                     std::vector<ProgressMsg>* progress,
+                                     std::int64_t chaos_unit) {
+  if (!connected()) {
+    ++stats_.reconnects;
+    MLBENCH_RETURN_NOT_OK(Connect());
+  }
+  const sim::FaultSpec& chaos = opts_.chaos;
+  const bool drop =
+      chaos.conn_drop > 0 &&
+      sim::HashChance(chaos.seed, kConnDropTag, chaos_unit) < chaos.conn_drop;
+  const bool slow =
+      chaos.slow_client > 0 &&
+      sim::HashChance(chaos.seed, kSlowReadTag, chaos_unit) <
+          chaos.slow_client;
+
+  MLBENCH_RETURN_NOT_OK(WriteFrame(fd_, type, payload));
+  if (drop) {
+    // Deterministic misbehaviour: vanish right after sending, leaving the
+    // server to discover the dead peer on its response write. The retry
+    // loop reconnects and resends.
+    ++stats_.chaos_conn_drops;
+    Close();
+    return Status::Unavailable("chaos: connection dropped after send");
+  }
+  for (;;) {
+    if (slow) {
+      ++stats_.chaos_slow_reads;
+      SleepMs(opts_.slow_read_ms);
+    }
+    Frame frame;
+    MLBENCH_RETURN_NOT_OK(ReadFrame(fd_, &frame));
+    switch (frame.type) {
+      case MsgType::kProgress: {
+        auto p = ParseProgress(frame.payload);
+        if (!p.ok()) return p.status();
+        if (progress != nullptr) progress->push_back(*p);
+        continue;  // keep reading for the terminal frame
+      }
+      case MsgType::kResult: {
+        auto r = ParseResult(frame.payload);
+        if (!r.ok()) return r.status();
+        if (r->id != id) {
+          return Status::Internal("response id mismatch");
+        }
+        return r;
+      }
+      case MsgType::kError: {
+        auto e = ParseError(frame.payload);
+        if (!e.ok()) return e.status();
+        return Status(e->code, e->message);
+      }
+      default:
+        return Status::Internal("unexpected frame type in response");
+    }
+  }
+}
+
+}  // namespace mlbench::server

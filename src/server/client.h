@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+#include "sim/faults.h"
+
+/// \file client.h
+/// Blocking client for the experiment server, with reconnect + retry.
+///
+/// Retry model: transport failures (dead connection, torn frame, send
+/// timeout) and retryable server responses (ResourceExhausted load sheds)
+/// are retried up to sim::RetryPolicy::max_retries times with that
+/// policy's exponential backoff — the same policy type the simulated
+/// platforms use for their recovery paths, here applied to real wall
+/// time. DeadlineExceeded and InvalidArgument are terminal: the deadline
+/// has already passed / the request will never parse better.
+///
+/// Chaos mode: with MLBENCH_FAULT_SEED set, the FaultSpec conn_drop /
+/// slow_client knobs make this client deterministically misbehave — drop
+/// the connection right after sending request #i, or read response #i
+/// only after a stall — per the pure hash sim::HashChance(seed, tag, i).
+/// This exercises the server's teardown and SO_SNDTIMEO paths from tests
+/// without any nondeterministic packet games.
+
+namespace mlbench::server {
+
+struct ClientOptions {
+  int port = 0;
+  sim::RetryPolicy retry{/*max_retries=*/4, /*base_backoff_s=*/0.02,
+                         /*backoff_multiplier=*/2.0};
+  /// Chaos knobs, typically FaultSpec::FromEnv(): seed gates, conn_drop /
+  /// slow_client rates drive the deterministic misbehaviour schedule.
+  sim::FaultSpec chaos;
+  /// Stall length for a slow_client read, milliseconds.
+  int slow_read_ms = 50;
+};
+
+/// Retry / chaos accounting across a client's lifetime.
+struct ClientStats {
+  std::int64_t requests = 0;
+  std::int64_t retries = 0;
+  std::int64_t reconnects = 0;
+  std::int64_t chaos_conn_drops = 0;
+  std::int64_t chaos_slow_reads = 0;
+  std::int64_t sheds_seen = 0;     ///< ResourceExhausted responses
+  std::int64_t deadlines_seen = 0; ///< DeadlineExceeded responses
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions opts);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (or reconnects) to 127.0.0.1:port.
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  Status Ping();
+
+  /// Sends the request and reads frames until its terminal response.
+  /// kProgress frames are appended to `progress` when non-null. A
+  /// returned error Status carries the server's (or transport's) code.
+  Result<ResultMsg> RunExperiment(const ExperimentRequest& req,
+                                  std::vector<ProgressMsg>* progress =
+                                      nullptr);
+  Result<ResultMsg> RunSql(const SqlRequest& req);
+
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  Result<ResultMsg> Roundtrip(MsgType type, const std::string& payload,
+                              std::uint64_t id,
+                              std::vector<ProgressMsg>* progress);
+  Result<ResultMsg> OneAttempt(MsgType type, const std::string& payload,
+                               std::uint64_t id,
+                               std::vector<ProgressMsg>* progress,
+                               std::int64_t chaos_unit);
+  static bool Retryable(const Status& st);
+
+  ClientOptions opts_;
+  int fd_ = -1;
+  std::int64_t request_index_ = 0;  ///< chaos schedule unit
+  ClientStats stats_;
+};
+
+}  // namespace mlbench::server

@@ -1,0 +1,131 @@
+// mlbench_server: the concurrent experiment server (DESIGN.md §15).
+//
+// Serves experiment and SQL requests over the length-prefixed loopback
+// protocol (server/protocol.h), with admission control against a host
+// memory budget and graceful drain on SIGINT/SIGTERM: the first signal
+// stops accepting and lets in-flight runs finish and flush (no torn
+// output, ever); a second signal additionally cancels in-flight runs at
+// their next iteration boundary (still answering each with a well-formed
+// terminal frame).
+//
+// Usage:
+//   mlbench_server [--port N] [--budget-mb M] [--max-queue Q]
+//                  [--max-sessions S] [--send-timeout-ms T]
+// Prints "mlbench_server listening on port N" once ready (scripts parse
+// this line to learn an ephemeral port).
+
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+// mlint: allow(raw-thread) — signal watcher beside the drain (src/server/)
+#include <thread>
+
+#include "server/server.h"
+
+namespace {
+
+// Self-pipe: the handler only writes one byte; all real work happens on
+// the main thread, so the signal path is async-signal-safe.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char byte = 1;
+  ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+  (void)n;
+}
+
+double ArgDouble(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtod(argv[i + 1], nullptr);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mlbench::server::ServerOptions opts;
+  opts.port = static_cast<int>(ArgDouble(argc, argv, "--port", 0));
+  opts.budget_bytes =
+      ArgDouble(argc, argv, "--budget-mb", 1536.0) * 1024.0 * 1024.0;
+  opts.max_queue = static_cast<std::size_t>(
+      ArgDouble(argc, argv, "--max-queue", 64));
+  opts.max_sessions =
+      static_cast<int>(ArgDouble(argc, argv, "--max-sessions", 64));
+  opts.send_timeout_ms =
+      static_cast<int>(ArgDouble(argc, argv, "--send-timeout-ms", 10000));
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  mlbench::server::Server server(opts);
+  if (mlbench::Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "mlbench_server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("mlbench_server listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  // First signal: graceful drain. While the drain flushes, a watcher
+  // thread keeps reading the pipe so a second signal still hard-stops
+  // in-flight runs at their next iteration boundary.
+  for (;;) {
+    char byte;
+    ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  std::fprintf(stderr,
+               "mlbench_server: draining (signal again for hard stop)\n");
+  server.RequestDrain();
+  std::thread watcher([&server] {
+    for (;;) {
+      char byte;
+      ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+      if (n < 0 && errno == EINTR) continue;
+      if (n > 0) {
+        std::fprintf(stderr, "mlbench_server: hard stop\n");
+        server.CancelInflight();
+      }
+      return;
+    }
+  });
+  server.Join();
+  // Unblock the watcher (EOF on the pipe) if no second signal came.
+  ::close(g_signal_pipe[1]);
+  watcher.join();
+  mlbench::server::ServerCounters c = server.counters();
+  mlbench::server::AdmissionStats a = server.admission_stats();
+  std::printf(
+      "mlbench_server: drained cleanly. sessions=%lld refused=%lld "
+      "requests=%lld ok=%lld failed=%lld errors=%lld protocol_errors=%lld "
+      "admitted=%lld queued=%lld shed_queue=%lld shed_deadline=%lld "
+      "rejected=%lld\n",
+      static_cast<long long>(c.sessions_accepted),
+      static_cast<long long>(c.sessions_refused),
+      static_cast<long long>(c.requests),
+      static_cast<long long>(c.results_ok),
+      static_cast<long long>(c.results_failed),
+      static_cast<long long>(c.errors_sent),
+      static_cast<long long>(c.protocol_errors),
+      static_cast<long long>(a.admitted),
+      static_cast<long long>(a.admitted_after_wait),
+      static_cast<long long>(a.shed_queue_full),
+      static_cast<long long>(a.shed_deadline),
+      static_cast<long long>(a.rejected_never_fits));
+  return 0;
+}

@@ -1,0 +1,415 @@
+#include "server/protocol.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace mlbench::server {
+
+namespace {
+
+// ---- key=value payload helpers --------------------------------------------
+
+void PutStr(std::string* out, std::string_view key, std::string_view value) {
+  out->append(key);
+  out->push_back('=');
+  out->append(value);
+  out->push_back('\n');
+}
+
+void PutU64(std::string* out, std::string_view key, std::uint64_t v) {
+  PutStr(out, key, std::to_string(v));
+}
+
+void PutI64(std::string* out, std::string_view key, std::int64_t v) {
+  PutStr(out, key, std::to_string(v));
+}
+
+// Hexfloat: bit-exact round trip through strtod, locale-independent.
+void PutF64(std::string* out, std::string_view key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  PutStr(out, key, buf);
+}
+
+void PutHex64(std::string* out, std::string_view key, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  PutStr(out, key, buf);
+}
+
+// Splits a payload into its key=value map and (for kSql) the raw body
+// after the "--" separator line. Unknown keys are kept — callers ignore
+// what they do not understand. Lines without '=' before the separator are
+// malformed.
+struct ParsedPayload {
+  std::map<std::string, std::string, std::less<>> fields;
+  std::string body;
+};
+
+Result<ParsedPayload> SplitPayload(std::string_view payload) {
+  ParsedPayload out;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    std::string_view line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line == "--") {
+      // Everything after the separator is the raw body, verbatim.
+      if (pos <= payload.size()) {
+        out.body.assign(payload.substr(pos));
+      }
+      return out;
+    }
+    if (line.empty()) continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("malformed payload line: " +
+                                     std::string(line));
+    }
+    out.fields.emplace(std::string(line.substr(0, eq)),
+                       std::string(line.substr(eq + 1)));
+  }
+  return out;
+}
+
+const std::string* Find(const ParsedPayload& p, std::string_view key) {
+  auto it = p.fields.find(key);
+  return it == p.fields.end() ? nullptr : &it->second;
+}
+
+std::uint64_t GetU64(const ParsedPayload& p, std::string_view key,
+                     std::uint64_t fallback) {
+  const std::string* v = Find(p, key);
+  return v == nullptr ? fallback : std::strtoull(v->c_str(), nullptr, 10);
+}
+
+std::int64_t GetI64(const ParsedPayload& p, std::string_view key,
+                    std::int64_t fallback) {
+  const std::string* v = Find(p, key);
+  return v == nullptr ? fallback : std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double GetF64(const ParsedPayload& p, std::string_view key, double fallback) {
+  const std::string* v = Find(p, key);
+  return v == nullptr ? fallback : std::strtod(v->c_str(), nullptr);
+}
+
+std::string GetStr(const ParsedPayload& p, std::string_view key) {
+  const std::string* v = Find(p, key);
+  return v == nullptr ? std::string() : *v;
+}
+
+std::uint64_t GetHex64(const ParsedPayload& p, std::string_view key) {
+  const std::string* v = Find(p, key);
+  return v == nullptr ? 0 : std::strtoull(v->c_str(), nullptr, 16);
+}
+
+}  // namespace
+
+bool KnownMsgType(std::uint8_t t) {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::kExperiment:
+    case MsgType::kSql:
+    case MsgType::kPing:
+    case MsgType::kProgress:
+    case MsgType::kResult:
+    case MsgType::kError:
+    case MsgType::kPong:
+      return true;
+  }
+  return false;
+}
+
+void AppendFrame(std::string* buf, MsgType type, std::string_view payload) {
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size() + 1);
+  char hdr[5];
+  hdr[0] = static_cast<char>(len & 0xff);
+  hdr[1] = static_cast<char>((len >> 8) & 0xff);
+  hdr[2] = static_cast<char>((len >> 16) & 0xff);
+  hdr[3] = static_cast<char>((len >> 24) & 0xff);
+  hdr[4] = static_cast<char>(type);
+  buf->append(hdr, sizeof(hdr));
+  buf->append(payload);
+}
+
+Result<std::size_t> DecodeFrame(std::string_view buf, Frame* out) {
+  if (buf.size() < 5) return std::size_t{0};
+  std::uint32_t len = static_cast<std::uint8_t>(buf[0]) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(buf[1]))
+                       << 8) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(buf[2]))
+                       << 16) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(buf[3]))
+                       << 24);
+  if (len == 0 || len > kMaxFrameBytes) {
+    return Status::InvalidArgument("malformed frame: length " +
+                                   std::to_string(len));
+  }
+  if (buf.size() < 4 + static_cast<std::size_t>(len)) return std::size_t{0};
+  std::uint8_t type = static_cast<std::uint8_t>(buf[4]);
+  if (!KnownMsgType(type)) {
+    return Status::InvalidArgument("malformed frame: unknown type " +
+                                   std::to_string(type));
+  }
+  out->type = static_cast<MsgType>(type);
+  out->payload.assign(buf.substr(5, len - 1));
+  return static_cast<std::size_t>(4 + len);
+}
+
+// ---- Message encoders / parsers --------------------------------------------
+
+std::string EncodeExperimentRequest(const ExperimentRequest& req) {
+  std::string out;
+  PutU64(&out, "id", req.id);
+  PutStr(&out, "workload", req.workload);
+  PutStr(&out, "platform", req.platform);
+  PutI64(&out, "machines", req.machines);
+  PutI64(&out, "iterations", req.iterations);
+  PutU64(&out, "seed", req.seed);
+  PutI64(&out, "actual_per_machine", req.actual_per_machine);
+  PutI64(&out, "deadline_ms", req.deadline_ms);
+  PutI64(&out, "want_progress", req.want_progress ? 1 : 0);
+  return out;
+}
+
+Result<ExperimentRequest> ParseExperimentRequest(std::string_view payload) {
+  auto parsed = SplitPayload(payload);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedPayload& p = *parsed;
+  ExperimentRequest req;
+  req.id = GetU64(p, "id", 0);
+  req.workload = GetStr(p, "workload");
+  req.platform = GetStr(p, "platform");
+  req.machines = static_cast<int>(GetI64(p, "machines", req.machines));
+  req.iterations = static_cast<int>(GetI64(p, "iterations", req.iterations));
+  req.seed = GetU64(p, "seed", req.seed);
+  req.actual_per_machine = GetI64(p, "actual_per_machine", 0);
+  req.deadline_ms = GetI64(p, "deadline_ms", 0);
+  req.want_progress = GetI64(p, "want_progress", 0) != 0;
+  if (req.workload.empty()) {
+    return Status::InvalidArgument("experiment request missing workload");
+  }
+  if (req.platform.empty()) {
+    return Status::InvalidArgument("experiment request missing platform");
+  }
+  return req;
+}
+
+std::string EncodeSqlRequest(const SqlRequest& req) {
+  std::string out;
+  PutU64(&out, "id", req.id);
+  PutU64(&out, "seed", req.seed);
+  PutI64(&out, "rows", req.rows);
+  PutI64(&out, "deadline_ms", req.deadline_ms);
+  out.append("--\n");
+  out.append(req.sql);
+  return out;
+}
+
+Result<SqlRequest> ParseSqlRequest(std::string_view payload) {
+  auto parsed = SplitPayload(payload);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedPayload& p = *parsed;
+  SqlRequest req;
+  req.id = GetU64(p, "id", 0);
+  req.seed = GetU64(p, "seed", req.seed);
+  req.rows = GetI64(p, "rows", req.rows);
+  req.deadline_ms = GetI64(p, "deadline_ms", 0);
+  req.sql = p.body;
+  if (req.sql.empty()) {
+    return Status::InvalidArgument("sql request has empty statement");
+  }
+  return req;
+}
+
+std::string EncodeProgress(const ProgressMsg& msg) {
+  std::string out;
+  PutU64(&out, "id", msg.id);
+  PutI64(&out, "iteration", msg.iteration);
+  PutI64(&out, "total", msg.total);
+  return out;
+}
+
+Result<ProgressMsg> ParseProgress(std::string_view payload) {
+  auto parsed = SplitPayload(payload);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedPayload& p = *parsed;
+  ProgressMsg msg;
+  msg.id = GetU64(p, "id", 0);
+  msg.iteration = static_cast<int>(GetI64(p, "iteration", 0));
+  msg.total = static_cast<int>(GetI64(p, "total", 0));
+  return msg;
+}
+
+std::string EncodeResult(const ResultMsg& msg) {
+  std::string out;
+  PutU64(&out, "id", msg.id);
+  PutStr(&out, "code", StatusCodeName(msg.code));
+  PutStr(&out, "message", msg.message);
+  PutF64(&out, "init_seconds", msg.init_seconds);
+  {
+    std::string iters;
+    char buf[64];
+    for (std::size_t i = 0; i < msg.iteration_seconds.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%a", msg.iteration_seconds[i]);
+      if (i > 0) iters.push_back(',');
+      iters.append(buf);
+    }
+    PutStr(&out, "iteration_seconds", iters);
+  }
+  PutF64(&out, "peak_machine_bytes", msg.peak_machine_bytes);
+  PutHex64(&out, "digest", msg.digest);
+  PutI64(&out, "result_rows", msg.result_rows);
+  PutF64(&out, "queue_ms", msg.queue_ms);
+  return out;
+}
+
+Result<ResultMsg> ParseResult(std::string_view payload) {
+  auto parsed = SplitPayload(payload);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedPayload& p = *parsed;
+  ResultMsg msg;
+  msg.id = GetU64(p, "id", 0);
+  msg.code = StatusCodeFromName(GetStr(p, "code"));
+  msg.message = GetStr(p, "message");
+  msg.init_seconds = GetF64(p, "init_seconds", -1);
+  if (const std::string* iters = Find(p, "iteration_seconds");
+      iters != nullptr && !iters->empty()) {
+    std::stringstream ss(*iters);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      msg.iteration_seconds.push_back(std::strtod(item.c_str(), nullptr));
+    }
+  }
+  msg.peak_machine_bytes = GetF64(p, "peak_machine_bytes", 0);
+  msg.digest = GetHex64(p, "digest");
+  msg.result_rows = GetI64(p, "result_rows", 0);
+  msg.queue_ms = GetF64(p, "queue_ms", 0);
+  return msg;
+}
+
+std::string EncodeError(const ErrorMsg& msg) {
+  std::string out;
+  PutU64(&out, "id", msg.id);
+  PutStr(&out, "code", StatusCodeName(msg.code));
+  PutStr(&out, "message", msg.message);
+  return out;
+}
+
+Result<ErrorMsg> ParseError(std::string_view payload) {
+  auto parsed = SplitPayload(payload);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedPayload& p = *parsed;
+  ErrorMsg msg;
+  msg.id = GetU64(p, "id", 0);
+  msg.code = StatusCodeFromName(GetStr(p, "code"));
+  msg.message = GetStr(p, "message");
+  return msg;
+}
+
+// ---- Blocking socket I/O ---------------------------------------------------
+
+namespace {
+
+// Full-write loop: either the whole buffer reaches the kernel or the
+// connection is declared dead. Partial frames are never left behind.
+Status WriteAll(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send timeout (slow client?)");
+      }
+      return Status::Unavailable(std::string("send failed: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, char* data, std::size_t n, bool eof_ok_at_start) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timeout");
+      }
+      return Status::Unavailable(std::string("recv failed: ") +
+                                 std::strerror(errno));
+    }
+    if (r == 0) {
+      if (off == 0 && eof_ok_at_start) return Status::NotFound("eof");
+      return Status::InvalidArgument("eof mid-frame (torn stream)");
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, MsgType type, std::string_view payload) {
+  std::string buf;
+  buf.reserve(payload.size() + 5);
+  AppendFrame(&buf, type, payload);
+  return WriteAll(fd, buf.data(), buf.size());
+}
+
+Status ReadFrame(int fd, Frame* out) {
+  char hdr[5];
+  if (Status st = ReadAll(fd, hdr, 4, /*eof_ok_at_start=*/true); !st.ok()) {
+    return st;
+  }
+  std::uint32_t len = static_cast<std::uint8_t>(hdr[0]) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(hdr[1]))
+                       << 8) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(hdr[2]))
+                       << 16) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(hdr[3]))
+                       << 24);
+  if (len == 0 || len > kMaxFrameBytes) {
+    return Status::InvalidArgument("malformed frame: length " +
+                                   std::to_string(len));
+  }
+  if (Status st = ReadAll(fd, hdr + 4, 1, /*eof_ok_at_start=*/false);
+      !st.ok()) {
+    return st;
+  }
+  std::uint8_t type = static_cast<std::uint8_t>(hdr[4]);
+  if (!KnownMsgType(type)) {
+    return Status::InvalidArgument("malformed frame: unknown type " +
+                                   std::to_string(type));
+  }
+  out->type = static_cast<MsgType>(type);
+  out->payload.resize(len - 1);
+  if (len > 1) {
+    if (Status st =
+            ReadAll(fd, out->payload.data(), len - 1, /*eof_ok_at_start=*/false);
+        !st.ok()) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mlbench::server

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file protocol.h
+/// Wire protocol of the mlbench experiment server.
+///
+/// Framing: every message is one frame —
+///
+///   uint32 (little-endian)  length of everything after this word
+///   uint8                   message type (MsgType)
+///   bytes                   payload (length - 1 bytes)
+///
+/// A frame longer than kMaxFrameBytes, or with an unknown type byte, is
+/// malformed and fatal to the connection: the peer cannot resynchronise a
+/// length-prefixed stream after a corrupt header, so both sides close.
+///
+/// Payloads are "key=value\n" lines (keys are [a-z_]+, values never
+/// contain newlines), optionally followed by a "--\n" separator and a raw
+/// body (SQL text). Doubles travel as C hexfloats ("0x1.8p+3"), which
+/// round-trip bit-exactly through strtod — the determinism acceptance
+/// check literally compares these bits — and u64 digests as hex. Unknown
+/// keys are ignored, so either side can add fields without breaking the
+/// other.
+///
+/// Conversation shape: a client sends one request frame at a time on a
+/// connection and reads frames until it sees the terminal kResult or
+/// kError for that request; kProgress frames may arrive in between. The
+/// server never interleaves responses of different requests on one
+/// connection (sessions are single-threaded).
+
+namespace mlbench::server {
+
+enum class MsgType : std::uint8_t {
+  // Requests.
+  kExperiment = 1,  ///< run one model x platform experiment
+  kSql = 2,         ///< run one SQL statement on a session-local database
+  kPing = 3,        ///< liveness probe
+  // Responses.
+  kProgress = 10,  ///< iteration heartbeat (streamed during a run)
+  kResult = 11,    ///< terminal: the run's outcome
+  kError = 12,     ///< terminal: the request failed before/while running
+  kPong = 13,      ///< reply to kPing
+};
+
+/// True for type bytes this protocol version understands.
+bool KnownMsgType(std::uint8_t t);
+
+/// Hard ceiling on frame length (type byte + payload). Anything larger is
+/// a malformed or hostile peer.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::string payload;
+};
+
+/// Appends one encoded frame to `buf`.
+void AppendFrame(std::string* buf, MsgType type, std::string_view payload);
+
+/// Decodes the first frame of `buf`. Returns the bytes consumed and fills
+/// `out`; 0 means the buffer does not yet hold a complete frame (read
+/// more). Malformed frames (oversized length, unknown type) fail with
+/// InvalidArgument.
+Result<std::size_t> DecodeFrame(std::string_view buf, Frame* out);
+
+// ---- Messages --------------------------------------------------------------
+
+/// One experiment to run: a (workload, platform) cell of the paper's
+/// tables plus the scale/seed knobs the one-shot drivers take.
+struct ExperimentRequest {
+  std::uint64_t id = 0;         ///< client-chosen, echoed on every response
+  std::string workload;         ///< gmm | lasso | hmm | lda | imputation
+  std::string platform;         ///< dataflow | reldb | gas | bsp
+  int machines = 5;
+  int iterations = 3;
+  std::uint64_t seed = 2014;
+  long long actual_per_machine = 0;  ///< 0 = server-side default
+  /// Admission deadline in milliseconds from arrival; 0 = wait forever.
+  /// A request still queued when its deadline passes is shed with
+  /// DeadlineExceeded instead of waiting unboundedly.
+  std::int64_t deadline_ms = 0;
+  bool want_progress = false;  ///< stream kProgress per iteration
+};
+
+/// One SQL statement over a session-local deterministic database of
+/// `rows` synthetic rows (table `data(id, grp, val)` seeded from `seed`).
+struct SqlRequest {
+  std::uint64_t id = 0;
+  std::uint64_t seed = 2014;
+  std::int64_t rows = 64;
+  std::int64_t deadline_ms = 0;
+  std::string sql;
+};
+
+struct ProgressMsg {
+  std::uint64_t id = 0;
+  int iteration = 0;  ///< completed iterations
+  int total = 0;
+};
+
+/// Terminal success response. `digest` is the 64-bit FNV-1a hash of the
+/// run's result bits (timings + model parameters), the unit of the
+/// bit-identical-under-concurrency guarantee.
+struct ResultMsg {
+  std::uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  double init_seconds = -1;
+  std::vector<double> iteration_seconds;
+  double peak_machine_bytes = 0;
+  std::uint64_t digest = 0;
+  std::int64_t result_rows = 0;  ///< SQL only: rows in the result table
+  double queue_ms = 0;  ///< wall ms the request waited for admission
+};
+
+/// Terminal failure response (shed, rejected, cancelled, or failed).
+struct ErrorMsg {
+  std::uint64_t id = 0;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+std::string EncodeExperimentRequest(const ExperimentRequest& req);
+Result<ExperimentRequest> ParseExperimentRequest(std::string_view payload);
+
+std::string EncodeSqlRequest(const SqlRequest& req);
+Result<SqlRequest> ParseSqlRequest(std::string_view payload);
+
+std::string EncodeProgress(const ProgressMsg& msg);
+Result<ProgressMsg> ParseProgress(std::string_view payload);
+
+std::string EncodeResult(const ResultMsg& msg);
+Result<ResultMsg> ParseResult(std::string_view payload);
+
+std::string EncodeError(const ErrorMsg& msg);
+Result<ErrorMsg> ParseError(std::string_view payload);
+
+// ---- Blocking socket I/O ---------------------------------------------------
+
+/// Writes one complete frame to `fd`, looping over partial writes and
+/// EINTR so the stream never carries a torn frame. Fails with Unavailable
+/// on a closed/reset peer and DeadlineExceeded on a send timeout
+/// (SO_SNDTIMEO), in which case the connection must be torn down.
+Status WriteFrame(int fd, MsgType type, std::string_view payload);
+
+/// Reads one complete frame. A clean EOF before any byte fails with
+/// NotFound("eof") — the peer is done; EOF mid-frame or a malformed
+/// header fails with InvalidArgument; a recv timeout (SO_RCVTIMEO) with
+/// DeadlineExceeded.
+Status ReadFrame(int fd, Frame* out);
+
+}  // namespace mlbench::server

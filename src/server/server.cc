@@ -1,0 +1,366 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "exec/thread_pool.h"
+#include "server/runner.h"
+
+namespace mlbench::server {
+
+namespace {
+
+// Host bytes a SQL request's session database will touch: the synthetic
+// table (3 values/row), its columnar copy, and hash-join/aggregate
+// intermediates, with the same x1.5 headroom the experiment estimate uses.
+double EstimateSqlHostBytes(std::int64_t rows) {
+  return (static_cast<double>(rows) * 3.0 * 16.0 * 4.0 + 65536.0) * 1.5;
+}
+
+Status SendError(int fd, std::uint64_t id, const Status& st) {
+  ErrorMsg msg;
+  msg.id = id;
+  msg.code = st.code();
+  msg.message = st.message();
+  return WriteFrame(fd, MsgType::kError, EncodeError(msg));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(opts),
+      admission_(std::make_unique<AdmissionController>(opts.budget_bytes,
+                                                       opts.max_queue)) {}
+
+Server::~Server() {
+  RequestDrain();
+  CancelInflight();
+  Join();
+}
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::Internal(std::string("bind: ") +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status st = Status::Internal(std::string("listen: ") +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    Status st = Status::Internal(std::string("pipe: ") +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  // Warm the shared pool before any session can touch it: Global()'s
+  // lazy construction is the one first-call race in an otherwise
+  // concurrent-caller-safe pool.
+  (void)exec::ThreadPool::Global();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || draining_.load()) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    // A client that stops reading must not wedge this session forever.
+    if (opts_.send_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = opts_.send_timeout_ms / 1000;
+      tv.tv_usec = (opts_.send_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    ReapFinishedSessions();
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (static_cast<int>(sessions_.size()) >= opts_.max_sessions) {
+      // Refuse with a well-formed frame so the client can back off and
+      // retry rather than guessing why the connection died.
+      Status refused = SendError(
+          fd, 0, Status::ResourceExhausted("too many concurrent sessions"));
+      (void)refused;
+      ::close(fd);
+      std::lock_guard<std::mutex> counters_lock(counters_mu_);
+      ++counters_.sessions_refused;
+      continue;
+    }
+    auto session = std::make_unique<Session>();
+    session->fd = fd;
+    Session* raw = session.get();
+    session->thread = std::thread([this, raw] { ServeSession(raw); });
+    sessions_.push_back(std::move(session));
+    {
+      std::lock_guard<std::mutex> counters_lock(counters_mu_);
+      ++counters_.sessions_accepted;
+    }
+  }
+}
+
+void Server::ReapFinishedSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load()) {
+      (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::ServeSession(Session* session) {
+  for (;;) {
+    Frame frame;
+    Status st = ReadFrame(session->fd, &frame);
+    if (!st.ok()) {
+      // NotFound("eof") is the clean goodbye; anything else is a torn or
+      // malformed stream (or a dead peer) and ends the session too.
+      if (st.code() != StatusCode::kNotFound) {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.protocol_errors;
+      }
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.requests;
+    }
+    if (!ServeOne(session, frame)) break;
+  }
+  // Teardown: close exactly once, under the registry lock so a racing
+  // RequestDrain() never shutdown()s a recycled descriptor.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    ::close(session->fd);
+    session->fd = -1;
+  }
+  session->done.store(true);
+}
+
+void Server::CountResponse(const Status& st, bool is_error_frame) {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  if (is_error_frame) {
+    ++counters_.errors_sent;
+  } else if (st.ok()) {
+    ++counters_.results_ok;
+  } else {
+    ++counters_.results_failed;
+  }
+}
+
+bool Server::ServeOne(Session* session, const Frame& frame) {
+  const int fd = session->fd;
+  switch (frame.type) {
+    case MsgType::kPing:
+      return WriteFrame(fd, MsgType::kPong, frame.payload).ok();
+
+    case MsgType::kExperiment: {
+      auto req = ParseExperimentRequest(frame.payload);
+      if (!req.ok()) {
+        CountResponse(req.status(), /*is_error_frame=*/true);
+        return SendError(fd, 0, req.status()).ok();
+      }
+      auto estimate = EstimateHostPeakBytes(*req);
+      if (!estimate.ok()) {
+        CountResponse(estimate.status(), /*is_error_frame=*/true);
+        return SendError(fd, req->id, estimate.status()).ok();
+      }
+      auto ticket = admission_->Admit(
+          *estimate, req->deadline_ms,
+          req->workload + "/" + req->platform + "#" +
+              std::to_string(req->id));
+      if (!ticket.ok()) {
+        CountResponse(ticket.status(), /*is_error_frame=*/true);
+        return SendError(fd, req->id, ticket.status()).ok();
+      }
+      std::function<void(int, int)> progress;
+      if (req->want_progress) {
+        const std::uint64_t id = req->id;
+        progress = [this, session, fd, id](int done, int total) {
+          ProgressMsg p;
+          p.id = id;
+          p.iteration = done;
+          p.total = total;
+          if (!WriteFrame(fd, MsgType::kProgress, EncodeProgress(p)).ok()) {
+            // The client is gone; stop the run at its next boundary
+            // instead of burning the pool on an unwanted result.
+            session->cancel.Cancel(
+                Status::Unavailable("client connection lost"));
+          }
+        };
+      }
+      RunOutcome outcome =
+          ExecuteExperiment(*req, &session->cancel, std::move(progress));
+      double queue_ms = ticket->queue_ms();
+      ticket->Release();  // free the bytes before blocking on the client
+      if (!outcome.result.ok() && session->cancel.cancelled()) {
+        // Cancellation (drain or lost client), not a simulated outcome.
+        CountResponse(outcome.result.status, /*is_error_frame=*/true);
+        return SendError(fd, req->id, outcome.result.status).ok();
+      }
+      ResultMsg msg;
+      msg.id = req->id;
+      msg.code = outcome.result.status.code();
+      msg.message = outcome.result.status.message();
+      msg.init_seconds = outcome.result.init_seconds;
+      msg.iteration_seconds = outcome.result.iteration_seconds;
+      msg.peak_machine_bytes = outcome.result.peak_machine_bytes;
+      msg.digest = outcome.digest;
+      msg.queue_ms = queue_ms;
+      CountResponse(outcome.result.status, /*is_error_frame=*/false);
+      return WriteFrame(fd, MsgType::kResult, EncodeResult(msg)).ok();
+    }
+
+    case MsgType::kSql: {
+      auto req = ParseSqlRequest(frame.payload);
+      if (!req.ok()) {
+        CountResponse(req.status(), /*is_error_frame=*/true);
+        return SendError(fd, 0, req.status()).ok();
+      }
+      auto ticket =
+          admission_->Admit(EstimateSqlHostBytes(req->rows),
+                            req->deadline_ms,
+                            "sql#" + std::to_string(req->id));
+      if (!ticket.ok()) {
+        CountResponse(ticket.status(), /*is_error_frame=*/true);
+        return SendError(fd, req->id, ticket.status()).ok();
+      }
+      SqlOutcome outcome = ExecuteSql(*req);
+      double queue_ms = ticket->queue_ms();
+      ticket->Release();
+      if (!outcome.status.ok()) {
+        CountResponse(outcome.status, /*is_error_frame=*/true);
+        return SendError(fd, req->id, outcome.status).ok();
+      }
+      ResultMsg msg;
+      msg.id = req->id;
+      msg.code = StatusCode::kOk;
+      msg.result_rows = outcome.result_rows;
+      msg.digest = outcome.digest;
+      msg.queue_ms = queue_ms;
+      CountResponse(outcome.status, /*is_error_frame=*/false);
+      return WriteFrame(fd, MsgType::kResult, EncodeResult(msg)).ok();
+    }
+
+    default: {
+      // A response-type frame from a client is a protocol violation.
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.protocol_errors;
+      return false;
+    }
+  }
+}
+
+void Server::RequestDrain() {
+  bool was = draining_.exchange(true);
+  admission_->Shutdown();
+  if (!was && wake_pipe_[1] >= 0) {
+    // Unblocks the poll()ing accept loop; the listening socket itself is
+    // closed in Join after the loop exits.
+    char byte = 1;
+    ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    (void)n;
+  }
+  // Half-close every session's read side: a session blocked waiting for
+  // its client's next request sees EOF and winds down cleanly, while a
+  // session mid-run keeps its write side to flush the pending response —
+  // this is what "graceful" means here: no torn output, ever.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& session : sessions_) {
+    if (session->fd >= 0) ::shutdown(session->fd, SHUT_RD);
+  }
+}
+
+void Server::CancelInflight() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& session : sessions_) {
+    session->cancel.Cancel(
+        Status::Unavailable("server shutting down (hard stop)"));
+  }
+}
+
+void Server::Join() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Session> victim;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (sessions_.empty()) break;
+      victim = std::move(sessions_.back());
+      sessions_.pop_back();
+    }
+    victim->thread.join();
+  }
+}
+
+void Server::Stop() {
+  RequestDrain();
+  Join();
+}
+
+ServerCounters Server::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+}  // namespace mlbench::server

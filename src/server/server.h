@@ -1,0 +1,140 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cancel.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+
+/// \file server.h
+/// The concurrent experiment server (DESIGN.md §15).
+///
+/// One accept thread plus one thread per connection ("session"). A
+/// session reads one request frame at a time and serves it to completion
+/// before reading the next; experiments execute *on the session thread*
+/// and parallelise through the shared exec::ThreadPool::Global() via
+/// ParallelFor's caller-participation, so N concurrent sessions share one
+/// pool rather than spawning N pools.
+///
+/// Robustness contract:
+///  * Admission: every experiment/SQL request reserves its estimated peak
+///    host bytes in the AdmissionController before running. Requests that
+///    can never fit are rejected (ResourceExhausted); requests that do not
+///    fit *now* queue FIFO up to a bound, past which they are shed; queued
+///    requests whose deadline passes are shed with DeadlineExceeded.
+///  * Isolation: a session shares no mutable state with other sessions —
+///    each run builds its own config/simulator/RNG from the request, so
+///    results are bit-identical to serial one-shot runs (the loadgen
+///    --verify mode asserts this digest-for-digest).
+///  * Graceful drain: RequestDrain() stops accepting, sheds the admission
+///    queue, and lets in-flight requests finish and their responses flush
+///    — a client never sees a torn frame. CancelInflight() additionally
+///    cancels running experiments at their next iteration boundary.
+///  * Teardown: session sockets and admission reservations are released
+///    on every exit path (RAII tickets; sessions are reaped as they
+///    finish, not accumulated until shutdown).
+
+namespace mlbench::server {
+
+struct ServerOptions {
+  /// Loopback only by design: this is a benchmark harness, not an
+  /// internet-facing daemon.
+  int port = 0;  ///< 0 = kernel-assigned; read back via port()
+  /// Reservable host RAM for the admission ledger.
+  double budget_bytes = 1.5e9;
+  /// Admission waiters beyond this are shed immediately.
+  std::size_t max_queue = 64;
+  /// Concurrent sessions beyond this are refused at accept.
+  int max_sessions = 64;
+  /// SO_SNDTIMEO for session sockets: a client that stops reading cannot
+  /// wedge a session thread forever (its connection is torn down).
+  int send_timeout_ms = 10000;
+};
+
+/// Request/response counters, snapshot via Server::counters().
+struct ServerCounters {
+  std::int64_t sessions_accepted = 0;
+  std::int64_t sessions_refused = 0;
+  std::int64_t requests = 0;
+  std::int64_t results_ok = 0;
+  std::int64_t results_failed = 0;  ///< engine "Fail" cells (still kResult)
+  std::int64_t errors_sent = 0;     ///< kError responses (shed/reject/...)
+  std::int64_t protocol_errors = 0; ///< malformed frames (connection dropped)
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, warms the global thread pool (its lazy first-touch
+  /// construction must not race N sessions), and starts the accept loop.
+  Status Start();
+
+  /// The bound port (after Start), for ephemeral-port tests.
+  int port() const { return port_; }
+
+  /// Stops accepting and sheds all queued admissions; in-flight requests
+  /// run to completion and flush their responses. Idempotent.
+  void RequestDrain();
+
+  /// Cancels in-flight experiments at their next iteration boundary
+  /// (their sessions still send a well-formed terminal response).
+  void CancelInflight();
+
+  /// Blocks until the accept loop and every session thread have exited.
+  /// Only returns promptly after RequestDrain(): sessions otherwise
+  /// serve until their clients hang up.
+  void Join();
+
+  /// RequestDrain() + Join().
+  void Stop();
+
+  AdmissionStats admission_stats() const { return admission_->stats(); }
+  ServerCounters counters() const;
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+    exec::CancelToken cancel;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeSession(Session* session);
+  /// Joins and erases finished sessions (called from the accept loop and
+  /// Join) so a long-lived server does not accumulate dead threads.
+  void ReapFinishedSessions();
+  /// Serve one request frame; false ends the session (EOF / fatal error).
+  bool ServeOne(Session* session, const Frame& frame);
+  void CountResponse(const Status& st, bool is_error_frame);
+
+  ServerOptions opts_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  /// Wakes the poll()ing accept loop on drain (shutdown() on a *listening*
+  /// socket does not reliably unblock accept() on Linux).
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+  std::unique_ptr<AdmissionController> admission_;
+  std::thread accept_thread_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  mutable std::mutex counters_mu_;
+  ServerCounters counters_;
+};
+
+}  // namespace mlbench::server

@@ -59,6 +59,13 @@ int EnvInt(const char* name, int fallback) {
 
 }  // namespace
 
+double HashChance(std::uint64_t seed, std::uint64_t tag, std::int64_t unit) {
+  std::uint64_t h = Mix(seed);
+  h = Mix(h ^ (tag + 1));
+  h = Mix(h ^ static_cast<std::uint64_t>(unit));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 const char* FaultKindName(FaultKind kind) {
   switch (kind) {
     case FaultKind::kCrash:
@@ -156,6 +163,8 @@ FaultSpec FaultSpec::FromEnv() {
   spec.rates.straggler = EnvDouble("MLBENCH_FAULT_STRAGGLER", 0.0);
   spec.rates.send_failure = EnvDouble("MLBENCH_FAULT_SENDFAIL", 0.0);
   spec.evict_cache_on_pressure = EnvInt("MLBENCH_FAULT_EVICT", 0) != 0;
+  spec.conn_drop = EnvDouble("MLBENCH_FAULT_CONNDROP", 0.0);
+  spec.slow_client = EnvDouble("MLBENCH_FAULT_SLOWCLIENT", 0.0);
   return spec;
 }
 

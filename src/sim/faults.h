@@ -38,6 +38,13 @@ enum class FaultKind : std::uint8_t {
 
 const char* FaultKindName(FaultKind kind);
 
+/// Pure uniform hash in [0, 1) of (seed, tag, unit) — the same SplitMix64
+/// mixing the FaultPlan queries use, exposed for chaos schedules outside
+/// the simulator (the experiment-server client drops connections and
+/// slow-reads responses deterministically per request index). `tag`
+/// namespaces independent schedules drawn from one seed.
+double HashChance(std::uint64_t seed, std::uint64_t tag, std::int64_t unit);
+
 /// Bounded-retry policy with exponential backoff, charged in simulated
 /// seconds. Shared by all engines so recovery costs are comparable.
 struct RetryPolicy {
@@ -165,6 +172,13 @@ struct FaultSpec {
   /// Spark-style graceful degradation: evict / skip caching under memory
   /// pressure instead of failing the job with OutOfMemory.
   bool evict_cache_on_pressure = false;
+  /// Server-side chaos knobs, consumed by the experiment-server *client*
+  /// library (never by engines, so they do not affect Enabled() and can
+  /// never perturb a simulator): probability that a request's connection
+  /// is dropped mid-request, and that a response is read pathologically
+  /// slowly. Both are deterministic per request index via HashChance.
+  double conn_drop = 0;
+  double slow_client = 0;
   /// Explicit faults merged on top of the seeded schedule (tests).
   FaultPlan explicit_plan;
   bool use_explicit_plan = false;
@@ -175,9 +189,10 @@ struct FaultSpec {
   std::shared_ptr<FaultInjector> MakeInjector() const;
 
   /// Reads MLBENCH_FAULT_SEED, MLBENCH_FAULT_CRASH, MLBENCH_FAULT_STRAGGLER,
-  /// MLBENCH_FAULT_SENDFAIL, MLBENCH_CHECKPOINT_INTERVAL and
-  /// MLBENCH_SNAPSHOT_INTERVAL. Faults stay disabled unless
-  /// MLBENCH_FAULT_SEED is set.
+  /// MLBENCH_FAULT_SENDFAIL, MLBENCH_FAULT_CONNDROP,
+  /// MLBENCH_FAULT_SLOWCLIENT, MLBENCH_CHECKPOINT_INTERVAL and
+  /// MLBENCH_SNAPSHOT_INTERVAL. Faults (including the client-side chaos
+  /// knobs) stay disabled unless MLBENCH_FAULT_SEED is set.
   static FaultSpec FromEnv();
 };
 

@@ -1,0 +1,41 @@
+#include "sim/reservation.h"
+
+#include "common/str_format.h"
+
+namespace mlbench::sim {
+
+Result<std::int64_t> ReservationLedger::Reserve(double bytes,
+                                                std::string_view what) {
+  if (bytes < 0) {
+    return Status::InvalidArgument("negative reservation for " +
+                                   std::string(what));
+  }
+  if (!Fits(bytes)) {
+    return Status::ResourceExhausted(std::string(what) + ": " +
+                                     FormatBytes(bytes) + " requested, " +
+                                     FormatBytes(available_bytes()) + " of " +
+                                     FormatBytes(budget_bytes_) +
+                                     " available");
+  }
+  std::int64_t id = next_id_++;
+  live_[id] = bytes;
+  reserved_bytes_ += bytes;
+  if (reserved_bytes_ > peak_reserved_bytes_) {
+    peak_reserved_bytes_ = reserved_bytes_;
+  }
+  return id;
+}
+
+Status ReservationLedger::Release(std::int64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return Status::NotFound("reservation id " + std::to_string(id) +
+                            " is not live (double release?)");
+  }
+  reserved_bytes_ -= it->second;
+  if (reserved_bytes_ < 0) reserved_bytes_ = 0;  // float drift guard
+  live_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace mlbench::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+/// \file reservation.h
+/// Host-memory reservation ledger for the experiment server's admission
+/// controller.
+///
+/// ClusterSim's per-machine ledger accounts *simulated* (paper-scale)
+/// bytes; this ledger accounts the *host* RAM a run will actually touch
+/// while executing its laptop-scale sample. The admission controller
+/// reserves a run's estimated peak before starting it and releases the
+/// reservation when the run finishes — on every path, including failures
+/// and crash-recovery — so the server can promise that the sum of admitted
+/// estimates never exceeds the host budget.
+///
+/// The ledger itself is deliberately single-threaded and pure: reserve /
+/// release arithmetic with no clocks, no threads, no hidden state, so the
+/// admission edge cases (exact fit, last-bytes races, release-on-failure)
+/// are testable as plain value semantics. Callers that share a ledger
+/// across threads (server::AdmissionController) provide their own
+/// synchronisation.
+
+namespace mlbench::sim {
+
+class ReservationLedger {
+ public:
+  /// A ledger with `budget_bytes` of reservable capacity. Negative
+  /// budgets clamp to zero.
+  explicit ReservationLedger(double budget_bytes)
+      : budget_bytes_(budget_bytes > 0 ? budget_bytes : 0) {}
+
+  double budget_bytes() const { return budget_bytes_; }
+  double reserved_bytes() const { return reserved_bytes_; }
+  double available_bytes() const { return budget_bytes_ - reserved_bytes_; }
+  /// Largest reserved_bytes() ever observed.
+  double peak_reserved_bytes() const { return peak_reserved_bytes_; }
+  /// Number of live (unreleased) reservations.
+  std::size_t active() const { return live_.size(); }
+
+  /// True when a reservation of `bytes` would fit right now. Exact-fit
+  /// semantics: a request for precisely the remaining budget succeeds.
+  bool Fits(double bytes) const {
+    return bytes >= 0 && reserved_bytes_ + bytes <= budget_bytes_;
+  }
+
+  /// True when `bytes` can never be admitted, even with the ledger empty.
+  bool NeverFits(double bytes) const { return bytes > budget_bytes_; }
+
+  /// Reserves `bytes`, returning a ledger-unique id to release later.
+  /// Fails with ResourceExhausted (naming `what`) when the reservation
+  /// does not fit; fitting is exact — no headroom slack is applied.
+  Result<std::int64_t> Reserve(double bytes, std::string_view what);
+
+  /// Releases a reservation. Unknown (or already released) ids fail with
+  /// NotFound — a double release is an accounting bug the caller must
+  /// hear about, not silently absorb.
+  Status Release(std::int64_t id);
+
+ private:
+  double budget_bytes_;
+  double reserved_bytes_ = 0;
+  double peak_reserved_bytes_ = 0;
+  std::int64_t next_id_ = 1;
+  std::map<std::int64_t, double> live_;
+};
+
+}  // namespace mlbench::sim

@@ -294,6 +294,30 @@ TEST(MlintRawThread, MmPauseFlaggedOutsideExec) {
   EXPECT_EQ(CountRule(r, "raw-thread"), 1) << mlint::TextReport(r);
 }
 
+TEST(MlintRawThread, ServerLayerIsExempt) {
+  // The experiment server's session threads and admission condvars are
+  // host-side plumbing, scoped out of the rule like src/exec/.
+  auto r = LintContent("src/server/admission.cc", R"cc(
+    #include <condition_variable>
+    #include <mutex>
+    #include <thread>
+    std::mutex mu;
+    std::condition_variable cv;
+    void f() { std::thread t([] {}); t.join(); }
+  )cc");
+  EXPECT_EQ(CountRule(r, "raw-thread"), 0) << mlint::TextReport(r);
+}
+
+TEST(MlintRawThread, ServerExemptionDoesNotLeakToSiblingDirs) {
+  // The same content one directory over is still a violation: the
+  // carve-out is for src/server/ itself, not anything mentioning it.
+  auto r = LintContent("src/core/server_helpers.cc", R"cc(
+    #include <thread>
+    std::mutex mu;
+  )cc");
+  EXPECT_EQ(CountRule(r, "raw-thread"), 2) << mlint::TextReport(r);
+}
+
 // ---- Rule 5: naive-reduction -----------------------------------------------
 
 TEST(MlintNaiveReduction, FlagsCapturedAccumulator) {
@@ -532,6 +556,30 @@ TEST(MlintIgnoredStatus, QuietWhenConsumedOrVoidCast) {
       if (!engine.RunSweep(program, "s").ok()) return st;
       (void)sim->Allocate(1, 8.0, "scratch");
       return engine.RunSuperstep(fn, cost, "step");
+    }
+  )cc");
+  EXPECT_EQ(CountRule(r, "ignored-status"), 0) << mlint::TextReport(r);
+}
+
+TEST(MlintIgnoredStatus, KnowsServerProtocolApis) {
+  // Dropping a frame-I/O or drain status tears the wire protocol; the
+  // rule knows the server's Status-returning names.
+  auto r = LintContent("src/core/x.cc", R"cc(
+    void f(int fd, server::AdmissionController& ctl) {
+      WriteFrame(fd, MsgType::kPong, "");
+      ReadFrame(fd, &frame);
+      ctl.Admit(1024.0, 0, "run");
+    }
+  )cc");
+  EXPECT_EQ(CountRule(r, "ignored-status"), 3) << mlint::TextReport(r);
+}
+
+TEST(MlintIgnoredStatus, QuietWhenServerApisConsumed) {
+  auto r = LintContent("src/core/x.cc", R"cc(
+    Status f(int fd) {
+      MLBENCH_RETURN_NOT_OK(WriteFrame(fd, MsgType::kPong, ""));
+      if (!ReadFrame(fd, &frame).ok()) return Status::Unavailable("gone");
+      return Status::OK();
     }
   )cc");
   EXPECT_EQ(CountRule(r, "ignored-status"), 0) << mlint::TextReport(r);

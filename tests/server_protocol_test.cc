@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace mlbench {
+namespace {
+
+using server::AppendFrame;
+using server::DecodeFrame;
+using server::ErrorMsg;
+using server::ExperimentRequest;
+using server::Frame;
+using server::MsgType;
+using server::ProgressMsg;
+using server::ResultMsg;
+using server::SqlRequest;
+
+std::uint64_t Bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// ---- Framing ---------------------------------------------------------------
+
+TEST(FrameTest, RoundtripsTypeAndPayload) {
+  std::string buf;
+  AppendFrame(&buf, MsgType::kExperiment, "workload=gmm\n");
+  AppendFrame(&buf, MsgType::kPong, "");
+  Frame f;
+  auto n1 = DecodeFrame(buf, &f);
+  ASSERT_TRUE(n1.ok());
+  EXPECT_EQ(f.type, MsgType::kExperiment);
+  EXPECT_EQ(f.payload, "workload=gmm\n");
+  auto n2 = DecodeFrame(std::string_view(buf).substr(*n1), &f);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(f.type, MsgType::kPong);
+  EXPECT_EQ(f.payload, "");
+  EXPECT_EQ(*n1 + *n2, buf.size());
+}
+
+TEST(FrameTest, IncompleteBufferAsksForMoreBytes) {
+  std::string buf;
+  AppendFrame(&buf, MsgType::kSql, "sql body here");
+  Frame f;
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    auto n = DecodeFrame(std::string_view(buf).substr(0, cut), &f);
+    ASSERT_TRUE(n.ok()) << "cut=" << cut;
+    EXPECT_EQ(*n, 0u) << "cut=" << cut;  // 0 = incomplete, keep reading
+  }
+}
+
+TEST(FrameTest, OversizedLengthIsMalformed) {
+  // Hand-craft a header whose length word exceeds the frame ceiling.
+  std::uint32_t len = server::kMaxFrameBytes + 1;
+  std::string buf(reinterpret_cast<const char*>(&len), 4);
+  buf.push_back(static_cast<char>(MsgType::kPing));
+  Frame f;
+  auto n = DecodeFrame(buf, &f);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, ZeroLengthIsMalformed) {
+  // A frame must at least carry its type byte.
+  std::string buf(5, '\0');
+  Frame f;
+  auto n = DecodeFrame(buf, &f);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, UnknownTypeByteIsMalformed) {
+  std::uint32_t len = 1;
+  std::string buf(reinterpret_cast<const char*>(&len), 4);
+  buf.push_back(static_cast<char>(99));
+  Frame f;
+  auto n = DecodeFrame(buf, &f);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(server::KnownMsgType(99));
+  EXPECT_TRUE(server::KnownMsgType(
+      static_cast<std::uint8_t>(MsgType::kResult)));
+}
+
+// ---- Message payloads ------------------------------------------------------
+
+TEST(ProtocolTest, ExperimentRequestRoundtrip) {
+  ExperimentRequest req;
+  req.id = 0xdeadbeefcafeULL;
+  req.workload = "imputation";
+  req.platform = "reldb";
+  req.machines = 7;
+  req.iterations = 4;
+  req.seed = 123456789;
+  req.actual_per_machine = 250;
+  req.deadline_ms = 1500;
+  req.want_progress = true;
+  auto back = server::ParseExperimentRequest(
+      server::EncodeExperimentRequest(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, req.id);
+  EXPECT_EQ(back->workload, req.workload);
+  EXPECT_EQ(back->platform, req.platform);
+  EXPECT_EQ(back->machines, req.machines);
+  EXPECT_EQ(back->iterations, req.iterations);
+  EXPECT_EQ(back->seed, req.seed);
+  EXPECT_EQ(back->actual_per_machine, req.actual_per_machine);
+  EXPECT_EQ(back->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back->want_progress, req.want_progress);
+}
+
+TEST(ProtocolTest, SqlRequestCarriesMultilineBody) {
+  SqlRequest req;
+  req.id = 42;
+  req.seed = 7;
+  req.rows = 96;
+  req.deadline_ms = 0;
+  req.sql = "SELECT grp, AVG(val)\nFROM data\nGROUP BY grp";
+  auto back = server::ParseSqlRequest(server::EncodeSqlRequest(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, req.id);
+  EXPECT_EQ(back->seed, req.seed);
+  EXPECT_EQ(back->rows, req.rows);
+  EXPECT_EQ(back->sql, req.sql) << "body must survive newlines verbatim";
+}
+
+TEST(ProtocolTest, ResultDoublesRoundtripBitExactly) {
+  // The determinism acceptance check hashes these exact bits, so the wire
+  // encoding must preserve them for every double, not just pretty ones.
+  const double uglies[] = {
+      0.1,
+      -0.0,
+      1.0 / 3.0,
+      5e-324,                                   // smallest denormal
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      123456.789e-30,
+  };
+  ResultMsg msg;
+  msg.id = 9;
+  msg.code = StatusCode::kOk;
+  msg.message = "ok";
+  msg.init_seconds = uglies[0];
+  for (double d : uglies) msg.iteration_seconds.push_back(d);
+  msg.peak_machine_bytes = uglies[4];
+  msg.digest = 0xcbf29ce484222325ULL;
+  msg.result_rows = 3;
+  msg.queue_ms = uglies[2];
+  auto back = server::ParseResult(server::EncodeResult(msg));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(Bits(back->init_seconds), Bits(msg.init_seconds));
+  ASSERT_EQ(back->iteration_seconds.size(), msg.iteration_seconds.size());
+  for (std::size_t i = 0; i < msg.iteration_seconds.size(); ++i) {
+    EXPECT_EQ(Bits(back->iteration_seconds[i]),
+              Bits(msg.iteration_seconds[i]))
+        << "iteration " << i;
+  }
+  EXPECT_EQ(Bits(back->peak_machine_bytes), Bits(msg.peak_machine_bytes));
+  EXPECT_EQ(back->digest, msg.digest);
+  EXPECT_EQ(back->result_rows, msg.result_rows);
+  EXPECT_EQ(back->code, StatusCode::kOk);
+}
+
+TEST(ProtocolTest, ProgressAndErrorRoundtrip) {
+  ProgressMsg p{/*id=*/5, /*iteration=*/2, /*total=*/10};
+  auto pb = server::ParseProgress(server::EncodeProgress(p));
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(pb->id, 5u);
+  EXPECT_EQ(pb->iteration, 2);
+  EXPECT_EQ(pb->total, 10);
+
+  ErrorMsg e;
+  e.id = 6;
+  e.code = StatusCode::kResourceExhausted;
+  e.message = "queue full: shed";
+  auto eb = server::ParseError(server::EncodeError(e));
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(eb->id, 6u);
+  EXPECT_EQ(eb->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(eb->message, e.message);
+}
+
+TEST(ProtocolTest, UnknownKeysAreIgnoredForForwardCompat) {
+  ExperimentRequest req;
+  req.workload = "gmm";
+  req.platform = "gas";
+  std::string payload = server::EncodeExperimentRequest(req);
+  payload.insert(0, "some_future_knob=17\n");
+  auto back = server::ParseExperimentRequest(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->workload, "gmm");
+  EXPECT_EQ(back->platform, "gas");
+}
+
+TEST(ProtocolTest, MissingKeysFallBackToDefaults) {
+  auto back = server::ParseExperimentRequest("workload=lda\nplatform=bsp\n");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->machines, 5);
+  EXPECT_EQ(back->iterations, 3);
+  EXPECT_EQ(back->seed, 2014u);
+  EXPECT_EQ(back->actual_per_machine, 0);
+  EXPECT_FALSE(back->want_progress);
+}
+
+}  // namespace
+}  // namespace mlbench

@@ -1,0 +1,401 @@
+// loadgen: replay a deterministic mixed request stream against a running
+// mlbench_server at one or more concurrency levels, and report
+// throughput, latency percentiles, shed/reject counts, and digest
+// determinism to BENCH_server.json.
+//
+//   loadgen --port P [--requests N] [--concurrency 1,4,16] [--seed S]
+//           [--deadline-ms D] [--verify] [--min-sheds K] [--json PATH]
+//           [--sql-every M] [--progress-every M]
+//
+// The request list is a pure function of (--seed, index): every
+// concurrency level replays the *same* requests, so with --verify the
+// tool asserts that a request completed at 16 concurrent sessions
+// returns bit-for-bit the digest it returns serially — the server's
+// session-isolation guarantee, checked end to end over the wire.
+// --min-sheds K fails the run unless at least K requests were load-shed
+// (ResourceExhausted / DeadlineExceeded), for overload-drill CI jobs
+// that must prove shedding actually engaged.
+//
+// Chaos: MLBENCH_FAULT_SEED + MLBENCH_FAULT_CONNDROP / _SLOWCLIENT make
+// the embedded clients drop connections and stall reads on a
+// deterministic schedule (see sim/faults.h), exercising the server's
+// teardown paths while --verify still holds.
+
+#include <atomic>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/protocol.h"
+#include "sim/faults.h"
+
+namespace {
+
+using mlbench::server::Client;
+using mlbench::server::ClientOptions;
+using mlbench::server::ExperimentRequest;
+using mlbench::server::ResultMsg;
+using mlbench::server::SqlRequest;
+
+struct Args {
+  int port = 0;
+  int requests = 200;
+  std::vector<int> concurrency = {1, 4, 16};
+  std::uint64_t seed = 2014;
+  std::int64_t deadline_ms = 0;
+  bool verify = false;
+  std::int64_t min_sheds = 0;
+  std::string json = "BENCH_server.json";
+  int sql_every = 5;       ///< every M-th request is SQL (0 = never)
+  int progress_every = 7;  ///< every M-th experiment streams progress
+};
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (const char* v = FlagValue(argc, argv, "--port")) args.port = std::atoi(v);
+  if (const char* v = FlagValue(argc, argv, "--requests")) {
+    args.requests = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--concurrency")) {
+    args.concurrency.clear();
+    for (const char* p = v; *p != '\0';) {
+      args.concurrency.push_back(std::atoi(p));
+      while (*p != '\0' && *p != ',') ++p;
+      if (*p == ',') ++p;
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "--seed")) {
+    args.seed = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--deadline-ms")) {
+    args.deadline_ms = std::atoll(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--min-sheds")) {
+    args.min_sheds = std::atoll(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--json")) args.json = v;
+  if (const char* v = FlagValue(argc, argv, "--sql-every")) {
+    args.sql_every = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--progress-every")) {
+    args.progress_every = std::atoi(v);
+  }
+  args.verify = HasFlag(argc, argv, "--verify");
+  if (const char* env = std::getenv("MLBENCH_BENCH_JSON")) args.json = env;
+  return args;
+}
+
+// ---- Deterministic request stream ------------------------------------------
+
+constexpr std::uint64_t kMixTag = 0x10ad;
+
+bool IsSqlRequest(const Args& args, int index) {
+  return args.sql_every > 0 && index % args.sql_every == args.sql_every - 1;
+}
+
+SqlRequest MakeSql(const Args& args, int index) {
+  static const char* kStatements[] = {
+      "SELECT grp, COUNT(id) AS n, AVG(val) AS mean FROM data GROUP BY grp",
+      "SELECT id, val FROM data WHERE grp = 3",
+      "SELECT val * 2 + 1 AS v, id FROM data WHERE id < 32",
+      "SELECT grp, MAX(val) AS hi, MIN(val) AS lo FROM data GROUP BY grp",
+  };
+  double u = mlbench::sim::HashChance(args.seed, kMixTag, index);
+  SqlRequest req;
+  req.id = static_cast<std::uint64_t>(index);
+  req.seed = args.seed ^ static_cast<std::uint64_t>(index);
+  req.rows = 64 + (index % 4) * 32;
+  req.deadline_ms = args.deadline_ms;
+  req.sql = kStatements[static_cast<int>(u * 4.0) % 4];
+  return req;
+}
+
+ExperimentRequest MakeExperiment(const Args& args, int index) {
+  static const char* kWorkloads[] = {"gmm", "lasso", "hmm", "lda",
+                                     "imputation"};
+  static const char* kPlatforms[] = {"dataflow", "reldb", "gas", "bsp"};
+  // Small-but-healthy actual samples: the stream's point is concurrency,
+  // not scale, but gmm/imputation posteriors need ~200 points per machine
+  // before their inverse-Wishart scale matrices are reliably PD (smaller
+  // samples still work — they become deterministic Fail cells).
+  static const long long kActual[] = {200, 40, 12, 10, 200};
+  double u1 = mlbench::sim::HashChance(args.seed, kMixTag + 1, index);
+  double u2 = mlbench::sim::HashChance(args.seed, kMixTag + 2, index);
+  int w = static_cast<int>(u1 * 5.0) % 5;
+  ExperimentRequest req;
+  req.id = static_cast<std::uint64_t>(index);
+  req.workload = kWorkloads[w];
+  req.platform = kPlatforms[static_cast<int>(u2 * 4.0) % 4];
+  req.machines = 2 + (index % 3);
+  req.iterations = 2;
+  req.seed = args.seed ^ static_cast<std::uint64_t>(index);
+  req.actual_per_machine = kActual[w];
+  req.deadline_ms = args.deadline_ms;
+  req.want_progress =
+      args.progress_every > 0 && index % args.progress_every == 0;
+  return req;
+}
+
+// ---- One concurrency level --------------------------------------------------
+
+struct LevelResult {
+  int concurrency = 0;
+  int requests = 0;
+  int ok = 0;
+  int failed_cells = 0;  ///< kResult with a non-OK simulated status
+  int errors = 0;        ///< terminal kError (after retries)
+  std::int64_t sheds = 0;
+  std::int64_t deadlines = 0;
+  std::int64_t retries = 0;
+  std::int64_t reconnects = 0;
+  std::int64_t chaos_conn_drops = 0;
+  std::int64_t chaos_slow_reads = 0;
+  double wall_seconds = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;
+  /// index -> digest for every request that returned a kResult.
+  std::map<int, std::uint64_t> digests;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double q) {
+  if (sorted_ms->empty()) return 0;
+  std::size_t at = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms->size() - 1) + 0.5);
+  return (*sorted_ms)[std::min(at, sorted_ms->size() - 1)];
+}
+
+LevelResult RunLevel(const Args& args, int concurrency) {
+  LevelResult level;
+  level.concurrency = concurrency;
+  level.requests = args.requests;
+
+  std::atomic<int> next{0};
+  std::mutex mu;  // guards latencies + digests + counters below
+  std::vector<double> latencies_ms;
+  mlbench::sim::FaultSpec chaos = mlbench::sim::FaultSpec::FromEnv();
+
+  auto worker = [&] {
+    ClientOptions copts;
+    copts.port = args.port;
+    copts.chaos = chaos;
+    Client client(copts);
+    for (;;) {
+      int index = next.fetch_add(1);
+      if (index >= args.requests) break;
+      auto start = std::chrono::steady_clock::now();
+      mlbench::Result<ResultMsg> res = [&]() -> mlbench::Result<ResultMsg> {
+        if (IsSqlRequest(args, index)) {
+          return client.RunSql(MakeSql(args, index));
+        }
+        return client.RunExperiment(MakeExperiment(args, index));
+      }();
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      std::lock_guard<std::mutex> lock(mu);
+      latencies_ms.push_back(ms);
+      if (res.ok()) {
+        level.digests[index] = res->digest;
+        if (res->code == mlbench::StatusCode::kOk) {
+          ++level.ok;
+        } else {
+          ++level.failed_cells;  // a legitimate simulated "Fail" cell
+        }
+      } else {
+        ++level.errors;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    level.sheds += client.stats().sheds_seen;
+    level.deadlines += client.stats().deadlines_seen;
+    level.retries += client.stats().retries;
+    level.reconnects += client.stats().reconnects;
+    level.chaos_conn_drops += client.stats().chaos_conn_drops;
+    level.chaos_slow_reads += client.stats().chaos_slow_reads;
+  };
+
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(concurrency));
+  for (int i = 0; i < concurrency; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  level.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  level.p50_ms = Percentile(&latencies_ms, 0.50);
+  level.p95_ms = Percentile(&latencies_ms, 0.95);
+  level.p99_ms = Percentile(&latencies_ms, 0.99);
+  level.max_ms = latencies_ms.empty() ? 0 : latencies_ms.back();
+  return level;
+}
+
+void WriteJson(const Args& args, const std::vector<LevelResult>& levels,
+               int verify_mismatches, int verify_compared) {
+  std::FILE* f = std::fopen(args.json.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "loadgen: cannot open %s\n", args.json.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"requests\": %d,\n  \"seed\": %llu,\n",
+               args.requests, static_cast<unsigned long long>(args.seed));
+  std::fprintf(f, "  \"deadline_ms\": %lld,\n",
+               static_cast<long long>(args.deadline_ms));
+  std::fprintf(f, "  \"levels\": [\n");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult& l = levels[i];
+    std::fprintf(
+        f,
+        "    {\"concurrency\": %d, \"wall_seconds\": %.3f, "
+        "\"throughput_rps\": %.2f, \"ok\": %d, \"failed_cells\": %d, "
+        "\"errors\": %d, \"sheds\": %lld, \"deadline_sheds\": %lld, "
+        "\"retries\": %lld, \"reconnects\": %lld, "
+        "\"chaos_conn_drops\": %lld, \"chaos_slow_reads\": %lld, "
+        "\"latency_ms\": {\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f, "
+        "\"max\": %.2f}}%s\n",
+        l.concurrency, l.wall_seconds,
+        l.wall_seconds > 0 ? static_cast<double>(l.requests) / l.wall_seconds
+                           : 0.0,
+        l.ok, l.failed_cells, l.errors, static_cast<long long>(l.sheds),
+        static_cast<long long>(l.deadlines),
+        static_cast<long long>(l.retries),
+        static_cast<long long>(l.reconnects),
+        static_cast<long long>(l.chaos_conn_drops),
+        static_cast<long long>(l.chaos_slow_reads), l.p50_ms, l.p95_ms,
+        l.p99_ms, l.max_ms, i + 1 < levels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"verify\": {\"enabled\": %s, \"compared\": %d, "
+               "\"mismatches\": %d}\n}\n",
+               args.verify ? "true" : "false", verify_compared,
+               verify_mismatches);
+  std::fclose(f);
+  std::printf("loadgen: wrote %s\n", args.json.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.port <= 0) {
+    std::fprintf(stderr, "loadgen: --port is required\n");
+    return 2;
+  }
+
+  // Wait for the server to come up (fresh spawn in scripts).
+  {
+    ClientOptions copts;
+    copts.port = args.port;
+    Client probe(copts);
+    bool up = false;
+    for (int i = 0; i < 100; ++i) {
+      if (probe.Ping().ok()) {
+        up = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!up) {
+      std::fprintf(stderr, "loadgen: no server on port %d\n", args.port);
+      return 2;
+    }
+  }
+
+  std::vector<LevelResult> levels;
+  for (int concurrency : args.concurrency) {
+    if (concurrency < 1) continue;
+    LevelResult level = RunLevel(args, concurrency);
+    std::printf(
+        "loadgen: concurrency=%d wall=%.2fs rps=%.1f ok=%d failed=%d "
+        "errors=%d sheds=%lld deadline_sheds=%lld retries=%lld p50=%.1fms "
+        "p95=%.1fms p99=%.1fms\n",
+        level.concurrency, level.wall_seconds,
+        level.wall_seconds > 0
+            ? static_cast<double>(level.requests) / level.wall_seconds
+            : 0.0,
+        level.ok, level.failed_cells, level.errors,
+        static_cast<long long>(level.sheds),
+        static_cast<long long>(level.deadlines),
+        static_cast<long long>(level.retries), level.p50_ms, level.p95_ms,
+        level.p99_ms);
+    levels.push_back(std::move(level));
+  }
+
+  // Determinism check: a request index that completed at several levels
+  // must have one digest — session isolation means result bits depend on
+  // the request alone, not on what ran beside it.
+  int mismatches = 0;
+  int compared = 0;
+  if (args.verify && levels.size() > 1) {
+    const LevelResult& base = levels.front();
+    for (std::size_t i = 1; i < levels.size(); ++i) {
+      for (const auto& [index, digest] : levels[i].digests) {
+        auto it = base.digests.find(index);
+        if (it == base.digests.end()) continue;
+        ++compared;
+        if (it->second != digest) {
+          ++mismatches;
+          std::fprintf(stderr,
+                       "loadgen: DIGEST MISMATCH request %d: %016llx "
+                       "(concurrency %d) vs %016llx (concurrency %d)\n",
+                       index,
+                       static_cast<unsigned long long>(it->second),
+                       base.concurrency,
+                       static_cast<unsigned long long>(digest),
+                       levels[i].concurrency);
+        }
+      }
+    }
+    std::printf("loadgen: verify compared=%d mismatches=%d\n", compared,
+                mismatches);
+    if (compared == 0) {
+      // Zero comparisons means the base level completed nothing (dead
+      // server, total shed) — that must not read as a determinism PASS.
+      std::fprintf(stderr,
+                   "loadgen: verify had nothing to compare — no request "
+                   "completed at multiple levels\n");
+      ++mismatches;
+    }
+  }
+
+  WriteJson(args, levels, mismatches, compared);
+
+  std::int64_t total_sheds = 0;
+  for (const auto& level : levels) {
+    total_sheds += level.sheds + level.deadlines;
+  }
+  if (args.min_sheds > 0 && total_sheds < args.min_sheds) {
+    std::fprintf(stderr,
+                 "loadgen: expected >= %lld sheds, saw %lld — overload "
+                 "drill did not engage admission control\n",
+                 static_cast<long long>(args.min_sheds),
+                 static_cast<long long>(total_sheds));
+    return 1;
+  }
+  if (mismatches > 0) return 1;
+  std::printf("loadgen: PASS\n");
+  return 0;
+}

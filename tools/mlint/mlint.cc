@@ -415,7 +415,13 @@ void CheckNaiveReduction(const SourceFile& f, std::vector<Finding>* out) {
 // ---------------------------------------------------------------------------
 
 void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
-  if (PathContains(f.path, "src/exec/")) return;
+  // src/exec/ implements parallelism; src/server/ is host-side plumbing
+  // (sockets, admission condvars, session threads) that deliberately sits
+  // outside the deterministic engine layer — both are scoped allowlists.
+  if (PathContains(f.path, "src/exec/") ||
+      PathContains(f.path, "src/server/")) {
+    return;
+  }
   const Tokens& t = f.tokens;
   static const std::set<std::string> kHeaders = {
       "<thread>",  "<mutex>",  "<atomic>", "<condition_variable>",
@@ -428,7 +434,7 @@ void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
             t[i].text.find(h) != std::string::npos) {
           Add(out, f, "raw-thread", t[i].line,
               "include of " + h +
-                  " outside src/exec/ — engines must use the "
+                  " outside src/exec/ and src/server/ — engines must use the "
                   "mlbench::exec layer so charges and RNG streams stay "
                   "deterministic");
         }
@@ -439,7 +445,7 @@ void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
         SpinIntrinsics().count(t[i].text) != 0) {
       Add(out, f, "raw-thread", t[i].line,
           "cpu-relax intrinsic " + t[i].text +
-              " outside src/exec/ — spin/park loops live in the exec "
+              " outside src/exec/ and src/server/ — spin/park loops live in the exec "
               "dispatch layer; engines express parallelism through "
               "ParallelFor/ParallelReduce");
       continue;
@@ -448,7 +454,7 @@ void CheckRawThread(const SourceFile& f, std::vector<Finding>* out) {
         IsAnyIdent(t, i + 2) && ThreadPrimitives().count(t[i + 2].text) != 0) {
       Add(out, f, "raw-thread", t[i].line,
           "raw std::" + t[i + 2].text +
-              " outside src/exec/ — engines must use the mlbench::exec "
+              " outside src/exec/ and src/server/ — engines must use the mlbench::exec "
               "layer (ParallelFor/ParallelReduce + ChargeLedger) so "
               "results stay bit-identical at any thread count");
     }
@@ -468,6 +474,10 @@ bool IsStatusReturningName(const std::string& s) {
       "Allocate",       "AllocateEverywhere", "AllocateSoft",
       "CommitLedger",   "Boot",               "RunSuperstep",
       "RunSweep",       "BroadcastClosure",   "SpillToDisk",
+      // Experiment-server APIs (src/server/): dropping one of these on
+      // the floor tears a frame or silently skips admission control.
+      "WriteFrame",     "ReadFrame",          "Admit",
+
   };
   return kStatusFns.count(s) != 0;
 }
@@ -822,7 +832,7 @@ std::vector<RuleInfo> Rules() {
       {"charge-in-parallel",
        "ClusterSim charges in ParallelFor/Reduce bodies with no ScopedLedger"},
       {"raw-thread",
-       "raw std::thread/mutex/atomic outside src/exec/"},
+       "raw std::thread/mutex/atomic outside src/exec/ and src/server/"},
       {"naive-reduction",
        "captured `x +=` accumulation inside a parallel region"},
       {"header-hygiene",

@@ -43,6 +43,11 @@ bool RuleNeedsSharedRoot(const std::string& rule) {
 /// mutations); src/stats/ implements the RNG.
 bool HazardExempt(const std::string& path, const std::string& rule) {
   if (PathContains(path, "src/exec/")) return true;
+  // src/server/ is the host-side experiment server: sockets, session
+  // threads, and admission condvars are its job, not a hazard leaking into
+  // engine code. Scoped to raw-thread only — its arithmetic still follows
+  // every other rule.
+  if (PathContains(path, "src/server/")) return rule == "raw-thread";
   if (PathContains(path, "src/sim/")) {
     return rule == "charge-in-parallel" || rule == "naive-reduction" ||
            rule == "ledger-order";
@@ -126,7 +131,10 @@ void CollectHazards(const SourceFile& f, std::size_t begin, std::size_t end,
     add("ledger-order", line, tok);
   }
   for (const auto& [line, tok] : ScanRawThread(t, begin, end)) {
-    if (PathContains(f.path, "src/exec/")) break;
+    if (PathContains(f.path, "src/exec/") ||
+        PathContains(f.path, "src/server/")) {
+      break;
+    }
     add("raw-thread", line, tok);
   }
   for (const auto& [line, root] :
@@ -555,8 +563,8 @@ std::string TransitiveMessage(const HazardSite& h, const std::string& fn) {
   }
   if (h.rule == "raw-thread") {
     return "raw threading '" + h.token + "' in " + where +
-           " is reachable from a parallel region — only src/exec/ may "
-           "touch std threading primitives";
+           " is reachable from a parallel region — only src/exec/ and "
+           "src/server/ may touch std threading primitives";
   }
   if (h.rule == "rng-in-parallel") {
     return "shared RNG '" + h.token + "' drawn in " + where +
